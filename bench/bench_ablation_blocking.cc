@@ -1,0 +1,56 @@
+// Ablation: sensitivity of GEMM and one-level Strassen-ABC to the cache
+// blocking parameters (m_C, k_C, n_C).  DESIGN.md calls out the blocking
+// defaults as a key design choice; this bench quantifies how much headroom
+// the defaults leave and how FMM's optimum tracks GEMM's (the paper's
+// premise that FMM should inherit the GEMM blocking unchanged).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+using namespace fmm;
+using namespace fmm::bench;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  Options opts = parse_common(cli);
+  cli.finish();
+
+  const index_t s = opts.big ? 2880 : 1440;
+  struct Config {
+    const char* label;
+    int mc, kc, nc;
+  };
+  const Config configs[] = {
+      {"default (96,256,4092)", 96, 256, 4092},
+      {"small tiles (48,128,1536)", 48, 128, 1536},
+      {"tall A-tile (192,256,4092)", 192, 256, 4092},
+      {"deep kc (96,512,4092)", 96, 512, 4092},
+      {"shallow kc (96,128,4092)", 96, 128, 4092},
+      {"narrow nc (96,256,1536)", 96, 256, 1536},
+  };
+
+  std::printf("Blocking ablation, m=n=k=%lld, 1 core (GFLOPS)\n\n",
+              (long long)s);
+  TablePrinter table({"blocking", "gemm", "strassen ABC", "fmm/gemm %"});
+  for (const auto& c : configs) {
+    GemmConfig cfg;
+    cfg.num_threads = 1;
+    cfg.mc = c.mc;
+    cfg.kc = c.kc;
+    cfg.nc = c.nc;
+    GemmWorkspace ws;
+    FmmContext ctx;
+    ctx.cfg = cfg;
+    const double tg = time_gemm(s, s, s, ws, cfg, opts.reps);
+    const Plan plan = make_plan({catalog::best(2, 2, 2)}, Variant::kABC);
+    const double tf = time_plan(plan, s, s, s, ctx, opts.reps);
+    table.add_row({c.label,
+                   TablePrinter::fmt(effective_gflops(s, s, s, tg), 2),
+                   TablePrinter::fmt(effective_gflops(s, s, s, tf), 2),
+                   TablePrinter::fmt((tg / tf - 1.0) * 100, 1)});
+  }
+  emit(table, opts, "ablation_blocking");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Reproduces paper Fig. 6: one-level ABC / AB / Naive FMM performance on a
+// single core, m = n fixed, k sweeping across multiples of K̃*k_C — actual
+// (measured) and modeled, side by side.
+//
+// Series: effective GFLOPS per algorithm per k; the paper's qualitative
+// shape to verify: ABC wins at small k, AB/Naive catch up at large k, and
+// peaks appear at k = K̃ * k_C multiples.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+using namespace fmm;
+using namespace fmm::bench;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  Options opts = parse_common(cli);
+  cli.finish();
+
+  const index_t mn = opts.big ? 2880 : 1440;
+  const std::vector<index_t> ks = opts.big
+      ? std::vector<index_t>{256, 512, 768, 1024, 1536, 2048, 3072}
+      : std::vector<index_t>{256, 512, 768, 1024, 1536};
+
+  GemmConfig cfg;
+  cfg.num_threads = 1;
+  const ModelParams params = calibrate(cfg);
+  GemmWorkspace ws;
+  FmmContext ctx;
+  ctx.cfg = cfg;
+
+  std::printf("Fig. 6 reproduction: one-level FMM, m=n=%lld, k sweep, 1 core\n",
+              (long long)mn);
+  std::printf("(per variant: measured and modeled effective GFLOPS)\n\n");
+
+  for (Variant variant : {Variant::kABC, Variant::kAB, Variant::kNaive}) {
+    std::vector<std::string> headers = {"algorithm"};
+    for (index_t k : ks) {
+      headers.push_back("k=" + std::to_string(k));
+      headers.push_back("mdl");
+    }
+    TablePrinter table(headers);
+
+    // GEMM baseline row.
+    std::vector<std::string> grow = {"gemm"};
+    for (index_t k : ks) {
+      const double t = time_gemm(mn, mn, k, ws, cfg, opts.reps);
+      grow.push_back(TablePrinter::fmt(effective_gflops(mn, mn, k, t), 1));
+      grow.push_back(TablePrinter::fmt(
+          2.0 * mn * mn * k / predict_gemm_time(mn, mn, k, cfg, params) * 1e-9,
+          1));
+    }
+    table.add_row(grow);
+
+    for (const auto& name : algorithm_names(opts.full)) {
+      const Plan plan = make_plan({catalog::get(name)}, variant);
+      std::vector<std::string> row = {name};
+      for (index_t k : ks) {
+        const double t = time_plan(plan, mn, mn, k, ctx, opts.reps);
+        row.push_back(TablePrinter::fmt(effective_gflops(mn, mn, k, t), 1));
+        row.push_back(
+            TablePrinter::fmt(modeled_gflops(plan, mn, mn, k, cfg, params), 1));
+      }
+      table.add_row(row);
+    }
+    std::printf("--- variant %s ---\n", variant_name(variant));
+    emit(table, opts, std::string("fig6_") + variant_name(variant));
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Reproduces paper Fig. 7: two-level ABC FMM on a single core, actual and
+// modeled, over the paper's three sweeps:
+//   (a) m = k = n          (square)
+//   (b) m = n fixed, k sweeps   (the k = Π k̃_l * k_C peak)
+//   (c) k fixed (~1024), m = n sweep (rank-k regime)
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+using namespace fmm;
+using namespace fmm::bench;
+
+namespace {
+
+void run_sweep(const char* title, const char* csv_tag,
+               const std::vector<std::array<index_t, 3>>& sizes,
+               const Options& opts, const GemmConfig& cfg,
+               const ModelParams& params) {
+  GemmWorkspace ws;
+  FmmContext ctx;
+  ctx.cfg = cfg;
+
+  std::vector<std::string> headers = {"algorithm"};
+  for (const auto& s : sizes) {
+    headers.push_back("m" + std::to_string(s[0]) + "k" + std::to_string(s[1]) +
+                      "n" + std::to_string(s[2]));
+    headers.push_back("mdl");
+  }
+  TablePrinter table(headers);
+
+  std::vector<std::string> grow = {"gemm"};
+  for (const auto& s : sizes) {
+    const double t = time_gemm(s[0], s[2], s[1], ws, cfg, opts.reps);
+    grow.push_back(TablePrinter::fmt(effective_gflops(s[0], s[2], s[1], t), 1));
+    grow.push_back(TablePrinter::fmt(
+        2.0 * s[0] * s[2] * s[1] /
+            predict_gemm_time(s[0], s[2], s[1], cfg, params) * 1e-9,
+        1));
+  }
+  table.add_row(grow);
+
+  for (const auto& name : algorithm_names(opts.full)) {
+    const Plan plan =
+        make_uniform_plan(catalog::get(name), 2, Variant::kABC);
+    std::vector<std::string> row = {name + " 2L"};
+    for (const auto& s : sizes) {
+      const double t = time_plan(plan, s[0], s[2], s[1], ctx, opts.reps);
+      row.push_back(TablePrinter::fmt(effective_gflops(s[0], s[2], s[1], t), 1));
+      row.push_back(TablePrinter::fmt(
+          modeled_gflops(plan, s[0], s[2], s[1], cfg, params), 1));
+    }
+    table.add_row(row);
+  }
+  std::printf("--- %s ---\n", title);
+  Options o = opts;
+  emit(table, o, csv_tag);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  Options opts = parse_common(cli);
+  cli.finish();
+
+  GemmConfig cfg;
+  cfg.num_threads = 1;
+  const ModelParams params = calibrate(cfg);
+  std::printf("Fig. 7 reproduction: two-level ABC FMM, 1 core, "
+              "measured + modeled GFLOPS\n\n");
+
+  const index_t big = opts.big ? 2 : 1;
+  // (a) m = k = n sweep.
+  std::vector<std::array<index_t, 3>> square;
+  for (index_t s : {720, 1080, 1440, 1800}) {
+    square.push_back({s * big, s * big, s * big});
+  }
+  run_sweep("sweep m=k=n (square)", "fig7_square", square, opts, cfg, params);
+
+  // (b) m = n fixed, k sweeps (peak at k = K~^2 * kc multiples).
+  const index_t mn = 1440 * big;
+  std::vector<std::array<index_t, 3>> ksweep;
+  for (index_t k : {512, 1024, 1536, 2048}) ksweep.push_back({mn, k * big, mn});
+  run_sweep("sweep k (m=n fixed)", "fig7_ksweep", ksweep, opts, cfg, params);
+
+  // (c) k ~ 1024 fixed, m = n sweeps (rank-k regime).
+  std::vector<std::array<index_t, 3>> mnsweep;
+  for (index_t s : {720, 1440, 2160, 2880}) {
+    mnsweep.push_back({s * big, 1024, s * big});
+  }
+  run_sweep("sweep m=n (k=1024)", "fig7_mnsweep", mnsweep, opts, cfg, params);
+  return 0;
+}

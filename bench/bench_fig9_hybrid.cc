@@ -1,0 +1,78 @@
+// Reproduces paper Fig. 9: the benefit of hybrid partitions.  k is fixed
+// near Π k̃_l * k_C for the 2x3 hybrid split (paper: k = 1200 ≈ 2*3*256 on
+// their kc; here k defaults to 1536 = 2*3*256), m = n sweeps; ABC variant;
+// one core and all cores.
+//
+// Series: one-/two-level <2,2,2>, <2,3,2>, <3,3,3> homogeneous plans vs
+// the hybrids <2,2,2>+<2,3,2> and <2,2,2>+<3,3,3>.  The claim: hybrids win
+// because 2x3 fits the k dimension better than 2x2 or 3x3.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+using namespace fmm;
+using namespace fmm::bench;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  Options opts = parse_common(cli);
+  const index_t k = cli.get_int("k", 1536, "fixed k (2*3*kc by default)");
+  cli.finish();
+
+  const index_t big = opts.big ? 2 : 1;
+  const std::vector<index_t> mns = {1440 * big, 2160 * big, 2880 * big,
+                                    4320 * big};
+
+  const FmmAlgorithm& a222 = catalog::best(2, 2, 2);
+  const FmmAlgorithm& a232 = catalog::best(2, 3, 2);
+  const FmmAlgorithm& a333 = catalog::best(3, 3, 3);
+  struct Entry {
+    std::string label;
+    Plan plan;
+  };
+  const std::vector<Entry> entries = {
+      {"<2,2,2> 1L", make_plan({a222}, Variant::kABC)},
+      {"<2,3,2> 1L", make_plan({a232}, Variant::kABC)},
+      {"<3,3,3> 1L", make_plan({a333}, Variant::kABC)},
+      {"<2,2,2> 2L", make_plan({a222, a222}, Variant::kABC)},
+      {"<2,3,2> 2L", make_plan({a232, a232}, Variant::kABC)},
+      {"<3,3,3> 2L", make_plan({a333, a333}, Variant::kABC)},
+      {"<2,2,2>+<2,3,2>", make_plan({a222, a232}, Variant::kABC)},
+      {"<2,2,2>+<3,3,3>", make_plan({a222, a333}, Variant::kABC)},
+  };
+
+  for (int threads : {1, 0}) {
+    GemmConfig cfg;
+    cfg.num_threads = threads;
+    GemmWorkspace ws;
+    FmmContext ctx;
+    ctx.cfg = cfg;
+
+    std::vector<std::string> headers = {"plan"};
+    for (index_t mn : mns) headers.push_back("m=n=" + std::to_string(mn));
+    TablePrinter table(headers);
+
+    std::vector<std::string> grow = {"gemm"};
+    for (index_t mn : mns) {
+      const double t = time_gemm(mn, mn, k, ws, cfg, opts.reps);
+      grow.push_back(TablePrinter::fmt(effective_gflops(mn, mn, k, t), 1));
+    }
+    table.add_row(grow);
+
+    for (const auto& e : entries) {
+      std::vector<std::string> row = {e.label};
+      for (index_t mn : mns) {
+        const double t = time_plan(e.plan, mn, mn, k, ctx, opts.reps);
+        row.push_back(TablePrinter::fmt(effective_gflops(mn, mn, k, t), 1));
+      }
+      table.add_row(row);
+    }
+    std::printf("--- Fig. 9: hybrid partitions, k=%lld, %s (GFLOPS) ---\n",
+                (long long)k, threads == 1 ? "1 core" : "all cores");
+    emit(table, opts, threads == 1 ? "fig9_1core" : "fig9_allcores");
+    std::printf("\n");
+  }
+  return 0;
+}

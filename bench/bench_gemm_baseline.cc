@@ -1,0 +1,128 @@
+// Substrate benchmark (the "BLIS" line of every paper figure): micro-kernel
+// peak, packing bandwidth, and GEMM effective GFLOPS across sizes and
+// thread counts.  Uses google-benchmark for the micro-level timings.
+
+#include <benchmark/benchmark.h>
+
+#include "src/gemm/gemm.h"
+#include "src/gemm/microkernel.h"
+#include "src/gemm/pack.h"
+#include "src/linalg/matrix.h"
+#include "src/util/aligned_buffer.h"
+
+namespace fmm {
+namespace {
+
+void BM_Microkernel(benchmark::State& state) {
+  const index_t kc = state.range(0);
+  AlignedBuffer<double> a(static_cast<std::size_t>(kMR) * kc);
+  AlignedBuffer<double> b(static_cast<std::size_t>(kNR) * kc);
+  alignas(64) double acc[kMR * kNR];
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = 1.0;
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = 2.0;
+  for (auto _ : state) {
+    microkernel(kc, a.data(), b.data(), acc);
+    benchmark::DoNotOptimize(acc[0]);
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * kMR * kNR * kc * state.iterations() * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Microkernel)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_PackA_SingleTerm(benchmark::State& state) {
+  const index_t m = 96, k = 256;
+  Matrix a = Matrix::random(m, k, 1);
+  AlignedBuffer<double> out(static_cast<std::size_t>(ceil_div(m, kMR)) * kMR * k);
+  LinTerm t{a.data(), 1.0};
+  for (auto _ : state) {
+    pack_a(&t, 1, a.stride(), m, k, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["GB/s"] = benchmark::Counter(
+      static_cast<double>(m) * k * 8 * state.iterations() * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PackA_SingleTerm);
+
+void BM_PackA_TwoTermSum(benchmark::State& state) {
+  // The FMM case: A~ = A_i + A_j fused into packing.
+  const index_t m = 96, k = 256;
+  Matrix big = Matrix::random(2 * m, k, 2);
+  AlignedBuffer<double> out(static_cast<std::size_t>(ceil_div(m, kMR)) * kMR * k);
+  LinTerm t[2] = {{big.data(), 1.0}, {big.data() + m * big.stride(), 1.0}};
+  for (auto _ : state) {
+    pack_a(t, 2, big.stride(), m, k, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["GB/s"] = benchmark::Counter(
+      2.0 * m * k * 8 * state.iterations() * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PackA_TwoTermSum);
+
+void BM_PackB_Panel(benchmark::State& state) {
+  const index_t k = 256, n = 4092;
+  Matrix b = Matrix::random(k, n, 3);
+  AlignedBuffer<double> out(static_cast<std::size_t>(ceil_div(n, kNR)) * kNR * k);
+  LinTerm t{b.data(), 1.0};
+  for (auto _ : state) {
+    pack_b(&t, 1, b.stride(), k, n, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["GB/s"] = benchmark::Counter(
+      static_cast<double>(n) * k * 8 * state.iterations() * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PackB_Panel);
+
+void BM_Gemm(benchmark::State& state) {
+  const index_t s = state.range(0);
+  const int threads = static_cast<int>(state.range(1));
+  Matrix a = Matrix::random(s, s, 1);
+  Matrix b = Matrix::random(s, s, 2);
+  Matrix c = Matrix::zero(s, s);
+  GemmWorkspace ws;
+  GemmConfig cfg;
+  cfg.num_threads = threads;
+  gemm(c.view(), a.view(), b.view(), ws, cfg);  // warm up + workspace alloc
+  for (auto _ : state) {
+    gemm(c.view(), a.view(), b.view(), ws, cfg);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * s * s * s * state.iterations() * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Gemm)
+    ->Args({512, 1})
+    ->Args({1024, 1})
+    ->Args({2048, 1})
+    ->Args({1024, 0})
+    ->Args({2048, 0})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GemmRankK(benchmark::State& state) {
+  // The paper's special shape: m = n large, k small.
+  const index_t mn = 2048, k = state.range(0);
+  Matrix a = Matrix::random(mn, k, 1);
+  Matrix b = Matrix::random(k, mn, 2);
+  Matrix c = Matrix::zero(mn, mn);
+  GemmWorkspace ws;
+  GemmConfig cfg;
+  cfg.num_threads = 1;
+  gemm(c.view(), a.view(), b.view(), ws, cfg);
+  for (auto _ : state) {
+    gemm(c.view(), a.view(), b.view(), ws, cfg);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * mn * mn * k * state.iterations() * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmRankK)->Arg(256)->Arg(512)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fmm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+// Model-accuracy ablation (paper §4.3-4.4 claim: "the performance model is
+// accurate enough in terms of relative performance ... to guide the choice
+// of a FMM implementation").  Measures a grid of (algorithm x variant x
+// shape) points on one core, compares modeled vs actual effective GFLOPS,
+// and reports:
+//   * mean / max absolute relative error of the predictions,
+//   * Spearman rank correlation per shape (the property selection needs),
+//   * top-1/top-2 agreement: is the measured-best plan inside the model's
+//     top-2 (the paper's selection rule)?
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <numeric>
+
+#include "bench/bench_common.h"
+
+using namespace fmm;
+using namespace fmm::bench;
+
+namespace {
+
+double spearman(const std::vector<double>& a, const std::vector<double>& b) {
+  const std::size_t n = a.size();
+  auto ranks = [](const std::vector<double>& x) {
+    std::vector<std::size_t> idx(x.size());
+    std::iota(idx.begin(), idx.end(), 0u);
+    std::sort(idx.begin(), idx.end(),
+              [&](std::size_t i, std::size_t j) { return x[i] < x[j]; });
+    std::vector<double> r(x.size());
+    for (std::size_t pos = 0; pos < idx.size(); ++pos) r[idx[pos]] = pos;
+    return r;
+  };
+  const auto ra = ranks(a), rb = ranks(b);
+  double d2 = 0;
+  for (std::size_t i = 0; i < n; ++i) d2 += (ra[i] - rb[i]) * (ra[i] - rb[i]);
+  return 1.0 - 6.0 * d2 / (n * (n * n - 1.0));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  Options opts = parse_common(cli);
+  cli.finish();
+
+  GemmConfig cfg;
+  cfg.num_threads = 1;
+  const ModelParams params = calibrate(cfg);
+  FmmContext ctx;
+  ctx.cfg = cfg;
+
+  const std::vector<std::array<index_t, 3>> shapes = {
+      {1440, 480, 1440},   // rank-k
+      {1080, 1080, 1080},  // square
+      {1440, 1536, 1440},  // k at a 2*3*kc multiple
+  };
+  const auto algs = algorithm_names(opts.full);
+  const std::vector<Variant> variants = {Variant::kABC, Variant::kAB,
+                                         Variant::kNaive};
+
+  std::printf("Model accuracy: %zu algorithms x %zu variants x %zu shapes, "
+              "1 core\n\n",
+              algs.size(), variants.size(), shapes.size());
+
+  TablePrinter table({"shape", "points", "mean|rel err|%", "max|rel err|%",
+                      "spearman", "best in model top2"});
+  double grand_err = 0;
+  int grand_n = 0;
+  for (const auto& s : shapes) {
+    std::vector<double> modeled, actual;
+    std::vector<std::string> names;
+    for (const auto& name : algs) {
+      for (Variant v : variants) {
+        const Plan plan = make_plan({catalog::get(name)}, v);
+        const double t = time_plan(plan, s[0], s[2], s[1], ctx, opts.reps);
+        actual.push_back(effective_gflops(s[0], s[2], s[1], t));
+        modeled.push_back(modeled_gflops(plan, s[0], s[2], s[1], cfg, params));
+        names.push_back(plan.name());
+      }
+    }
+    double sum_err = 0, max_err = 0;
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+      const double e = std::fabs(modeled[i] - actual[i]) / actual[i];
+      sum_err += e;
+      max_err = std::max(max_err, e);
+    }
+    grand_err += sum_err;
+    grand_n += static_cast<int>(actual.size());
+
+    // Top-2 rule: the measured best must appear in the model's top-2.
+    const std::size_t best_actual = static_cast<std::size_t>(
+        std::max_element(actual.begin(), actual.end()) - actual.begin());
+    std::vector<std::size_t> order(modeled.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+      return modeled[i] > modeled[j];
+    });
+    const bool top2 =
+        best_actual == order[0] || best_actual == order[1];
+
+    char shape_str[48];
+    std::snprintf(shape_str, sizeof(shape_str), "%lldx%lldx%lld",
+                  (long long)s[0], (long long)s[1], (long long)s[2]);
+    table.add_row({shape_str, TablePrinter::fmt((long long)actual.size()),
+                   TablePrinter::fmt(sum_err / actual.size() * 100, 1),
+                   TablePrinter::fmt(max_err * 100, 1),
+                   TablePrinter::fmt(spearman(modeled, actual), 3),
+                   top2 ? "yes" : "no"});
+  }
+  emit(table, opts, "model_accuracy");
+  std::printf("\noverall mean |rel err|: %.1f%% over %d points\n",
+              grand_err / grand_n * 100, grand_n);
+  return 0;
+}

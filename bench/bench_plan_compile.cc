@@ -1,0 +1,83 @@
+// Generator micro-benchmarks (paper §3.4-4.1 machinery): Kronecker
+// flattening of multi-level plans, catalog DP lookups, Brent verification,
+// and per-r term-list construction overhead — the costs a poly-algorithm
+// pays before the first flop of actual multiplication.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/catalog.h"
+#include "src/core/codegen.h"
+#include "src/core/plan.h"
+#include "src/core/transforms.h"
+#include "src/search/brent.h"
+
+namespace fmm {
+namespace {
+
+void BM_KroneckerCompose_TwoLevelStrassen(benchmark::State& state) {
+  const FmmAlgorithm s = make_strassen();
+  for (auto _ : state) {
+    FmmAlgorithm k = kronecker(s, s);
+    benchmark::DoNotOptimize(k.U.data());
+  }
+}
+BENCHMARK(BM_KroneckerCompose_TwoLevelStrassen);
+
+void BM_MakePlan_TwoLevelHybrid(benchmark::State& state) {
+  const FmmAlgorithm a = catalog::best(2, 2, 2);
+  const FmmAlgorithm b = catalog::best(3, 3, 3);
+  for (auto _ : state) {
+    Plan p = make_plan({a, b}, Variant::kABC);
+    benchmark::DoNotOptimize(p.flat.U.data());
+  }
+}
+BENCHMARK(BM_MakePlan_TwoLevelHybrid);
+
+void BM_MakePlan_ThreeLevelStrassen(benchmark::State& state) {
+  const FmmAlgorithm s = catalog::best(2, 2, 2);
+  for (auto _ : state) {
+    Plan p = make_uniform_plan(s, 3, Variant::kABC);  // R = 343
+    benchmark::DoNotOptimize(p.flat.U.data());
+  }
+}
+BENCHMARK(BM_MakePlan_ThreeLevelStrassen);
+
+void BM_CatalogLookup(benchmark::State& state) {
+  catalog::best(3, 3, 3);  // prime the memo
+  for (auto _ : state) {
+    const FmmAlgorithm& alg = catalog::best(3, 3, 3);
+    benchmark::DoNotOptimize(&alg);
+  }
+}
+BENCHMARK(BM_CatalogLookup);
+
+void BM_BrentResidual_Strassen(benchmark::State& state) {
+  const FmmAlgorithm s = make_strassen();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.brent_residual());
+  }
+}
+BENCHMARK(BM_BrentResidual_Strassen);
+
+void BM_BrentExact_Laderman(benchmark::State& state) {
+  const FmmAlgorithm alg = catalog::best(3, 3, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(brent_exact(alg));
+  }
+}
+BENCHMARK(BM_BrentExact_Laderman);
+
+void BM_CodegenEmit_TwoLevel(benchmark::State& state) {
+  const Plan plan =
+      make_uniform_plan(catalog::best(2, 2, 2), 2, Variant::kNaive);
+  for (auto _ : state) {
+    std::string src = emit_c_source(plan);
+    benchmark::DoNotOptimize(src.data());
+  }
+}
+BENCHMARK(BM_CodegenEmit_TwoLevel);
+
+}  // namespace
+}  // namespace fmm
+
+BENCHMARK_MAIN();

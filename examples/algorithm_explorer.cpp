@@ -1,0 +1,44 @@
+// Algorithm explorer: prints the live catalog — every Fig. 2 partition with
+// its rank R, non-zero counts, theoretical speedup, construction recipe,
+// and exact-verification status.  This regenerates the left half of the
+// paper's Fig. 2 table from the library's own catalog.
+//
+//   $ ./algorithm_explorer [--levels 2] [--verify]
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/core/catalog.h"
+#include "src/core/plan.h"
+#include "src/search/brent.h"
+#include "src/util/cli.h"
+#include "src/util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace fmm;
+  Cli cli(argc, argv);
+  const int levels = cli.get_int("levels", 1, "levels for the nnz columns");
+  const bool verify =
+      cli.get_bool("verify", true, "run exact rational Brent verification");
+  cli.finish();
+
+  TablePrinter table({"<m~,k~,n~>", "m~k~n~", "R", "speedup%", "nnz(U)",
+                      "nnz(V)", "nnz(W)", "exact", "construction"});
+  for (const auto& d : catalog::figure2_dims()) {
+    const FmmAlgorithm& alg = catalog::best(d[0], d[1], d[2]);
+    const Plan plan = make_uniform_plan(alg, levels, Variant::kABC);
+    const FmmAlgorithm& flat = plan.flat;
+    table.add_row({alg.dims_string(),
+                   TablePrinter::fmt((long long)alg.classical_mults()),
+                   TablePrinter::fmt((long long)alg.R),
+                   TablePrinter::fmt(alg.theoretical_speedup() * 100.0, 1),
+                   TablePrinter::fmt((long long)flat.nnz_u()),
+                   TablePrinter::fmt((long long)flat.nnz_v()),
+                   TablePrinter::fmt((long long)flat.nnz_w()),
+                   verify ? (brent_exact(alg) ? "yes" : "NO!") : "-",
+                   alg.provenance});
+  }
+  std::printf("fmmgen catalog (%d level%s):\n", levels, levels > 1 ? "s" : "");
+  table.print(std::cout);
+  return 0;
+}

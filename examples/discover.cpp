@@ -1,0 +1,61 @@
+// Algorithm discovery CLI: searches for an exact ⟨m̃,k̃,ñ;R⟩ fast matrix
+// multiplication algorithm with regularized ALS + rationalization (the
+// Benson–Ballard-style generator the paper's catalog descends from).
+//
+//   $ ./discover --mt 2 --kt 3 --nt 3 --r 15 --restarts 200 --seed 1
+//
+// On success, prints (a) the algorithm in human-readable product form and
+// (b) a C++ fragment ready to paste into src/core/discovered_seeds.cc.
+
+#include <cstdio>
+
+#include "src/core/catalog.h"
+#include "src/search/als.h"
+#include "src/search/brent.h"
+#include "src/util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace fmm;
+  Cli cli(argc, argv);
+  AlsOptions opts;
+  const int mt = cli.get_int("mt", 2, "row partition of A/C");
+  const int kt = cli.get_int("kt", 3, "col partition of A / row of B");
+  const int nt = cli.get_int("nt", 3, "col partition of B/C");
+  const int target_r =
+      cli.get_int("r", 0, "target rank (0 = one below the catalog's best)");
+  opts.restarts = cli.get_int("restarts", 50, "ALS random restarts");
+  opts.max_sweeps = cli.get_int("sweeps", 2000, "ALS sweeps per restart");
+  opts.seed = static_cast<std::uint64_t>(
+      cli.get_int("seed", 42, "PRNG seed (vary across machines/runs)"));
+  opts.snap_denominator =
+      cli.get_int("den", 2, "coefficient lattice denominator");
+  opts.verbose = cli.get_bool("verbose", false, "progress to stderr");
+  const bool warm = cli.get_bool(
+      "warm", true, "warm-start half the restarts from the catalog's best");
+  opts.warm_noise = cli.get_double("warm-noise", 0.25, "warm-start noise");
+  cli.finish();
+
+  const FmmAlgorithm& known = catalog::best(mt, kt, nt);
+  const int r = target_r > 0 ? target_r : known.R - 1;
+  if (warm && known.R >= r) opts.warm_start = &known;
+  std::printf("searching <%d,%d,%d;%d> (catalog currently: R=%d via %s)\n",
+              mt, kt, nt, r, known.R, known.provenance.c_str());
+
+  const AlsResult result = als_search(mt, kt, nt, r, opts);
+  std::printf("best residual across restarts: %.3e (%d sweeps)\n",
+              result.best_residual, result.sweeps_used);
+  if (!result.found) {
+    std::printf("no exact algorithm found — try more --restarts, another "
+                "--seed, or --den 4\n");
+    return 1;
+  }
+
+  const FmmAlgorithm& alg = result.alg;
+  std::printf("\nFOUND exact <%d,%d,%d;%d>; Brent-verified rationally.\n",
+              alg.mt, alg.kt, alg.nt, alg.R);
+  std::printf("nnz(U)=%d nnz(V)=%d nnz(W)=%d\n", alg.nnz_u(), alg.nnz_v(),
+              alg.nnz_w());
+  std::printf("\n--- paste into src/core/discovered_seeds.cc ---\n%s\n",
+              emit_seed_code(alg).c_str());
+  return 0;
+}

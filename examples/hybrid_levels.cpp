@@ -1,0 +1,69 @@
+// Hybrid partitions demo (paper §5.2, Fig. 9): different algorithms on
+// different levels.  For k near 2*3*kc, the hybrid <2,2,2>+<2,3,2> splits
+// the k dimension 2x3 — a better fit than 2x2 or 3x3 — and wins.
+//
+//   $ ./hybrid_levels --mn 4000 --k 1536
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/core/catalog.h"
+#include "src/core/driver.h"
+#include "src/util/cli.h"
+#include "src/util/table.h"
+#include "src/util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace fmm;
+  Cli cli(argc, argv);
+  const index_t mn = cli.get_int("mn", 4000, "m = n");
+  const index_t k = cli.get_int("k", 1536, "inner dimension (rank-k shape)");
+  const int reps = cli.get_int("reps", 3, "timing repetitions");
+  cli.finish();
+
+  Matrix a = Matrix::random(mn, k, 1);
+  Matrix b = Matrix::random(k, mn, 2);
+  Matrix c = Matrix::zero(mn, mn);
+  FmmContext ctx;
+  GemmWorkspace ws;
+
+  // GEMM baseline.
+  gemm(c.view(), a.view(), b.view(), ws, ctx.cfg);
+  const double gemm_s =
+      best_time_of(reps, [&] { gemm(c.view(), a.view(), b.view(), ws, ctx.cfg); });
+
+  const FmmAlgorithm& s222 = catalog::best(2, 2, 2);
+  const FmmAlgorithm& s232 = catalog::best(2, 3, 2);
+  const FmmAlgorithm& s333 = catalog::best(3, 3, 3);
+  struct Entry {
+    const char* label;
+    Plan plan;
+  };
+  const Entry entries[] = {
+      {"<2,2,2> 1-level", make_plan({s222}, Variant::kABC)},
+      {"<2,3,2> 1-level", make_plan({s232}, Variant::kABC)},
+      {"<3,3,3> 1-level", make_plan({s333}, Variant::kABC)},
+      {"<2,2,2> 2-level", make_plan({s222, s222}, Variant::kABC)},
+      {"<2,3,2> 2-level", make_plan({s232, s232}, Variant::kABC)},
+      {"<3,3,3> 2-level", make_plan({s333, s333}, Variant::kABC)},
+      {"<2,2,2>+<2,3,2> hybrid", make_plan({s222, s232}, Variant::kABC)},
+      {"<2,2,2>+<3,3,3> hybrid", make_plan({s222, s333}, Variant::kABC)},
+  };
+
+  TablePrinter table({"plan", "GFLOPS", "vs gemm %"});
+  table.add_row({"gemm baseline",
+                 TablePrinter::fmt(effective_gflops(mn, mn, k, gemm_s), 2),
+                 "0.0"});
+  for (const auto& e : entries) {
+    fmm_multiply(e.plan, c.view(), a.view(), b.view(), ctx);  // warm up
+    const double t = best_time_of(
+        reps, [&] { fmm_multiply(e.plan, c.view(), a.view(), b.view(), ctx); });
+    table.add_row({e.label,
+                   TablePrinter::fmt(effective_gflops(mn, mn, k, t), 2),
+                   TablePrinter::fmt((gemm_s / t - 1.0) * 100.0, 1)});
+  }
+  std::printf("hybrid partitions, m=n=%lld, k=%lld (all cores):\n",
+              static_cast<long long>(mn), static_cast<long long>(k));
+  table.print(std::cout);
+  return 0;
+}

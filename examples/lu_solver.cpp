@@ -1,0 +1,151 @@
+// Domain example: blocked LU factorization whose trailing-matrix updates
+// run through the FMM poly-algorithm.
+//
+// The trailing update  A22 -= A21 * A12  is a rank-b update with m = n >>
+// k — exactly the "special shape" the paper's introduction motivates and
+// where its generated ABC implementations shine.  This example factors a
+// diagonally dominant matrix (no pivoting needed), uses AutoMultiplier for
+// every update, and validates ||PA - LU|| / ||A||.
+//
+//   $ ./lu_solver --n 3072 --block 384
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/linalg/ops.h"
+#include "src/model/auto.h"
+#include "src/util/cli.h"
+#include "src/util/timer.h"
+
+using namespace fmm;
+
+namespace {
+
+// Unblocked LU (no pivoting) on the diagonal block.
+void lu_unblocked(MatView a) {
+  const index_t n = a.rows();
+  for (index_t j = 0; j < n; ++j) {
+    const double piv = a(j, j);
+    for (index_t i = j + 1; i < n; ++i) {
+      a(i, j) /= piv;
+      const double lij = a(i, j);
+      double* arow = a.row(i);
+      const double* prow = a.row(j);
+      for (index_t p = j + 1; p < n; ++p) arow[p] -= lij * prow[p];
+    }
+  }
+}
+
+// Solves L11 * X = A12 in place (unit lower triangular L11).
+void trsm_lower_unit(ConstMatView l, MatView x) {
+  for (index_t i = 0; i < x.rows(); ++i) {
+    for (index_t p = 0; p < i; ++p) {
+      const double lip = l(i, p);
+      double* xr = x.row(i);
+      const double* xp = x.row(p);
+      for (index_t j = 0; j < x.cols(); ++j) xr[j] -= lip * xp[j];
+    }
+  }
+}
+
+// Solves X * U11 = A21 in place (upper triangular U11).
+void trsm_upper(ConstMatView u, MatView x) {
+  for (index_t j = 0; j < x.cols(); ++j) {
+    const double ujj = u(j, j);
+    for (index_t i = 0; i < x.rows(); ++i) {
+      double s = x(i, j);
+      for (index_t p = 0; p < j; ++p) s -= x(i, p) * u(p, j);
+      x(i, j) = s / ujj;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const index_t n = cli.get_int("n", 3072, "matrix dimension");
+  const index_t nb = cli.get_int("block", 384, "panel width");
+  cli.finish();
+
+  // Diagonally dominant random matrix: LU without pivoting is stable.
+  Matrix a = Matrix::random(n, n, 42);
+  for (index_t i = 0; i < n; ++i) a(i, i) += 2.0 * n;
+  Matrix orig = a.clone();
+
+  AutoMultiplier mult;
+  std::printf("blocked LU, n=%lld, panel=%lld; trailing updates via the FMM "
+              "poly-algorithm\n", (long long)n, (long long)nb);
+
+  Timer total;
+  double update_seconds = 0;
+  for (index_t j = 0; j < n; j += nb) {
+    const index_t b = std::min(nb, n - j);
+    MatView a11 = a.view().block(j, j, b, b);
+    lu_unblocked(a11);
+    if (j + b >= n) break;
+    const index_t rest = n - j - b;
+    MatView a12 = a.view().block(j, j + b, b, rest);
+    MatView a21 = a.view().block(j + b, j, rest, b);
+    MatView a22 = a.view().block(j + b, j + b, rest, rest);
+    trsm_lower_unit(a11, a12);
+    trsm_upper(a11, a21);
+    // Trailing rank-b update A22 -= A21 * A12: negate into the fused
+    // multiply by scaling the A-side coefficient.
+    Timer t;
+    const AutoChoice& choice = mult.choice_for(rest, rest, b);
+    {
+      // C += (-A21) * A12 through a single-term weighted list.
+      LinTerm at{a21.data(), -1.0};
+      LinTerm bt{a12.data(), 1.0};
+      OutTerm ct{a22.data(), 1.0};
+      if (choice.use_gemm) {
+        GemmWorkspace ws;
+        fused_multiply(rest, rest, b, &at, 1, a21.stride(), &bt, 1,
+                       a12.stride(), &ct, 1, a22.stride(), ws, GemmConfig{});
+      } else {
+        // Negate via a temporary view trick: fmm_multiply computes
+        // C += A*B, so scale A21 in place, multiply, restore.
+        for (index_t i = 0; i < rest; ++i) {
+          double* row = a21.row(i);
+          for (index_t p = 0; p < b; ++p) row[p] = -row[p];
+        }
+        FmmContext ctx;
+        fmm_multiply(*choice.plan, a22, a21, a12, ctx);
+        for (index_t i = 0; i < rest; ++i) {
+          double* row = a21.row(i);
+          for (index_t p = 0; p < b; ++p) row[p] = -row[p];
+        }
+      }
+    }
+    update_seconds += t.seconds();
+    if (j == 0) {
+      std::printf("first trailing update (%lldx%lldx%lld): %s\n",
+                  (long long)rest, (long long)rest, (long long)b,
+                  choice.description.c_str());
+    }
+  }
+  const double total_s = total.seconds();
+
+  // Validate: reconstruct L*U and compare with the original matrix.
+  Matrix l = Matrix::zero(n, n);
+  Matrix u = Matrix::zero(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    l(i, i) = 1.0;
+    for (index_t j = 0; j < n; ++j) {
+      if (j < i) l(i, j) = a(i, j);
+      else u(i, j) = a(i, j);
+    }
+  }
+  Matrix lu = Matrix::zero(n, n);
+  GemmWorkspace ws;
+  gemm(lu.view(), l.view(), u.view(), ws, GemmConfig{});
+  const double err = rel_error_fro(lu.view(), orig.view());
+
+  std::printf("factorization time : %.3f s (%.2f effective GFLOPS for the "
+              "2/3 n^3 LU)\n", total_s, 2.0 / 3.0 * n * n * n / total_s * 1e-9);
+  std::printf("trailing updates   : %.3f s (%.0f%% of total)\n",
+              update_seconds, update_seconds / total_s * 100);
+  std::printf("||LU - A|| / ||A|| : %.3e\n", err);
+  return err < 1e-12 ? 0 : 1;
+}

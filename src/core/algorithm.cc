@@ -1,0 +1,153 @@
+#include "src/core/algorithm.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace fmm {
+namespace {
+
+int count_nnz(const std::vector<double>& x) {
+  int n = 0;
+  for (double v : x)
+    if (v != 0.0) ++n;
+  return n;
+}
+
+}  // namespace
+
+int FmmAlgorithm::nnz_u() const { return count_nnz(U); }
+int FmmAlgorithm::nnz_v() const { return count_nnz(V); }
+int FmmAlgorithm::nnz_w() const { return count_nnz(W); }
+
+bool FmmAlgorithm::shape_ok() const {
+  return mt > 0 && kt > 0 && nt > 0 && R > 0 &&
+         U.size() == static_cast<std::size_t>(mt) * kt * R &&
+         V.size() == static_cast<std::size_t>(kt) * nt * R &&
+         W.size() == static_cast<std::size_t>(mt) * nt * R;
+}
+
+double FmmAlgorithm::brent_residual() const {
+  // Σ_r U[(i,l),r] V[(l',j),r] W[(p,q),r] must equal δ(l=l')δ(i=p)δ(j=q).
+  double worst = 0.0;
+  for (int i = 0; i < mt; ++i) {
+    for (int l = 0; l < kt; ++l) {
+      const int a = i * kt + l;
+      for (int lp = 0; lp < kt; ++lp) {
+        for (int j = 0; j < nt; ++j) {
+          const int b = lp * nt + j;
+          for (int p = 0; p < mt; ++p) {
+            for (int q = 0; q < nt; ++q) {
+              const int c = p * nt + q;
+              double s = 0.0;
+              for (int r = 0; r < R; ++r) s += u(a, r) * v(b, r) * w(c, r);
+              const double target = (l == lp && i == p && j == q) ? 1.0 : 0.0;
+              const double err = std::fabs(s - target);
+              if (err > worst) worst = err;
+            }
+          }
+        }
+      }
+    }
+  }
+  return worst;
+}
+
+bool FmmAlgorithm::is_valid(double tol) const {
+  return shape_ok() && brent_residual() <= tol;
+}
+
+std::string FmmAlgorithm::dims_string() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "<%d,%d,%d>", mt, kt, nt);
+  return buf;
+}
+
+FmmAlgorithm make_classical(int mt, int kt, int nt) {
+  FmmAlgorithm alg;
+  alg.mt = mt;
+  alg.kt = kt;
+  alg.nt = nt;
+  alg.R = mt * kt * nt;
+  alg.U.assign(static_cast<std::size_t>(mt) * kt * alg.R, 0.0);
+  alg.V.assign(static_cast<std::size_t>(kt) * nt * alg.R, 0.0);
+  alg.W.assign(static_cast<std::size_t>(mt) * nt * alg.R, 0.0);
+  int r = 0;
+  for (int i = 0; i < mt; ++i) {
+    for (int l = 0; l < kt; ++l) {
+      for (int j = 0; j < nt; ++j, ++r) {
+        alg.u(i * kt + l, r) = 1.0;
+        alg.v(l * nt + j, r) = 1.0;
+        alg.w(i * nt + j, r) = 1.0;
+      }
+    }
+  }
+  alg.name = alg.dims_string() + ":classical";
+  alg.provenance = "classical (R = m~ k~ n~)";
+  return alg;
+}
+
+FmmAlgorithm make_strassen() {
+  // Paper eq. (4): columns are the products M_0..M_6 of eq. (2); rows index
+  // the 2x2 quadrants {A0..A3}, {B0..B3}, {C0..C3} in row-major order.
+  FmmAlgorithm alg;
+  alg.mt = alg.kt = alg.nt = 2;
+  alg.R = 7;
+  alg.U = {
+      1, 0, 1, 0, 1, -1, 0,   //
+      0, 0, 0, 0, 1, 0,  1,   //
+      0, 1, 0, 0, 0, 1,  0,   //
+      1, 1, 0, 1, 0, 0,  -1,  //
+  };
+  alg.V = {
+      1, 1, 0,  -1, 0, 1, 0,  //
+      0, 0, 1,  0,  0, 1, 0,  //
+      0, 0, 0,  1,  0, 0, 1,  //
+      1, 0, -1, 0,  1, 0, 1,  //
+  };
+  alg.W = {
+      1, 0,  0, 1, -1, 0, 1,  //
+      0, 0,  1, 0, 1,  0, 0,  //
+      0, 1,  0, 1, 0,  0, 0,  //
+      1, -1, 1, 0, 0,  1, 0,  //
+  };
+  alg.name = "<2,2,2>";
+  alg.provenance = "Strassen 1969, coefficients from paper eq. (4)";
+  return alg;
+}
+
+FmmAlgorithm make_winograd() {
+  // Strassen-Winograd variant (7 multiplies, 15 additions when evaluated
+  // with common subexpressions).  Flat ⟦U,V,W⟧ form:
+  //   M0 = A0 B0                      M4 = (A2+A3)(B1-B0)
+  //   M1 = A1 B2                      M5 = (-A0+A2+A3)(B0-B1+B3)
+  //   M2 = (A0+A1-A2-A3) B3           M6 = (A0-A2)(B3-B1)
+  //   M3 = A3 (B0-B1-B2+B3)
+  //   C0 = M0+M1;           C1 = M0+M2+M4+M5;
+  //   C2 = M0-M3+M5+M6;     C3 = M0+M4+M5+M6
+  FmmAlgorithm alg;
+  alg.mt = alg.kt = alg.nt = 2;
+  alg.R = 7;
+  alg.U = {
+      1, 0, 1,  0, 0,  -1, 1,  //
+      0, 1, 1,  0, 0,  0,  0,  //
+      0, 0, -1, 0, 1,  1,  -1, //
+      0, 0, -1, 1, 1,  1,  0,  //
+  };
+  alg.V = {
+      1, 0, 0, 1,  -1, 1,  0,  //
+      0, 0, 0, -1, 1,  -1, -1, //
+      0, 1, 0, -1, 0,  0,  0,  //
+      0, 0, 1, 1,  0,  1,  1,  //
+  };
+  alg.W = {
+      1, 1, 0, 0,  0, 0, 0,  //
+      1, 0, 1, 0,  1, 1, 0,  //
+      1, 0, 0, -1, 0, 1, 1,  //
+      1, 0, 0, 0,  1, 1, 1,  //
+  };
+  alg.name = "<2,2,2>:winograd";
+  alg.provenance = "Strassen-Winograd variant (flat form)";
+  return alg;
+}
+
+}  // namespace fmm

@@ -1,0 +1,93 @@
+#pragma once
+
+// The ⟨m̃, k̃, ñ⟩ : ⟦U, V, W⟧ representation of a fast matrix multiplication
+// algorithm (paper §3.1).
+//
+// An algorithm partitions C (m x n), A (m x k), B (k x n) into m̃ x ñ,
+// m̃ x k̃ and k̃ x ñ grids of submatrices indexed row-major with a single
+// index, and computes, for r = 0..R-1:
+//
+//   M_r := (Σ_i u_{i,r} A_i) (Σ_j v_{j,r} B_j);   C_p += w_{p,r} M_r
+//
+// U is (m̃k̃) x R, V is (k̃ñ) x R, W is (m̃ñ) x R.  The algorithm is correct
+// iff the Brent equations hold:
+//
+//   Σ_r U[(i,l), r] · V[(l', j), r] · W[(p, q), r]
+//       = δ(l = l') δ(i = p) δ(j = q)      for all i, l, l', j, p, q.
+//
+// Coefficients are doubles; every algorithm the library ships is exactly
+// representable (integers and small dyadic rationals), and the test suite
+// re-verifies each one against the Brent equations with exact rational
+// arithmetic (src/search/rational.h).
+
+#include <string>
+#include <vector>
+
+#include "src/linalg/mat_view.h"
+
+namespace fmm {
+
+struct FmmAlgorithm {
+  int mt = 0;  // m̃: row partition of A and C
+  int kt = 0;  // k̃: col partition of A, row partition of B
+  int nt = 0;  // ñ: col partition of B and C
+  int R = 0;   // number of submatrix multiplications
+
+  // Row-major coefficient matrices: U is (mt*kt) x R, V is (kt*nt) x R,
+  // W is (mt*nt) x R; entry (row, r) lives at [row * R + r].
+  std::vector<double> U, V, W;
+
+  std::string name;        // e.g. "<2,2,2>"
+  std::string provenance;  // how it was obtained (seed / transform recipe)
+
+  double u(int i, int r) const { return U[static_cast<std::size_t>(i) * R + r]; }
+  double v(int j, int r) const { return V[static_cast<std::size_t>(j) * R + r]; }
+  double w(int p, int r) const { return W[static_cast<std::size_t>(p) * R + r]; }
+
+  double& u(int i, int r) { return U[static_cast<std::size_t>(i) * R + r]; }
+  double& v(int j, int r) { return V[static_cast<std::size_t>(j) * R + r]; }
+  double& w(int p, int r) { return W[static_cast<std::size_t>(p) * R + r]; }
+
+  int rows_u() const { return mt * kt; }
+  int rows_v() const { return kt * nt; }
+  int rows_w() const { return mt * nt; }
+
+  // Non-zero counts — the inputs of the performance model (paper Fig. 5).
+  int nnz_u() const;
+  int nnz_v() const;
+  int nnz_w() const;
+
+  // Number of classical submatrix multiplications m̃·k̃·ñ.
+  int classical_mults() const { return mt * kt * nt; }
+
+  // Theoretical per-level speedup over classical: m̃k̃ñ/R - 1 (Fig. 2).
+  double theoretical_speedup() const {
+    return static_cast<double>(classical_mults()) / R - 1.0;
+  }
+
+  // Structural sanity: dims positive, coefficient vectors correctly sized.
+  bool shape_ok() const;
+
+  // Max |Brent residual| in double arithmetic (0 for a correct algorithm,
+  // up to rounding).  Exact rational verification lives in src/search.
+  double brent_residual() const;
+
+  // shape_ok() && brent_residual() below a conservative tolerance.
+  bool is_valid(double tol = 1e-9) const;
+
+  // "<mt,kt,nt>" (the display form used in paper tables).
+  std::string dims_string() const;
+};
+
+// The classical (non-fast) algorithm for any partition: R = m̃·k̃·ñ, each
+// product is one A_i B_j, every coefficient is 0 or 1.
+FmmAlgorithm make_classical(int mt, int kt, int nt);
+
+// One-level Strassen ⟨2,2,2;7⟩, exactly the coefficients of paper eq. (4).
+FmmAlgorithm make_strassen();
+
+// Strassen–Winograd ⟨2,2,2;7⟩ (15 additions in factored form; here stored
+// flat, so nnz is slightly higher than Strassen's — see DESIGN.md).
+FmmAlgorithm make_winograd();
+
+}  // namespace fmm

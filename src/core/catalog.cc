@@ -1,0 +1,170 @@
+#include "src/core/catalog.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <tuple>
+
+#include "src/core/transforms.h"
+
+namespace fmm::catalog {
+namespace {
+
+using Dims = std::array<int, 3>;
+
+int total_nnz(const FmmAlgorithm& a) {
+  return a.nnz_u() + a.nnz_v() + a.nnz_w();
+}
+
+// Returns true when `cand` improves on `best`: primarily lower rank, then
+// fewer non-zeros (nnz drives the addition terms of the performance model).
+bool improves(const FmmAlgorithm& cand, const FmmAlgorithm& best) {
+  if (cand.R != best.R) return cand.R < best.R;
+  return total_nnz(cand) < total_nnz(best);
+}
+
+class CatalogImpl {
+ public:
+  static CatalogImpl& instance() {
+    static CatalogImpl impl;
+    return impl;
+  }
+
+  const FmmAlgorithm& best(int mt, int kt, int nt) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return best_locked(mt, kt, nt);
+  }
+
+ private:
+  CatalogImpl() {
+    seed_pool_ = catalog::seeds();
+    for (const auto& s : seed_pool_) {
+      if (!s.shape_ok() || s.brent_residual() > 1e-9) {
+        throw std::logic_error("catalog seed fails Brent verification: " +
+                               s.name);
+      }
+    }
+  }
+
+  const FmmAlgorithm& best_locked(int mt, int kt, int nt) {
+    if (mt < 1 || kt < 1 || nt < 1) {
+      throw std::invalid_argument("catalog::best: dims must be positive");
+    }
+    const Dims key{mt, kt, nt};
+    if (auto it = memo_.find(key); it != memo_.end()) return it->second;
+
+    // Recursion is over strictly smaller volume (splits) or strictly
+    // smaller products (Kronecker factors), so it terminates; insert a
+    // tombstone only after computing to keep the logic simple.
+    FmmAlgorithm champ = make_classical(mt, kt, nt);
+
+    // Seeds, reoriented.
+    Dims want = key;
+    Dims want_sorted = want;
+    std::sort(want_sorted.begin(), want_sorted.end());
+    for (const auto& s : seed_pool_) {
+      Dims have{s.mt, s.kt, s.nt};
+      std::sort(have.begin(), have.end());
+      if (have == want_sorted) {
+        FmmAlgorithm cand = oriented(s, mt, kt, nt);
+        if (improves(cand, champ)) champ = std::move(cand);
+      }
+    }
+
+    // Block-concatenation splits of each dimension.
+    for (int axis = 0; axis < 3; ++axis) {
+      const int d = key[axis];
+      for (int s = 1; s <= d / 2; ++s) {
+        Dims d1 = key, d2 = key;
+        d1[axis] = s;
+        d2[axis] = d - s;
+        const FmmAlgorithm& p1 = best_locked(d1[0], d1[1], d1[2]);
+        const FmmAlgorithm& p2 = best_locked(d2[0], d2[1], d2[2]);
+        FmmAlgorithm cand = axis == 0   ? concat_m(p1, p2)
+                            : axis == 1 ? concat_k(p1, p2)
+                                        : concat_n(p1, p2);
+        if (improves(cand, champ)) champ = std::move(cand);
+      }
+    }
+
+    // Kronecker factorizations (skip the trivial 1x1x1 factor — it would
+    // recurse onto ourselves).
+    for (int am = 1; am <= mt; ++am) {
+      if (mt % am) continue;
+      for (int ak = 1; ak <= kt; ++ak) {
+        if (kt % ak) continue;
+        for (int an = 1; an <= nt; ++an) {
+          if (nt % an) continue;
+          const bool f1_trivial = (am == 1 && ak == 1 && an == 1);
+          const bool f2_trivial = (am == mt && ak == kt && an == nt);
+          if (f1_trivial || f2_trivial) continue;
+          const FmmAlgorithm& f1 = best_locked(am, ak, an);
+          const FmmAlgorithm& f2 = best_locked(mt / am, kt / ak, nt / an);
+          FmmAlgorithm cand = kronecker(f1, f2);
+          if (improves(cand, champ)) champ = std::move(cand);
+        }
+      }
+    }
+
+    champ.name = champ.dims_string();
+    auto [it, inserted] = memo_.emplace(key, std::move(champ));
+    (void)inserted;
+    return it->second;
+  }
+
+  std::mutex mu_;
+  std::vector<FmmAlgorithm> seed_pool_;
+  std::map<Dims, FmmAlgorithm> memo_;
+};
+
+}  // namespace
+
+std::vector<FmmAlgorithm> seeds() {
+  std::vector<FmmAlgorithm> out;
+  out.push_back(make_strassen());
+  out.push_back(make_winograd());
+  for (auto& d : discovered_seeds()) out.push_back(std::move(d));
+  return out;
+}
+
+const FmmAlgorithm& best(int mt, int kt, int nt) {
+  return CatalogImpl::instance().best(mt, kt, nt);
+}
+
+FmmAlgorithm get(const std::string& name) {
+  if (name == "strassen") return make_strassen();
+  if (name == "winograd") return make_winograd();
+  int a = 0, b = 0, c = 0;
+  if (std::sscanf(name.c_str(), "<%d,%d,%d>", &a, &b, &c) == 3) {
+    return best(a, b, c);
+  }
+  if (std::sscanf(name.c_str(), "classical:%d,%d,%d", &a, &b, &c) == 3) {
+    return make_classical(a, b, c);
+  }
+  throw std::invalid_argument("catalog::get: unknown algorithm '" + name +
+                              "'");
+}
+
+const std::vector<Dims>& figure2_dims() {
+  static const std::vector<Dims> dims = {
+      {2, 2, 2}, {2, 3, 2}, {2, 3, 4}, {2, 4, 3}, {2, 5, 2}, {3, 2, 2},
+      {3, 2, 3}, {3, 2, 4}, {3, 3, 2}, {3, 3, 3}, {3, 3, 6}, {3, 4, 2},
+      {3, 4, 3}, {3, 5, 3}, {3, 6, 3}, {4, 2, 2}, {4, 2, 3}, {4, 2, 4},
+      {4, 3, 2}, {4, 3, 3}, {4, 4, 2}, {5, 2, 2}, {6, 3, 3},
+  };
+  return dims;
+}
+
+std::vector<std::string> figure2_names() {
+  std::vector<std::string> names;
+  for (const auto& d : figure2_dims()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "<%d,%d,%d>", d[0], d[1], d[2]);
+    names.emplace_back(buf);
+  }
+  return names;
+}
+
+}  // namespace fmm::catalog

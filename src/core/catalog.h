@@ -1,0 +1,55 @@
+#pragma once
+
+// The algorithm catalog: best-known ⟦U,V,W⟧ for every ⟨m̃,k̃,ñ⟩ partition in
+// the paper's Fig. 2 (and any other small partition).
+//
+// Construction is a tiny dynamic program over partition dimensions:
+//
+//   best(m,k,n) = argmin_R over
+//     * hand-verified seeds (Strassen eq. (4), any discovered seeds),
+//       reoriented through the 6 symmetries of the matmul tensor,
+//     * the classical algorithm (R = m k n),
+//     * block concatenations  best(m,k,n1) ⊕ best(m,k,n2), n = n1+n2
+//       (and the analogous splits of m and k),
+//     * Kronecker compositions best(m1,k1,n1) ⊗ best(m2,k2,n2) with
+//       m = m1 m2, k = k1 k2, n = n1 n2.
+//
+// Every returned algorithm is exact (verified by the Brent-equation tests).
+// Where the literature knows a lower rank than the constructive generator
+// reaches (e.g. Smirnov's ⟨3,3,6;40⟩), the ALS search (src/search) can
+// discover a seed at build time; discovered seeds are registered in
+// discovered_seeds.cc and the DP picks them up automatically.
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "src/core/algorithm.h"
+
+namespace fmm::catalog {
+
+// All seeds available to the generator: Strassen, Winograd, plus the
+// contents of discovered_seeds().
+std::vector<FmmAlgorithm> seeds();
+
+// Seeds found by the numerical search (may be empty); defined in
+// discovered_seeds.cc, which the discovery tooling regenerates.
+std::vector<FmmAlgorithm> discovered_seeds();
+
+// Best-known algorithm for the exact partition ⟨mt,kt,nt⟩.  Results are
+// memoized; the returned reference stays valid for the program lifetime.
+// Thread-safe.
+const FmmAlgorithm& best(int mt, int kt, int nt);
+
+// Lookup by display name: "<2,3,2>" -> best(2,3,2); "strassen",
+// "winograd", "classical" (with dims "classical:2,2,2") also resolve.
+// Throws std::invalid_argument for unknown names.
+FmmAlgorithm get(const std::string& name);
+
+// The 23 ⟨m̃,k̃,ñ⟩ partitions of paper Fig. 2, in the paper's row order.
+const std::vector<std::array<int, 3>>& figure2_dims();
+
+// Display names ("<2,2,2>", ...) for figure2_dims().
+std::vector<std::string> figure2_names();
+
+}  // namespace fmm::catalog

@@ -1,0 +1,34 @@
+#pragma once
+
+// C source emission: the literal "code generator" deliverable of the paper.
+//
+// Given a Plan, emit_c_source() produces a self-contained C99 translation
+// unit implementing
+//
+//   void fmm_<tag>(int m, int n, int k, const double* A, int lda,
+//                  const double* B, int ldb, double* C, int ldc);
+//
+// computing C += A*B with the plan's flattened algorithm (Naive
+// formulation: explicit temporaries, plain triple-loop submatrix GEMM) and
+// dynamic peeling for arbitrary sizes.  The emitted file has no
+// dependencies beyond <stdlib.h>/<string.h>, so the integration test can
+// compile it with the system C compiler and validate it against the
+// library.  For small R the per-r linear combinations are fully unrolled
+// (as the paper's generator does); large flattened algorithms fall back to
+// table-driven loops to keep the source compact.
+
+#include <string>
+
+#include "src/core/plan.h"
+
+namespace fmm {
+
+struct CodegenOptions {
+  std::string tag = "generated";  // function name suffix
+  bool emit_test_main = false;    // append a main() that self-checks
+  int unroll_limit = 64;          // unroll per-r statements when R <= limit
+};
+
+std::string emit_c_source(const Plan& plan, const CodegenOptions& opts = {});
+
+}  // namespace fmm

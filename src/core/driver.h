@@ -1,0 +1,61 @@
+#pragma once
+
+// The FMM execution engine: runs a Plan against concrete operands.
+//
+//   fmm_multiply(plan, C, A, B, ctx)   computes C += A * B
+//
+// The engine executes the flat (Kronecker-composed) algorithm iteratively:
+// for each r, it gathers the non-zero coefficient terms of column r of U, V
+// and W into operand lists for the fused GEMM driver.  Per variant:
+//
+//   ABC   : one fused_multiply per r — A and B sums fused into packing,
+//           all C_p updates fused into the micro-kernel epilogue.
+//   AB    : fused_multiply into a temporary M_r, then C_p += w_{p,r} M_r.
+//   Naive : explicit temporaries T_A = Σ u A_i and T_B = Σ v B_j, one plain
+//           GEMM into M_r, then the C updates — the classical formulation.
+//
+// Problem sizes that are not multiples of Π m̃_l etc. are handled with
+// dynamic peeling (paper §4.1, citing Thottethodi et al.): the FMM runs on
+// the largest divisible interior and three slab GEMMs finish the fringes,
+// with no extra workspace.
+
+#include <vector>
+
+#include "src/core/plan.h"
+#include "src/gemm/gemm.h"
+#include "src/linalg/matrix.h"
+
+namespace fmm {
+
+// Reusable buffers for a sequence of fmm_multiply calls.  Not thread-safe
+// across concurrent calls (parallelism lives inside the call).
+struct FmmContext {
+  GemmConfig cfg;
+  GemmWorkspace gemm_ws;
+  Matrix m_buf;   // M_r        (AB, Naive)
+  Matrix ta_buf;  // Σ u_i A_i  (Naive)
+  Matrix tb_buf;  // Σ v_j B_j  (Naive)
+};
+
+// C += A * B using the plan.  Any m, n, k >= 0 (fringes peeled off).
+void fmm_multiply(const Plan& plan, MatView c, ConstMatView a, ConstMatView b,
+                  FmmContext& ctx);
+
+// Convenience overload with a throwaway context.
+void fmm_multiply(const Plan& plan, MatView c, ConstMatView a, ConstMatView b,
+                  const GemmConfig& cfg = GemmConfig{});
+
+// One sub-multiplication of the dynamic-peeling decomposition.
+struct PeelPiece {
+  // Half-open element ranges into C, A, B for a plain GEMM
+  // C[mr0:mr1, nc0:nc1] += A[mr0:mr1, kr0:kr1] * B[kr0:kr1, nc0:nc1].
+  index_t m0, m1, k0, k1, n0, n1;
+};
+
+// The dynamic-peeling decomposition for a problem of size (m, n, k) with an
+// FMM interior of (m1, n1, k1) = (m - m%Mt, ...): the list of fringe GEMMs
+// that complete the product (in order).  Exposed for unit testing.
+std::vector<PeelPiece> peel_pieces(index_t m, index_t n, index_t k,
+                                   index_t m1, index_t n1, index_t k1);
+
+}  // namespace fmm

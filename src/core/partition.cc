@@ -1,0 +1,47 @@
+#include "src/core/partition.h"
+
+#include <cassert>
+
+namespace fmm {
+
+std::pair<int, int> block_coords(const std::vector<GridLevel>& levels,
+                                 int flat) {
+  // Peel mixed-radix digits from least significant (innermost level) up.
+  int row = 0, col = 0;
+  int row_scale = 1, col_scale = 1;
+  for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+    const int digits = it->rows * it->cols;
+    const int digit = flat % digits;
+    flat /= digits;
+    const int r = digit / it->cols;  // row-major within the level
+    const int c = digit % it->cols;
+    row += r * row_scale;
+    col += c * col_scale;
+    row_scale *= it->rows;
+    col_scale *= it->cols;
+  }
+  assert(flat == 0 && "flat index out of range for grid");
+  return {row, col};
+}
+
+std::pair<int, int> grid_shape(const std::vector<GridLevel>& levels) {
+  int r = 1, c = 1;
+  for (const auto& l : levels) {
+    r *= l.rows;
+    c *= l.cols;
+  }
+  return {r, c};
+}
+
+index_t block_offset(const std::vector<GridLevel>& levels, int flat,
+                     index_t rows, index_t cols, index_t stride) {
+  const auto [gr, gc] = grid_shape(levels);
+  assert(rows % gr == 0 && cols % gc == 0);
+  const auto [br, bc] = block_coords(levels, flat);
+  const index_t block_rows = rows / gr;
+  const index_t block_cols = cols / gc;
+  return static_cast<index_t>(br) * block_rows * stride +
+         static_cast<index_t>(bc) * block_cols;
+}
+
+}  // namespace fmm

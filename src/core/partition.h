@@ -1,0 +1,39 @@
+#pragma once
+
+// Recursive block (Morton-like) index maps (paper §3.3, Fig. 3).
+//
+// A multi-level plan partitions each operand into a grid of
+// (Π_l rows_l) x (Π_l cols_l) submatrices; the flat submatrix index used by
+// the Kronecker-composed coefficients enumerates blocks level by level:
+// the outermost level's row-major block index is the most significant
+// digit.  Because the execution engine works on strided views (packing
+// copies data anyway), the "Morton ordering" is purely an index map — the
+// operands stay in ordinary row-major storage, exactly as in the paper.
+
+#include <utility>
+#include <vector>
+
+#include "src/linalg/mat_view.h"
+
+namespace fmm {
+
+struct GridLevel {
+  int rows;  // blocks per row dimension at this level
+  int cols;  // blocks per column dimension at this level
+};
+
+// Maps the flat recursive index to (row, col) in the flattened
+// (Π rows_l) x (Π cols_l) grid.
+std::pair<int, int> block_coords(const std::vector<GridLevel>& levels,
+                                 int flat);
+
+// Total grid shape: (Π rows_l, Π cols_l).
+std::pair<int, int> grid_shape(const std::vector<GridLevel>& levels);
+
+// Element offset of block `flat` inside a matrix of `rows x cols` elements
+// with row stride `stride`, where rows/cols are divisible by the grid
+// shape.  Returns the pointer offset (in elements) of the block origin.
+index_t block_offset(const std::vector<GridLevel>& levels, int flat,
+                     index_t rows, index_t cols, index_t stride);
+
+}  // namespace fmm

@@ -1,0 +1,75 @@
+#include "src/core/plan.h"
+
+#include <stdexcept>
+
+#include "src/core/transforms.h"
+
+namespace fmm {
+
+const char* variant_name(Variant v) {
+  switch (v) {
+    case Variant::kNaive:
+      return "Naive";
+    case Variant::kAB:
+      return "AB";
+    case Variant::kABC:
+      return "ABC";
+  }
+  return "?";
+}
+
+std::vector<GridLevel> Plan::a_grid() const {
+  std::vector<GridLevel> g;
+  for (const auto& l : levels) g.push_back({l.mt, l.kt});
+  return g;
+}
+
+std::vector<GridLevel> Plan::b_grid() const {
+  std::vector<GridLevel> g;
+  for (const auto& l : levels) g.push_back({l.kt, l.nt});
+  return g;
+}
+
+std::vector<GridLevel> Plan::c_grid() const {
+  std::vector<GridLevel> g;
+  for (const auto& l : levels) g.push_back({l.mt, l.nt});
+  return g;
+}
+
+std::string Plan::name() const {
+  std::string s;
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    if (i) s += "+";
+    s += levels[i].dims_string();
+  }
+  s += " ";
+  s += variant_name(variant);
+  return s;
+}
+
+Plan make_plan(std::vector<FmmAlgorithm> levels, Variant variant) {
+  if (levels.empty()) {
+    throw std::invalid_argument("make_plan: at least one level required");
+  }
+  for (const auto& l : levels) {
+    if (!l.shape_ok()) {
+      throw std::invalid_argument("make_plan: malformed algorithm " + l.name);
+    }
+  }
+  Plan plan;
+  plan.flat = levels[0];
+  for (std::size_t i = 1; i < levels.size(); ++i) {
+    plan.flat = kronecker(plan.flat, levels[i]);
+  }
+  plan.levels = std::move(levels);
+  plan.variant = variant;
+  return plan;
+}
+
+Plan make_uniform_plan(const FmmAlgorithm& alg, int num_levels,
+                       Variant variant) {
+  std::vector<FmmAlgorithm> levels(static_cast<std::size_t>(num_levels), alg);
+  return make_plan(std::move(levels), variant);
+}
+
+}  // namespace fmm

@@ -1,0 +1,54 @@
+#pragma once
+
+// A Plan is an executable multi-level FMM algorithm: the per-level
+// algorithm choices (possibly different per level — "hybrid partitions",
+// paper §5.2), the Kronecker-flattened coefficients (paper §3.4–3.5), and
+// the execution variant (paper §4.1):
+//
+//   Naive : explicit temporaries for Σ u A_i, Σ v B_j and M_r.
+//   AB    : the A/B sums are fused into packing; M_r is an explicit buffer.
+//   ABC   : AB plus the multi-target C update fused into the micro-kernel
+//           epilogue — no temporaries at all.
+
+#include <string>
+#include <vector>
+
+#include "src/core/algorithm.h"
+#include "src/core/partition.h"
+
+namespace fmm {
+
+enum class Variant { kNaive, kAB, kABC };
+
+const char* variant_name(Variant v);
+
+struct Plan {
+  std::vector<FmmAlgorithm> levels;  // outermost first
+  FmmAlgorithm flat;                 // ⟦⊗U_l, ⊗V_l, ⊗W_l⟧
+  Variant variant = Variant::kABC;
+
+  int Mt() const { return flat.mt; }  // Π m̃_l
+  int Kt() const { return flat.kt; }  // Π k̃_l
+  int Nt() const { return flat.nt; }  // Π ñ_l
+  int R() const { return flat.R; }    // Π R_l
+
+  int num_levels() const { return static_cast<int>(levels.size()); }
+
+  // Grid level descriptors for each operand (for block_coords / offsets).
+  std::vector<GridLevel> a_grid() const;
+  std::vector<GridLevel> b_grid() const;
+  std::vector<GridLevel> c_grid() const;
+
+  // e.g. "<2,2,2>+<2,3,2> ABC" for a two-level hybrid.
+  std::string name() const;
+};
+
+// Builds a plan from per-level algorithms (outermost first).  Validates
+// shapes; the Kronecker flattening is performed eagerly.
+Plan make_plan(std::vector<FmmAlgorithm> levels, Variant variant);
+
+// Convenience: L homogeneous levels of the same algorithm.
+Plan make_uniform_plan(const FmmAlgorithm& alg, int num_levels,
+                       Variant variant);
+
+}  // namespace fmm

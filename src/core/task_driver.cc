@@ -1,0 +1,135 @@
+#include "src/core/task_driver.h"
+
+#include <omp.h>
+
+#include <cassert>
+#include <vector>
+
+#include "src/core/driver.h"
+
+namespace fmm {
+namespace {
+
+// Serial dst = Σ terms over an ms x ks region (runs inside a task).
+void lin_comb_serial(const std::vector<LinTerm>& terms, index_t lds,
+                     index_t rows, index_t cols, MatView dst) {
+  for (index_t i = 0; i < rows; ++i) {
+    double* d = dst.row(i);
+    const double* s0 = terms[0].ptr + i * lds;
+    const double c0 = terms[0].coeff;
+    for (index_t j = 0; j < cols; ++j) d[j] = c0 * s0[j];
+    for (std::size_t t = 1; t < terms.size(); ++t) {
+      const double* s = terms[t].ptr + i * lds;
+      const double c = terms[t].coeff;
+      for (index_t j = 0; j < cols; ++j) d[j] += c * s[j];
+    }
+  }
+}
+
+void fmm_tasks_interior(const Plan& plan, MatView c, ConstMatView a,
+                        ConstMatView b, TaskContext& ctx, int nth) {
+  const FmmAlgorithm& alg = plan.flat;
+  const index_t ms = c.rows() / alg.mt;
+  const index_t ks = a.cols() / alg.kt;
+  const index_t ns = c.cols() / alg.nt;
+
+  std::vector<const double*> a_base(static_cast<std::size_t>(alg.rows_u()));
+  std::vector<const double*> b_base(static_cast<std::size_t>(alg.rows_v()));
+  std::vector<double*> c_base(static_cast<std::size_t>(alg.rows_w()));
+  for (int i = 0; i < alg.rows_u(); ++i) {
+    a_base[i] = a.data() + (i / alg.kt) * ms * a.stride() + (i % alg.kt) * ks;
+  }
+  for (int j = 0; j < alg.rows_v(); ++j) {
+    b_base[j] = b.data() + (j / alg.nt) * ks * b.stride() + (j % alg.nt) * ns;
+  }
+  for (int p = 0; p < alg.rows_w(); ++p) {
+    c_base[p] = c.data() + (p / alg.nt) * ms * c.stride() + (p % alg.nt) * ns;
+  }
+
+  // One lock per C block serializes concurrent += from different tasks.
+  std::vector<omp_lock_t> locks(static_cast<std::size_t>(alg.rows_w()));
+  for (auto& l : locks) omp_init_lock(&l);
+
+  ctx.workers.resize(static_cast<std::size_t>(nth));
+  for (auto& w : ctx.workers) {
+    w.ta = Matrix(ms, ks);
+    w.tb = Matrix(ks, ns);
+    w.m = Matrix(ms, ns);
+  }
+
+  GemmConfig serial_cfg = ctx.cfg;
+  serial_cfg.num_threads = 1;
+
+#pragma omp parallel num_threads(nth)
+#pragma omp single
+  {
+    for (int r = 0; r < alg.R; ++r) {
+#pragma omp task firstprivate(r)
+      {
+        TaskContext::Worker& w =
+            ctx.workers[static_cast<std::size_t>(omp_get_thread_num())];
+        std::vector<LinTerm> a_terms, b_terms;
+        for (int i = 0; i < alg.rows_u(); ++i) {
+          if (alg.u(i, r) != 0.0) a_terms.push_back({a_base[i], alg.u(i, r)});
+        }
+        for (int j = 0; j < alg.rows_v(); ++j) {
+          if (alg.v(j, r) != 0.0) b_terms.push_back({b_base[j], alg.v(j, r)});
+        }
+        lin_comb_serial(a_terms, a.stride(), ms, ks, w.ta.view());
+        lin_comb_serial(b_terms, b.stride(), ks, ns, w.tb.view());
+        LinTerm ta{w.ta.data(), 1.0};
+        LinTerm tb{w.tb.data(), 1.0};
+        OutTerm mo{w.m.data(), 1.0};
+        fused_multiply(ms, ns, ks, &ta, 1, w.ta.stride(), &tb, 1,
+                       w.tb.stride(), &mo, 1, w.m.stride(), w.gemm_ws,
+                       serial_cfg, /*accumulate=*/false);
+        for (int p = 0; p < alg.rows_w(); ++p) {
+          const double wc = alg.w(p, r);
+          if (wc == 0.0) continue;
+          omp_set_lock(&locks[static_cast<std::size_t>(p)]);
+          double* dst = c_base[p];
+          const double* src = w.m.data();
+          for (index_t i = 0; i < ms; ++i) {
+            double* drow = dst + i * c.stride();
+            const double* srow = src + i * w.m.stride();
+            for (index_t j = 0; j < ns; ++j) drow[j] += wc * srow[j];
+          }
+          omp_unset_lock(&locks[static_cast<std::size_t>(p)]);
+        }
+      }
+    }
+  }  // implicit barrier: all tasks done
+
+  for (auto& l : locks) omp_destroy_lock(&l);
+}
+
+}  // namespace
+
+void fmm_multiply_tasks(const Plan& plan, MatView c, ConstMatView a,
+                        ConstMatView b, TaskContext& ctx) {
+  assert(a.rows() == c.rows() && b.cols() == c.cols() && a.cols() == b.rows());
+  const index_t m = c.rows(), n = c.cols(), k = a.cols();
+  if (m == 0 || n == 0) return;
+  const int nth =
+      ctx.cfg.num_threads > 0 ? ctx.cfg.num_threads : omp_get_max_threads();
+
+  const index_t m1 = m - m % plan.Mt();
+  const index_t k1 = k - k % plan.Kt();
+  const index_t n1 = n - n % plan.Nt();
+  const bool has_interior = m1 > 0 && k1 > 0 && n1 > 0;
+  if (has_interior) {
+    fmm_tasks_interior(plan, c.block(0, 0, m1, n1), a.block(0, 0, m1, k1),
+                       b.block(0, 0, k1, n1), ctx, nth);
+  }
+  GemmWorkspace peel_ws;
+  for (const auto& piece :
+       peel_pieces(m, n, k, has_interior ? m1 : 0, has_interior ? n1 : 0,
+                   has_interior ? k1 : 0)) {
+    gemm(c.block(piece.m0, piece.n0, piece.m1 - piece.m0, piece.n1 - piece.n0),
+         a.block(piece.m0, piece.k0, piece.m1 - piece.m0, piece.k1 - piece.k0),
+         b.block(piece.k0, piece.n0, piece.k1 - piece.k0, piece.n1 - piece.n0),
+         peel_ws, ctx.cfg);
+  }
+}
+
+}  // namespace fmm

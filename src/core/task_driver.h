@@ -1,0 +1,41 @@
+#pragma once
+
+// Task-parallel FMM execution — the comparison scheme the paper lists as
+// future work (§6, first bullet) and attributes to Benson & Ballard [1]:
+// instead of BLIS-style data parallelism inside each submatrix
+// multiplication, the R products M_r of one FMM step become independent
+// tasks; each task forms its operand sums, multiplies with a
+// single-threaded GEMM, and scatters into the shared C blocks under
+// per-block locks.
+//
+// This driver exists to *measure* the trade-off the paper predicts
+// (bench/bench_ablation_parallel): task parallelism needs one M_r-sized
+// temporary per worker (workspace grows with thread count), loses the
+// packing fusion for C, and contends on the C-block locks, but needs no
+// barriers and can win when R >> cores and submatrices are small.
+
+#include "src/core/plan.h"
+#include "src/gemm/gemm.h"
+#include "src/linalg/matrix.h"
+
+namespace fmm {
+
+// Reusable per-thread buffers for task execution.
+struct TaskContext {
+  GemmConfig cfg;  // num_threads = task worker count (0 = all cores)
+  // Per-worker workspaces, sized lazily per plan/problem.
+  struct Worker {
+    GemmWorkspace gemm_ws;
+    Matrix ta, tb, m;
+  };
+  std::vector<Worker> workers;
+};
+
+// C += A * B with one OpenMP task per product M_r.  Results are correct
+// for any sizes (dynamic peeling as in fmm_multiply) but, unlike the
+// data-parallel driver, not bitwise reproducible across thread counts:
+// the C_p accumulation order depends on the task schedule.
+void fmm_multiply_tasks(const Plan& plan, MatView c, ConstMatView a,
+                        ConstMatView b, TaskContext& ctx);
+
+}  // namespace fmm

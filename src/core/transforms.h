@@ -1,0 +1,50 @@
+#pragma once
+
+// Provably rank-preserving / rank-composing transformations on FMM
+// algorithms.  These serve two roles:
+//
+//  1. Multi-level composition (paper §3.4–3.5): an L-level algorithm is the
+//     Kronecker product of its per-level coefficient triples,
+//     ⟦⊗U_l, ⊗V_l, ⊗W_l⟧, turning recursion into a flat iteration.
+//
+//  2. The constructive side of the catalog: from a handful of seeds
+//     (Strassen, classical) the cyclic/transpose symmetries of the matrix
+//     multiplication tensor and block concatenation generate correct
+//     algorithms for every ⟨m̃,k̃,ñ⟩ shape in the paper's Fig. 2.
+//
+// Every output satisfies the Brent equations whenever the inputs do; the
+// test suite re-verifies this exhaustively.
+
+#include "src/core/algorithm.h"
+
+namespace fmm {
+
+// ⟨m1,k1,n1;R1⟩ ⊗ ⟨m2,k2,n2;R2⟩ = ⟨m1m2, k1k2, n1n2; R1R2⟩ with
+// coefficients ⟦U1⊗U2, V1⊗V2, W1⊗W2⟧.  Row/column index order matches the
+// recursive block (Morton-like) ordering of paper §3.3: outer level first.
+FmmAlgorithm kronecker(const FmmAlgorithm& a, const FmmAlgorithm& b);
+
+// Cyclic rotation of the matmul tensor: ⟨m,k,n⟩ -> ⟨k,n,m⟩.
+// (C=AB) becomes the algorithm for C'=A'B' with A' k x n, B' n x m.
+FmmAlgorithm cyclic(const FmmAlgorithm& a);
+
+// Transpose symmetry: ⟨m,k,n⟩ -> ⟨n,k,m⟩ (from C^T = B^T A^T).
+FmmAlgorithm transposed(const FmmAlgorithm& a);
+
+// Any of the 6 orientations of `a` with partition dims (mt,kt,nt); the
+// requested triple must be a permutation image of a's dims reachable by
+// cyclic/transpose compositions (all 6 of them are).  Throws otherwise.
+FmmAlgorithm oriented(const FmmAlgorithm& a, int mt, int kt, int nt);
+
+// Block concatenation along n:  C = [C1 C2] = A [B1 B2].
+// Requires a.mt == b.mt && a.kt == b.kt; result is ⟨m, k, n_a + n_b⟩ with
+// R = R_a + R_b.
+FmmAlgorithm concat_n(const FmmAlgorithm& a, const FmmAlgorithm& b);
+
+// Along m:  [C1; C2] = [A1; A2] B.  Requires matching kt, nt.
+FmmAlgorithm concat_m(const FmmAlgorithm& a, const FmmAlgorithm& b);
+
+// Along k:  C = A1 B1 + A2 B2.  Requires matching mt, nt.
+FmmAlgorithm concat_k(const FmmAlgorithm& a, const FmmAlgorithm& b);
+
+}  // namespace fmm

@@ -1,0 +1,39 @@
+#pragma once
+
+// Cache-blocking configuration for the GotoBLAS/BLIS loop structure (paper
+// Fig. 1, left).  Register block sizes mR x nR are compile-time constants
+// (the micro-kernel is generated for them); cache block sizes mC, kC, nC are
+// runtime parameters so benches can explore them.
+//
+// Defaults follow the paper's Ivy Bridge configuration adapted to an 8x6
+// AVX2/FMA kernel: A-tile (mC x kC doubles) sized for L2, B-panel (kC x nC)
+// sized for L3.
+
+#include <algorithm>
+
+#include "src/linalg/mat_view.h"
+
+namespace fmm {
+
+// Register block: the micro-kernel computes an MR x NR block of C.
+inline constexpr int kMR = 8;
+inline constexpr int kNR = 6;
+
+struct GemmConfig {
+  int mc = 96;    // rows of the packed A-tile (multiple of kMR)
+  int kc = 256;   // shared inner dimension of both packed buffers
+  int nc = 4092;  // cols of the packed B-panel (multiple of kNR)
+
+  // 0 means "use omp_get_max_threads()".
+  int num_threads = 0;
+
+  // Model parameters live in src/model; only the geometry lives here.
+
+  bool valid() const {
+    return mc > 0 && kc > 0 && nc > 0 && mc % kMR == 0 && nc % kNR == 0;
+  }
+};
+
+inline index_t ceil_div(index_t a, index_t b) { return (a + b - 1) / b; }
+
+}  // namespace fmm

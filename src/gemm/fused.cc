@@ -1,0 +1,176 @@
+#include "src/gemm/fused.h"
+
+#include <omp.h>
+
+#include <cassert>
+
+#include "src/gemm/microkernel.h"
+#include "src/gemm/pack.h"
+
+namespace fmm {
+
+void GemmWorkspace::ensure(const GemmConfig& cfg, int num_threads) {
+  b_packed_.resize(static_cast<std::size_t>(cfg.kc) * cfg.nc);
+  if (static_cast<int>(a_tiles_.size()) < num_threads) {
+    a_tiles_.resize(num_threads);
+  }
+  for (auto& tile : a_tiles_) {
+    tile.resize(static_cast<std::size_t>(cfg.mc) * cfg.kc);
+  }
+}
+
+int resolve_threads(const GemmConfig& cfg) {
+  return cfg.num_threads > 0 ? cfg.num_threads : omp_get_max_threads();
+}
+
+namespace {
+
+// Shifts every term's base pointer by a (row, col) block offset.
+void offset_terms(const LinTerm* in, int n, index_t ld, index_t row,
+                  index_t col, LinTerm* out) {
+  for (int i = 0; i < n; ++i) {
+    out[i].ptr = in[i].ptr + row * ld + col;
+    out[i].coeff = in[i].coeff;
+  }
+}
+
+}  // namespace
+
+void fused_multiply(index_t m, index_t n, index_t k,
+                    const LinTerm* a_terms, int num_a, index_t lda,
+                    const LinTerm* b_terms, int num_b, index_t ldb,
+                    const OutTerm* c_terms, int num_c, index_t ldc,
+                    GemmWorkspace& ws, const GemmConfig& cfg, bool accumulate) {
+  assert(cfg.valid());
+  if (m <= 0 || n <= 0 || num_c == 0) return;
+  if (k <= 0) {
+    if (!accumulate) {
+      // C = 0 * anything: the overwrite contract still must clear targets.
+      for (int t = 0; t < num_c; ++t) {
+        for (index_t i = 0; i < m; ++i) {
+          double* row = c_terms[t].ptr + i * ldc;
+          for (index_t j = 0; j < n; ++j) row[j] = 0.0;
+        }
+      }
+    }
+    return;
+  }
+
+  const int nth = resolve_threads(cfg);
+  ws.ensure(cfg, nth);
+  double* bpack = ws.b_packed();
+
+  // Parallelization mode (paper §5.1 / Smith et al. IPDPS'14): by default
+  // the 3rd loop around the micro-kernel (i_c) carries the data
+  // parallelism.  When m yields fewer row blocks than threads (small FMM
+  // submatrices), first shrink m_C so the i_c loop regains enough blocks
+  // (cheap: a thinner A-tile still lives comfortably in L2); only when
+  // even mR-high tiles cannot feed half the threads fall back to
+  // parallelizing the 2nd loop (j_r) with a cooperatively packed shared
+  // A-tile, which costs two barriers per tile.
+  index_t mc_use = cfg.mc;
+  if (nth > 1 && ceil_div(m, mc_use) < nth) {
+    mc_use = std::max<index_t>(
+        kMR, ceil_div(ceil_div(m, static_cast<index_t>(nth)), kMR) * kMR);
+  }
+  const bool jr_parallel =
+      nth > 1 && ceil_div(m, mc_use) < std::max<index_t>(2, nth / 2);
+
+#pragma omp parallel num_threads(nth)
+  {
+    const int tid = omp_get_thread_num();
+    double* apack = ws.a_tile(jr_parallel ? 0 : tid);
+    std::vector<LinTerm> a_local(static_cast<std::size_t>(num_a));
+    std::vector<LinTerm> b_local(static_cast<std::size_t>(num_b));
+    alignas(64) double acc[kMR * kNR];
+    std::vector<OutTerm> c_local(static_cast<std::size_t>(num_c));
+
+    // 5th loop: jc over column blocks of width nc.
+    for (index_t jc = 0; jc < n; jc += cfg.nc) {
+      const index_t nc_eff = std::min<index_t>(cfg.nc, n - jc);
+      // 4th loop: pc over the shared dimension in steps of kc.
+      for (index_t pc = 0; pc < k; pc += cfg.kc) {
+        const index_t kc_eff = std::min<index_t>(cfg.kc, k - pc);
+        const bool acc_this_block = accumulate || pc > 0;
+
+        // Cooperative pack of B~ = sum_j v_j B_j[pc:, jc:], one nR-wide
+        // panel per iteration.  Implicit barrier publishes the buffer.
+        offset_terms(b_terms, num_b, ldb, pc, jc, b_local.data());
+        const index_t b_panels = ceil_div(nc_eff, kNR);
+#pragma omp for schedule(static)
+        for (index_t q = 0; q < b_panels; ++q) {
+          pack_b_panel(b_local.data(), num_b, ldb, kc_eff, nc_eff, q,
+                       bpack + q * kNR * kc_eff);
+        }
+
+        const index_t ic_blocks = ceil_div(m, mc_use);
+        if (!jr_parallel) {
+          // 3rd loop (i_c) carries the parallelism; A-tiles are private.
+#pragma omp for schedule(dynamic, 1)
+          for (index_t icb = 0; icb < ic_blocks; ++icb) {
+            const index_t ic = icb * mc_use;
+            const index_t mc_eff = std::min<index_t>(mc_use, m - ic);
+            offset_terms(a_terms, num_a, lda, ic, pc, a_local.data());
+            pack_a(a_local.data(), num_a, lda, mc_eff, kc_eff, apack);
+
+            for (index_t jr = 0; jr < nc_eff; jr += kNR) {
+              const index_t n_sub = std::min<index_t>(kNR, nc_eff - jr);
+              const double* bpanel = bpack + (jr / kNR) * kNR * kc_eff;
+              for (index_t ir = 0; ir < mc_eff; ir += kMR) {
+                const index_t m_sub = std::min<index_t>(kMR, mc_eff - ir);
+                const double* apanel = apack + (ir / kMR) * kMR * kc_eff;
+                microkernel(kc_eff, apanel, bpanel, acc);
+                for (int t = 0; t < num_c; ++t) {
+                  c_local[t].ptr =
+                      c_terms[t].ptr + (ic + ir) * ldc + (jc + jr);
+                  c_local[t].coeff = c_terms[t].coeff;
+                }
+                epilogue_update(c_local.data(), num_c, ldc, m_sub, n_sub, acc,
+                                acc_this_block);
+              }
+            }
+          }
+          // Implicit barrier: nobody repacks B~ for the next pc while a
+          // thread still computes with the old one.
+        } else {
+          // 2nd-loop (j_r) parallel mode: i_c runs sequentially, each tile
+          // packed cooperatively into the shared buffer, then the j_r
+          // panels are divided among threads.
+          for (index_t icb = 0; icb < ic_blocks; ++icb) {
+            const index_t ic = icb * mc_use;
+            const index_t mc_eff = std::min<index_t>(mc_use, m - ic);
+            offset_terms(a_terms, num_a, lda, ic, pc, a_local.data());
+            const index_t a_panels = ceil_div(mc_eff, kMR);
+#pragma omp for schedule(static)
+            for (index_t p = 0; p < a_panels; ++p) {
+              pack_a_panel(a_local.data(), num_a, lda, mc_eff, kc_eff, p,
+                           apack + p * kMR * kc_eff);
+            }
+            // Implicit barrier: the shared A-tile is complete.
+#pragma omp for schedule(dynamic, 2)
+            for (index_t jrb = 0; jrb < ceil_div(nc_eff, kNR); ++jrb) {
+              const index_t jr = jrb * kNR;
+              const index_t n_sub = std::min<index_t>(kNR, nc_eff - jr);
+              const double* bpanel = bpack + jrb * kNR * kc_eff;
+              for (index_t ir = 0; ir < mc_eff; ir += kMR) {
+                const index_t m_sub = std::min<index_t>(kMR, mc_eff - ir);
+                const double* apanel = apack + (ir / kMR) * kMR * kc_eff;
+                microkernel(kc_eff, apanel, bpanel, acc);
+                for (int t = 0; t < num_c; ++t) {
+                  c_local[t].ptr =
+                      c_terms[t].ptr + (ic + ir) * ldc + (jc + jr);
+                  c_local[t].coeff = c_terms[t].coeff;
+                }
+                epilogue_update(c_local.data(), num_c, ldc, m_sub, n_sub, acc,
+                                acc_this_block);
+              }
+            }
+            // Implicit barrier before the shared tile is overwritten.
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace fmm

@@ -1,0 +1,58 @@
+#pragma once
+
+// The fused multiply: the GotoBLAS/BLIS 5-loop GEMM generalized to weighted
+// operand lists (paper Fig. 1, right).  One call computes
+//
+//     for each target t:  C_t += w_t * (sum_i u_i A_i) (sum_j v_j B_j)
+//
+// where every A_i is an m x k view with common row stride lda (blocks of a
+// common parent matrix), every B_j is k x n with stride ldb, and every C_t
+// is m x n with stride ldc.  Plain GEMM is the special case of one term per
+// list with coefficient 1 — the "BLIS" baseline of every paper figure runs
+// through exactly this code path, so FMM-vs-GEMM comparisons are
+// apples-to-apples.
+//
+// Parallelism mirrors the paper (§5.1, citing Smith et al. IPDPS'14):
+// OpenMP data parallelism over the 3rd loop around the micro-kernel (the
+// i_c loop), with cooperative packing of the shared B~ panel and a
+// per-thread A~ tile.
+
+#include <vector>
+
+#include "src/gemm/blocking.h"
+#include "src/gemm/term.h"
+#include "src/util/aligned_buffer.h"
+
+namespace fmm {
+
+// Reusable packing buffers.  Thread-safe to reuse across calls from the
+// same thread; not safe to share one workspace between concurrent calls.
+class GemmWorkspace {
+ public:
+  // Ensures capacity for the given blocking configuration and thread count.
+  void ensure(const GemmConfig& cfg, int num_threads);
+
+  double* b_packed() { return b_packed_.data(); }
+  double* a_tile(int thread) { return a_tiles_[thread].data(); }
+  int num_threads() const { return static_cast<int>(a_tiles_.size()); }
+
+ private:
+  AlignedBuffer<double> b_packed_;                 // kc x nc
+  std::vector<AlignedBuffer<double>> a_tiles_;     // mc x kc per thread
+};
+
+// Resolves cfg.num_threads (0 -> omp_get_max_threads()).
+int resolve_threads(const GemmConfig& cfg);
+
+// With accumulate == true (the default), every target receives
+// C_t += w_t * product; with accumulate == false the first k-block
+// overwrites (C_t = w_t * product), which lets callers stream into an
+// uninitialized temporary without a separate zero-fill pass.
+void fused_multiply(index_t m, index_t n, index_t k,
+                    const LinTerm* a_terms, int num_a, index_t lda,
+                    const LinTerm* b_terms, int num_b, index_t ldb,
+                    const OutTerm* c_terms, int num_c, index_t ldc,
+                    GemmWorkspace& ws, const GemmConfig& cfg,
+                    bool accumulate = true);
+
+}  // namespace fmm

@@ -1,0 +1,37 @@
+#include "src/gemm/gemm.h"
+
+#include <cassert>
+
+namespace fmm {
+
+void gemm(MatView c, ConstMatView a, ConstMatView b, GemmWorkspace& ws,
+          const GemmConfig& cfg) {
+  assert(a.rows() == c.rows() && b.cols() == c.cols() && a.cols() == b.rows());
+  LinTerm at{a.data(), 1.0};
+  LinTerm bt{b.data(), 1.0};
+  OutTerm ct{c.data(), 1.0};
+  fused_multiply(c.rows(), c.cols(), a.cols(), &at, 1, a.stride(), &bt, 1,
+                 b.stride(), &ct, 1, c.stride(), ws, cfg);
+}
+
+void gemm(MatView c, ConstMatView a, ConstMatView b, const GemmConfig& cfg) {
+  GemmWorkspace ws;
+  gemm(c, a, b, ws, cfg);
+}
+
+void ref_gemm(MatView c, ConstMatView a, ConstMatView b) {
+  assert(a.rows() == c.rows() && b.cols() == c.cols() && a.cols() == b.rows());
+  const index_t m = c.rows(), n = c.cols(), k = a.cols();
+#pragma omp parallel for schedule(static)
+  for (index_t i = 0; i < m; ++i) {
+    double* crow = c.row(i);
+    for (index_t p = 0; p < k; ++p) {
+      const double aip = a(i, p);
+      if (aip == 0.0) continue;
+      const double* brow = b.row(p);
+      for (index_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+    }
+  }
+}
+
+}  // namespace fmm

@@ -1,0 +1,25 @@
+#pragma once
+
+// Public GEMM entry points built on the fused driver.
+//
+//   gemm(C, A, B, ...)    : C += A * B   (the "BLIS" baseline of the paper)
+//   ref_gemm(C, A, B)     : slow, obviously-correct reference for tests
+
+#include "src/gemm/fused.h"
+#include "src/linalg/mat_view.h"
+
+namespace fmm {
+
+// C += A * B through the high-performance fused driver.
+void gemm(MatView c, ConstMatView a, ConstMatView b, GemmWorkspace& ws,
+          const GemmConfig& cfg = GemmConfig{});
+
+// Convenience overload with its own workspace (tests, one-off calls).
+void gemm(MatView c, ConstMatView a, ConstMatView b,
+          const GemmConfig& cfg = GemmConfig{});
+
+// Naive triple-loop C += A * B (OpenMP over rows).  The ground truth used
+// by the test suite; no packing, no blocking, no surprises.
+void ref_gemm(MatView c, ConstMatView a, ConstMatView b);
+
+}  // namespace fmm

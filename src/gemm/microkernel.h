@@ -1,0 +1,44 @@
+#pragma once
+
+// The micro-kernel: an mR x nR block of the product of one packed A panel
+// and one packed B panel (paper Fig. 1, the innermost box).
+//
+// The kernel accumulates into a register file and then spills to a 48-double
+// scratch block `acc`; the *epilogue* applies the block to one or many
+// output submatrices with per-target coefficients w_p.  Streaming through
+// the tiny scratch block (always L1-resident) is what lets a single kernel
+// serve plain GEMM, the temporary-M variants, and the multi-target ABC
+// variant of the paper without code duplication.
+//
+// acc layout: column-blocked, acc[j * kMR + r] = block(r, j).
+
+#include "src/gemm/blocking.h"
+#include "src/gemm/term.h"
+
+namespace fmm {
+
+// acc[j*kMR + r] = sum_{kk<k} a_panel[kk*kMR + r] * b_panel[kk*kNR + j].
+// `a_panel` / `b_panel` point at one packed panel (see pack.h layouts).
+// Dispatches to the AVX2/FMA kernel when compiled for such a target, else
+// to the portable kernel.  k may be any value >= 0.
+void microkernel(index_t k, const double* a_panel, const double* b_panel,
+                 double* acc);
+
+// Portable reference kernel with identical contract (used by tests to
+// validate the vectorized kernel, and as the fallback).
+void microkernel_portable(index_t k, const double* a_panel,
+                          const double* b_panel, double* acc);
+
+// Epilogue: for each target t, C_t[0:m_sub, 0:n_sub] += coeff_t * block
+// (accumulate == true) or = coeff_t * block (accumulate == false; used for
+// the first k-block when streaming into a fresh temporary, saving the
+// zero-fill pass).  C_t has row stride ldc; m_sub <= kMR, n_sub <= kNR
+// mask the edges.
+void epilogue_update(const OutTerm* targets, int num_targets, index_t ldc,
+                     index_t m_sub, index_t n_sub, const double* acc,
+                     bool accumulate = true);
+
+// True when the translation unit was compiled with the AVX2/FMA kernel.
+bool microkernel_is_vectorized();
+
+}  // namespace fmm

@@ -1,0 +1,138 @@
+#include "src/gemm/pack.h"
+
+#include <cstring>
+
+namespace fmm {
+namespace {
+
+// Specialized single-term A-pack: the plain-GEMM fast path (coeff almost
+// always 1.0) and the dominant case after common-subexpression collapse.
+void pack_a_one(const double* a, double coeff, index_t lda, index_t m,
+                index_t k, double* out) {
+  const index_t full_panels = m / kMR;
+  for (index_t p = 0; p < full_panels; ++p) {
+    const double* src = a + p * kMR * lda;
+    double* dst = out + p * kMR * k;
+    for (index_t kk = 0; kk < k; ++kk) {
+      for (int r = 0; r < kMR; ++r) dst[kk * kMR + r] = coeff * src[r * lda + kk];
+    }
+  }
+  const index_t rem = m - full_panels * kMR;
+  if (rem > 0) {
+    const double* src = a + full_panels * kMR * lda;
+    double* dst = out + full_panels * kMR * k;
+    for (index_t kk = 0; kk < k; ++kk) {
+      for (index_t r = 0; r < rem; ++r) dst[kk * kMR + r] = coeff * src[r * lda + kk];
+      for (index_t r = rem; r < kMR; ++r) dst[kk * kMR + r] = 0.0;
+    }
+  }
+}
+
+}  // namespace
+
+void pack_a(const LinTerm* terms, int num_terms, index_t lda, index_t m,
+            index_t k, double* out) {
+  if (num_terms == 1) {
+    pack_a_one(terms[0].ptr, terms[0].coeff, lda, m, k, out);
+    return;
+  }
+  // General case: accumulate the weighted sum while transposing into panels.
+  // The first term writes, the rest add; this keeps a single pass per term
+  // with unit-stride writes into the (cache-resident) packed buffer.
+  const index_t panels = ceil_div(m, kMR);
+  for (int t = 0; t < num_terms; ++t) {
+    const double* a = terms[t].ptr;
+    const double c = terms[t].coeff;
+    for (index_t p = 0; p < panels; ++p) {
+      const index_t row0 = p * kMR;
+      const index_t rows = std::min<index_t>(kMR, m - row0);
+      const double* src = a + row0 * lda;
+      double* dst = out + p * kMR * k;
+      if (t == 0) {
+        for (index_t kk = 0; kk < k; ++kk) {
+          for (index_t r = 0; r < rows; ++r) dst[kk * kMR + r] = c * src[r * lda + kk];
+          for (index_t r = rows; r < kMR; ++r) dst[kk * kMR + r] = 0.0;
+        }
+      } else {
+        for (index_t kk = 0; kk < k; ++kk) {
+          for (index_t r = 0; r < rows; ++r) dst[kk * kMR + r] += c * src[r * lda + kk];
+        }
+      }
+    }
+  }
+}
+
+void pack_a_panel(const LinTerm* terms, int num_terms, index_t lda, index_t m,
+                  index_t k, index_t p, double* out_panel) {
+  const index_t row0 = p * kMR;
+  const index_t rows = std::min<index_t>(kMR, m - row0);
+  for (int t = 0; t < num_terms; ++t) {
+    const double* src = terms[t].ptr + row0 * lda;
+    const double c = terms[t].coeff;
+    if (t == 0) {
+      for (index_t kk = 0; kk < k; ++kk) {
+        for (index_t r = 0; r < rows; ++r)
+          out_panel[kk * kMR + r] = c * src[r * lda + kk];
+        for (index_t r = rows; r < kMR; ++r) out_panel[kk * kMR + r] = 0.0;
+      }
+    } else {
+      for (index_t kk = 0; kk < k; ++kk) {
+        for (index_t r = 0; r < rows; ++r)
+          out_panel[kk * kMR + r] += c * src[r * lda + kk];
+      }
+    }
+  }
+}
+
+void pack_b_panel(const LinTerm* terms, int num_terms, index_t ldb, index_t k,
+                  index_t n, index_t q, double* out_panel) {
+  const index_t col0 = q * kNR;
+  const index_t cols = std::min<index_t>(kNR, n - col0);
+  if (num_terms == 1) {
+    const double* b = terms[0].ptr + col0;
+    const double c = terms[0].coeff;
+    if (cols == kNR) {
+      for (index_t kk = 0; kk < k; ++kk) {
+        const double* src = b + kk * ldb;
+        double* dst = out_panel + kk * kNR;
+        for (int j = 0; j < kNR; ++j) dst[j] = c * src[j];
+      }
+    } else {
+      for (index_t kk = 0; kk < k; ++kk) {
+        const double* src = b + kk * ldb;
+        double* dst = out_panel + kk * kNR;
+        for (index_t j = 0; j < cols; ++j) dst[j] = c * src[j];
+        for (index_t j = cols; j < kNR; ++j) dst[j] = 0.0;
+      }
+    }
+    return;
+  }
+  for (int t = 0; t < num_terms; ++t) {
+    const double* b = terms[t].ptr + col0;
+    const double c = terms[t].coeff;
+    if (t == 0) {
+      for (index_t kk = 0; kk < k; ++kk) {
+        const double* src = b + kk * ldb;
+        double* dst = out_panel + kk * kNR;
+        for (index_t j = 0; j < cols; ++j) dst[j] = c * src[j];
+        for (index_t j = cols; j < kNR; ++j) dst[j] = 0.0;
+      }
+    } else {
+      for (index_t kk = 0; kk < k; ++kk) {
+        const double* src = b + kk * ldb;
+        double* dst = out_panel + kk * kNR;
+        for (index_t j = 0; j < cols; ++j) dst[j] += c * src[j];
+      }
+    }
+  }
+}
+
+void pack_b(const LinTerm* terms, int num_terms, index_t ldb, index_t k,
+            index_t n, double* out) {
+  const index_t panels = ceil_div(n, kNR);
+  for (index_t q = 0; q < panels; ++q) {
+    pack_b_panel(terms, num_terms, ldb, k, n, q, out + q * kNR * k);
+  }
+}
+
+}  // namespace fmm

@@ -1,0 +1,40 @@
+#pragma once
+
+// Packing routines with fused linear combinations (paper Fig. 1, right:
+// "Pack X + Y -> A~", "Pack V + W -> B~").
+//
+// Layouts match BLIS:
+//  * packed A: ceil(m/mR) row panels; panel p holds rows [p*mR, p*mR+mR)
+//    column-major within the panel, i.e. out[p*mR*k + kk*mR + r].
+//  * packed B: ceil(n/nR) column panels; panel q holds cols [q*nR, ...)
+//    row-major within the panel, i.e. out[q*nR*k + kk*nR + c].
+// Partial edge panels are zero-padded to full mR / nR so the micro-kernel
+// never needs edge cases; the epilogue masks the stores instead.
+
+#include "src/gemm/blocking.h"
+#include "src/gemm/term.h"
+
+namespace fmm {
+
+// Packs sum_i terms[i].coeff * terms[i].ptr[0:m, 0:k] (row stride `lda`)
+// into `out` in the packed-A layout described above.
+void pack_a(const LinTerm* terms, int num_terms, index_t lda, index_t m,
+            index_t k, double* out);
+
+// Packs one mR-row panel p of the sum (rows [p*mR, min(m, p*mR+mR))) into
+// out_panel (= base + p*mR*k).  Lets threads cooperate on a shared A-tile
+// when the problem has too few row blocks to parallelize the i_c loop.
+void pack_a_panel(const LinTerm* terms, int num_terms, index_t lda, index_t m,
+                  index_t k, index_t p, double* out_panel);
+
+// Packs one nR-wide column panel q of sum_j terms[j] (row stride `ldb`,
+// logical shape k x n) into out_panel (= base + q*nR*k of the full buffer).
+// Splitting per panel lets threads cooperate on the B-pack.
+void pack_b_panel(const LinTerm* terms, int num_terms, index_t ldb, index_t k,
+                  index_t n, index_t q, double* out_panel);
+
+// Convenience: packs all panels of B (single-threaded; tests and Naive path).
+void pack_b(const LinTerm* terms, int num_terms, index_t ldb, index_t k,
+            index_t n, double* out);
+
+}  // namespace fmm

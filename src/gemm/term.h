@@ -1,0 +1,36 @@
+#pragma once
+
+// Linear-combination operand terms (paper Fig. 1, right).
+//
+// One step r of an FMM algorithm computes
+//     M_r = (sum_i u_{i,r} A_i) * (sum_j v_{j,r} B_j);   C_p += w_{p,r} M_r
+// The packing routines consume a list of weighted input views ("this buffer
+// is the u-weighted sum of these submatrices of A"), and the micro-kernel
+// epilogue consumes a list of weighted output views ("scatter the computed
+// register block, scaled by w_p, into each of these submatrices of C").
+//
+// All views in one list are equally-shaped blocks of a common parent, so
+// they share the row stride; only base pointers and coefficients vary.
+
+#include <vector>
+
+#include "src/linalg/mat_view.h"
+
+namespace fmm {
+
+// One weighted read-only operand in a linear combination.
+struct LinTerm {
+  const double* ptr;  // element (0,0) of the submatrix view
+  double coeff;
+};
+
+// One weighted output target.
+struct OutTerm {
+  double* ptr;  // element (0,0) of the target submatrix view
+  double coeff;
+};
+
+using LinTermList = std::vector<LinTerm>;
+using OutTermList = std::vector<OutTerm>;
+
+}  // namespace fmm

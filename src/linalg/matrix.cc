@@ -1,0 +1,3 @@
+// Matrix is header-only today; this TU anchors the library target and keeps
+// room for out-of-line growth (e.g., serialization) without churn.
+#include "src/linalg/matrix.h"

@@ -1,0 +1,46 @@
+#include "src/model/auto.h"
+
+namespace fmm {
+
+AutoMultiplier::AutoMultiplier(const GemmConfig& cfg, bool calibrate_now)
+    : cfg_(cfg) {
+  space_ = default_plan_space(
+      {Variant::kABC, Variant::kAB, Variant::kNaive}, /*max_levels=*/2);
+  ctx_.cfg = cfg_;
+  if (calibrate_now) calibrate();
+}
+
+void AutoMultiplier::calibrate() { params_ = fmm::calibrate(cfg_); }
+
+const AutoChoice& AutoMultiplier::choice_for(index_t m, index_t n, index_t k) {
+  const std::array<index_t, 3> key{m, n, k};
+  if (auto it = cache_.find(key); it != cache_.end()) return it->second;
+
+  AutoChoice choice;
+  choice.predicted_seconds = predict_gemm_time(m, n, k, cfg_, params_);
+  choice.description = "gemm";
+
+  auto ranked = rank_by_model(m, n, k, space_, params_, cfg_);
+  if (!ranked.empty() &&
+      ranked.front().predicted_seconds < choice.predicted_seconds) {
+    choice.use_gemm = false;
+    choice.plan = ranked.front().plan;
+    choice.predicted_seconds = ranked.front().predicted_seconds;
+    choice.description = choice.plan->name();
+  }
+  auto [it, inserted] = cache_.emplace(key, std::move(choice));
+  (void)inserted;
+  return it->second;
+}
+
+void AutoMultiplier::multiply(MatView c, ConstMatView a, ConstMatView b) {
+  const AutoChoice& choice = choice_for(c.rows(), c.cols(), a.cols());
+  last_ = choice;
+  if (choice.use_gemm) {
+    gemm(c, a, b, gemm_ws_, cfg_);
+  } else {
+    fmm_multiply(*choice.plan, c, a, b, ctx_);
+  }
+}
+
+}  // namespace fmm

@@ -1,0 +1,60 @@
+#pragma once
+
+// The poly-algorithm (paper §4.4 / Fig. 8) as a one-call interface:
+// AutoMultiplier calibrates the performance model once, and per problem
+// shape selects among conventional GEMM and every plan in the default
+// space (23 one-level algorithms x 3 variants, two-level and hybrid
+// plans), caching the decision per shape.
+//
+//   AutoMultiplier mult;
+//   mult.multiply(C, A, B);          // C += A * B, best-known algorithm
+//   mult.last_choice().description   // what ran
+
+#include <array>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/core/driver.h"
+#include "src/model/selector.h"
+
+namespace fmm {
+
+struct AutoChoice {
+  bool use_gemm = true;            // conventional GEMM won the model ranking
+  std::optional<Plan> plan;        // set when use_gemm == false
+  double predicted_seconds = 0.0;
+  std::string description;         // "gemm" or the plan name
+};
+
+class AutoMultiplier {
+ public:
+  // cfg.num_threads applies to execution; the model always ranks with the
+  // single-core formulas (the paper's model; relative order carries over).
+  // `calibrate_now` runs the ~1 s calibration in the constructor; when
+  // false, literature-default parameters are used until calibrate() is
+  // called.
+  explicit AutoMultiplier(const GemmConfig& cfg = GemmConfig{},
+                          bool calibrate_now = true);
+
+  // C += A * B with the selected algorithm.
+  void multiply(MatView c, ConstMatView a, ConstMatView b);
+
+  // The decision that multiply() would take / last took for a shape.
+  const AutoChoice& choice_for(index_t m, index_t n, index_t k);
+  const AutoChoice& last_choice() const { return last_; }
+
+  void calibrate();
+  const ModelParams& params() const { return params_; }
+
+ private:
+  GemmConfig cfg_;
+  ModelParams params_;
+  std::vector<Plan> space_;
+  std::map<std::array<index_t, 3>, AutoChoice> cache_;
+  AutoChoice last_;
+  FmmContext ctx_;
+  GemmWorkspace gemm_ws_;
+};
+
+}  // namespace fmm

@@ -1,0 +1,197 @@
+#include "src/model/perf_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/gemm/gemm.h"
+#include "src/gemm/microkernel.h"
+#include "src/linalg/matrix.h"
+#include "src/util/timer.h"
+
+namespace fmm {
+namespace {
+
+double ceil_ratio(double a, double b) { return std::ceil(a / b); }
+
+}  // namespace
+
+ModelInput model_input(const Plan& plan, index_t m, index_t n, index_t k,
+                       const GemmConfig& cfg) {
+  ModelInput in;
+  in.m = static_cast<double>(m);
+  in.n = static_cast<double>(n);
+  in.k = static_cast<double>(k);
+  in.Mt = plan.Mt();
+  in.Kt = plan.Kt();
+  in.Nt = plan.Nt();
+  in.RL = plan.R();
+  in.nnz_u = plan.flat.nnz_u();
+  in.nnz_v = plan.flat.nnz_v();
+  in.nnz_w = plan.flat.nnz_w();
+  in.variant = plan.variant;
+  in.mc = cfg.mc;
+  in.kc = cfg.kc;
+  in.nc = cfg.nc;
+  return in;
+}
+
+double predict_time(const ModelInput& in, const ModelParams& p) {
+  return predict_breakdown(in, p).total();
+}
+
+ModelBreakdown predict_breakdown(const ModelInput& in, const ModelParams& p) {
+  // Submatrix dimensions of the flattened algorithm.
+  const double ms = in.m / in.Mt;
+  const double ks = in.k / in.Kt;
+  const double ns = in.n / in.Nt;
+
+  // --- Unit times (Fig. 5, middle table, "L-level" column). ---
+  const double Tx_a = 2.0 * ms * ns * ks * p.tau_a;        // one submatrix multiply
+  const double TAp_a = 2.0 * ms * ks * p.tau_a;            // one A-submatrix addition
+  const double TBp_a = 2.0 * ks * ns * p.tau_a;            // one B-submatrix addition
+  const double TCp_a = 2.0 * ms * ns * p.tau_a;            // one C-submatrix update
+  const double TAx_m = ms * ks * ceil_ratio(ns, in.nc) * p.tau_b;  // read A in packing
+  const double TBx_m = ns * ks * p.tau_b;                          // read B in packing
+  const double TCx_m = 2.0 * p.lambda * ms * ns * ceil_ratio(ks, in.kc) * p.tau_b;
+  const double TAp_m = ms * ks * p.tau_b;  // temp-buffer traffic (Naive)
+  const double TBp_m = ns * ks * p.tau_b;
+  const double TCp_m = ms * ns * p.tau_b;  // M_r traffic (AB, Naive)
+
+  // --- Operation counts (Fig. 5, bottom table). ---
+  const double R = in.RL;
+  const double Nx_a = R;
+  const double NAp_a = in.nnz_u - R;
+  const double NBp_a = in.nnz_v - R;
+  const double NCp_a = in.nnz_w;
+
+  double NAx_m = 0, NBx_m = 0, NCx_m = 0, NAp_m = 0, NBp_m = 0, NCp_m = 0;
+  switch (in.variant) {
+    case Variant::kABC:
+      NAx_m = in.nnz_u;
+      NBx_m = in.nnz_v;
+      NCx_m = in.nnz_w;
+      break;
+    case Variant::kAB:
+      NAx_m = in.nnz_u;
+      NBx_m = in.nnz_v;
+      NCx_m = R;            // the micro-kernel streams M_r, not the C_p
+      NCp_m = 3 * in.nnz_w; // C_p += w M_r: read C, read M, write C
+      break;
+    case Variant::kNaive:
+      NAx_m = R;            // packing reads the temporary T_A once per r
+      NBx_m = R;
+      NCx_m = R;
+      NAp_m = in.nnz_u + R; // forming T_A: read each A_i, write T_A
+      NBp_m = in.nnz_v + R;
+      NCp_m = 3 * in.nnz_w;
+      break;
+  }
+
+  ModelBreakdown b{};
+  b.t_mul_a = Nx_a * Tx_a;
+  b.t_add_a = NAp_a * TAp_a + NBp_a * TBp_a + NCp_a * TCp_a;
+  b.t_pack_m = NAx_m * TAx_m + NBx_m * TBx_m;
+  b.t_c_m = NCx_m * TCx_m;
+  b.t_tmp_m = NAp_m * TAp_m + NBp_m * TBp_m + NCp_m * TCp_m;
+  return b;
+}
+
+double predict_gemm_time(index_t m, index_t n, index_t k,
+                         const GemmConfig& cfg, const ModelParams& p) {
+  // Fig. 5, "gemm" column: one multiply, no additions, single packing pass.
+  const double md = static_cast<double>(m);
+  const double nd = static_cast<double>(n);
+  const double kd = static_cast<double>(k);
+  const double ta = 2.0 * md * nd * kd * p.tau_a;
+  const double tm = md * kd * ceil_ratio(nd, cfg.nc) * p.tau_b +
+                    nd * kd * p.tau_b +
+                    2.0 * p.lambda * md * nd * ceil_ratio(kd, cfg.kc) * p.tau_b;
+  return ta + tm;
+}
+
+double predict_effective_gflops(const ModelInput& in, const ModelParams& p) {
+  return 2.0 * in.m * in.n * in.k / predict_time(in, p) * 1e-9;
+}
+
+ModelParams calibrate(const GemmConfig& cfg) {
+  ModelParams p;
+
+  // --- τ_a: sustained micro-kernel rate on L1-resident panels. ---
+  {
+    const index_t kc = cfg.kc;
+    AlignedBuffer<double> a(static_cast<std::size_t>(kMR) * kc);
+    AlignedBuffer<double> b(static_cast<std::size_t>(kNR) * kc);
+    alignas(64) double acc[kMR * kNR];
+    for (std::size_t i = 0; i < a.size(); ++i) a[i] = 1.0 + 1e-9 * i;
+    for (std::size_t i = 0; i < b.size(); ++i) b[i] = 1.0 - 1e-9 * i;
+    const int reps = 2000;
+    double best = best_time_of(5, [&] {
+      for (int r = 0; r < reps; ++r) microkernel(kc, a.data(), b.data(), acc);
+    });
+    volatile double sink = acc[0];
+    (void)sink;
+    const double flops = 2.0 * kMR * kNR * static_cast<double>(kc) * reps;
+    p.tau_a = best / flops;
+  }
+
+  // --- τ_b: single-thread streaming bandwidth (read-dominated triad). ---
+  {
+    const std::size_t words = 1u << 24;  // 128 MiB working set >> LLC
+    AlignedBuffer<double> x(words), y(words);
+    for (std::size_t i = 0; i < words; ++i) {
+      x[i] = static_cast<double>(i & 1023);
+      y[i] = 0.0;
+    }
+    double best = best_time_of(3, [&] {
+      for (std::size_t i = 0; i < words; ++i) y[i] = 2.0 * x[i] + y[i];
+    });
+    volatile double sink = y[123];
+    (void)sink;
+    // Three 8-byte streams per iteration (read x, read y, write y).
+    p.tau_b = best / (3.0 * static_cast<double>(words));
+  }
+
+  // --- τ_a refinement: sustained arithmetic rate inside the full loop
+  // nest.  The paper sets τ_a to 1/peak because its BLIS substrate runs
+  // at ~93% of peak; our generic kernel sustains a lower fraction of its
+  // hot-L1 rate once packing, epilogue and TLB effects bite, so we fit
+  // τ_a from a mid-size compute-dominated GEMM (subtracting the modeled
+  // memory time with a mid-range λ), never letting it drop below the
+  // micro-kernel bound.  λ is then fit exactly as in the paper. ---
+  GemmConfig one = cfg;
+  one.num_threads = 1;
+  GemmWorkspace ws;
+  auto measure_gemm = [&](index_t s) {
+    Matrix a = Matrix::random(s, s, 1);
+    Matrix b = Matrix::random(s, s, 2);
+    Matrix c = Matrix::zero(s, s);
+    gemm(c.view(), a.view(), b.view(), ws, one);  // warm up
+    return best_time_of(3,
+                        [&] { gemm(c.view(), a.view(), b.view(), ws, one); });
+  };
+  {
+    const double s = 1152;
+    const double measured = measure_gemm(static_cast<index_t>(s));
+    const double tm_mid = s * s * ceil_ratio(s, one.nc) * p.tau_b +
+                          s * s * p.tau_b +
+                          2.0 * 0.75 * s * s * ceil_ratio(s, one.kc) * p.tau_b;
+    const double ta_fit = (measured - tm_mid) / (2.0 * s * s * s);
+    p.tau_a = std::max(p.tau_a, ta_fit);
+  }
+  // --- λ: fit so the modeled GEMM matches a measured single-core GEMM
+  // at a second, more memory-sensitive size. ---
+  {
+    const index_t m = 768, n = 768, k = 768;
+    const double measured = measure_gemm(m);
+    const double md = m, nd = n, kd = k;
+    const double ta = 2.0 * md * nd * kd * p.tau_a;
+    const double t_ab = md * kd * ceil_ratio(nd, one.nc) * p.tau_b +
+                        nd * kd * p.tau_b;
+    const double denom = 2.0 * md * nd * ceil_ratio(kd, one.kc) * p.tau_b;
+    double lam = (measured - ta - t_ab) / denom;
+    p.lambda = std::clamp(lam, 0.5, 1.0);
+  }
+  return p;
+}
+
+}  // namespace fmm

@@ -1,0 +1,76 @@
+#pragma once
+
+// The performance model of paper §4.2 (Fig. 4 and Fig. 5), generalized to
+// any L-level FMM plan.
+//
+//   T = Ta + Tm
+//   Ta = N×a T×a + N^{A+}_a T^{A+}_a + N^{B+}_a T^{B+}_a + N^{C+}_a T^{C+}_a
+//   Tm = Σ_X N^X_m T^X_m     over X ∈ {A×, B×, C×, A+, B+, C+}
+//
+// with the unit times and coefficient tables transcribed from Fig. 5.  The
+// model is a function of the problem size (m, n, k), the flattened plan
+// parameters (M̃_L, K̃_L, Ñ_L, R_L, nnz(⊗U), nnz(⊗V), nnz(⊗W)), the variant
+// (ABC / AB / Naive), the cache blocking (m_C, k_C, n_C), and three
+// architecture parameters:
+//
+//   τ_a     seconds per floating point operation (1 / peak FLOPS)
+//   τ_b     amortized seconds per 8-byte element moved from DRAM
+//   λ       prefetch-efficiency factor for the C traffic, λ ∈ [0.5, 1]
+//
+// Arithmetic additions count 2 flops each (they execute as FMAs, Fig. 5).
+
+#include <string>
+
+#include "src/core/plan.h"
+#include "src/gemm/blocking.h"
+
+namespace fmm {
+
+struct ModelParams {
+  double tau_a = 1.0 / 30e9;  // ~30 GFLOPS/core default; calibrate() refines
+  double tau_b = 8.0 / 12e9;  // ~12 GB/s per-core stream bandwidth default
+  double lambda = 0.8;        // prefetch efficiency (paper: fit to gemm)
+};
+
+// Everything the Fig. 5 tables need, extracted from a Plan.
+struct ModelInput {
+  double m = 0, n = 0, k = 0;
+  double Mt = 1, Kt = 1, Nt = 1;       // Π m̃_l, Π k̃_l, Π ñ_l
+  double RL = 1;                       // Π R_l
+  double nnz_u = 1, nnz_v = 1, nnz_w = 1;
+  Variant variant = Variant::kABC;
+  double mc = 96, kc = 256, nc = 4092;
+};
+
+ModelInput model_input(const Plan& plan, index_t m, index_t n, index_t k,
+                       const GemmConfig& cfg);
+
+// Predicted execution time (seconds) of the plan on one core.
+double predict_time(const ModelInput& in, const ModelParams& p);
+
+// Predicted time of conventional GEMM (the Fig. 5 "gemm" column).
+double predict_gemm_time(index_t m, index_t n, index_t k,
+                         const GemmConfig& cfg, const ModelParams& p);
+
+// Effective GFLOPS = 2 m n k / T * 1e-9 (Fig. 5, eq. 1).
+double predict_effective_gflops(const ModelInput& in, const ModelParams& p);
+
+// Itemized components, for the model-accuracy bench and debugging.
+struct ModelBreakdown {
+  double t_mul_a;      // N×a · T×a
+  double t_add_a;      // the three T^{X+}_a terms
+  double t_pack_m;     // A× + B× packing traffic
+  double t_c_m;        // C× micro-kernel traffic
+  double t_tmp_m;      // A+/B+/C+ temporary-buffer traffic
+  double total() const {
+    return t_mul_a + t_add_a + t_pack_m + t_c_m + t_tmp_m;
+  }
+};
+ModelBreakdown predict_breakdown(const ModelInput& in, const ModelParams& p);
+
+// Measures τ_a (micro-kernel peak), τ_b (single-thread stream bandwidth)
+// and fits λ so that the modeled GEMM time matches a measured GEMM at a
+// reference size.  Deterministic given the machine; takes ~1 s.
+ModelParams calibrate(const GemmConfig& cfg = GemmConfig{});
+
+}  // namespace fmm

@@ -1,0 +1,85 @@
+#include "src/model/selector.h"
+
+#include <algorithm>
+
+#include "src/core/catalog.h"
+#include "src/util/timer.h"
+
+namespace fmm {
+
+std::vector<Plan> default_plan_space(const std::vector<Variant>& variants,
+                                     int max_levels) {
+  std::vector<Plan> plans;
+  for (Variant v : variants) {
+    // One level: every Fig. 2 partition.
+    for (const auto& d : catalog::figure2_dims()) {
+      plans.push_back(
+          make_plan({catalog::best(d[0], d[1], d[2])}, v));
+    }
+    if (max_levels >= 2) {
+      // Two homogeneous levels of the partitions the paper carries into its
+      // two-level experiments (Figs. 7 and 9).
+      for (const auto& d : {std::array<int, 3>{2, 2, 2},
+                            std::array<int, 3>{2, 3, 2},
+                            std::array<int, 3>{3, 2, 3},
+                            std::array<int, 3>{3, 3, 3}}) {
+        const auto& alg = catalog::best(d[0], d[1], d[2]);
+        plans.push_back(make_uniform_plan(alg, 2, v));
+      }
+      // The paper's hybrid partitions (§5.2).
+      plans.push_back(make_plan(
+          {catalog::best(2, 2, 2), catalog::best(2, 3, 2)}, v));
+      plans.push_back(make_plan(
+          {catalog::best(2, 2, 2), catalog::best(3, 3, 3)}, v));
+    }
+  }
+  return plans;
+}
+
+std::vector<Candidate> rank_by_model(index_t m, index_t n, index_t k,
+                                     const std::vector<Plan>& plans,
+                                     const ModelParams& params,
+                                     const GemmConfig& cfg) {
+  std::vector<Candidate> out;
+  out.reserve(plans.size());
+  for (const auto& plan : plans) {
+    Candidate c;
+    c.plan = plan;
+    const ModelInput in = model_input(plan, m, n, k, cfg);
+    c.predicted_seconds = predict_time(in, params);
+    c.predicted_gflops = predict_effective_gflops(in, params);
+    out.push_back(std::move(c));
+  }
+  std::sort(out.begin(), out.end(), [](const Candidate& a, const Candidate& b) {
+    return a.predicted_seconds < b.predicted_seconds;
+  });
+  return out;
+}
+
+std::vector<Candidate> select_empirical(index_t m, index_t n, index_t k,
+                                        const std::vector<Plan>& plans,
+                                        const ModelParams& params,
+                                        const GemmConfig& cfg, int top_k,
+                                        int reps) {
+  auto ranked = rank_by_model(m, n, k, plans, params, cfg);
+  if (static_cast<int>(ranked.size()) > top_k) ranked.resize(top_k);
+
+  Matrix a = Matrix::random(m, k, 11);
+  Matrix b = Matrix::random(k, n, 13);
+  Matrix c = Matrix::zero(m, n);
+  FmmContext ctx;
+  ctx.cfg = cfg;
+  for (auto& cand : ranked) {
+    fmm_multiply(cand.plan, c.view(), a.view(), b.view(), ctx);  // warm up
+    cand.measured_seconds = best_time_of(reps, [&] {
+      fmm_multiply(cand.plan, c.view(), a.view(), b.view(), ctx);
+    });
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.measured_seconds < b.measured_seconds;
+            });
+  return ranked;
+}
+
+}  // namespace fmm

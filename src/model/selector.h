@@ -1,0 +1,47 @@
+#pragma once
+
+// Model-guided poly-algorithm selection (paper §4.4, Fig. 8).
+//
+// Given a problem size and shape, rank a space of candidate plans by the
+// performance model; because fringe effects ("unexpected drops … caused by
+// the problem sizes not being divisible by the partition dimensions",
+// §4.4) are not captured by the model, the paper measures the top-2 model
+// candidates empirically and keeps the winner.  select_empirical()
+// implements exactly that.
+
+#include <vector>
+
+#include "src/core/driver.h"
+#include "src/model/perf_model.h"
+
+namespace fmm {
+
+struct Candidate {
+  Plan plan;
+  double predicted_seconds = 0;
+  double predicted_gflops = 0;
+  double measured_seconds = -1;  // filled by select_empirical
+};
+
+// The default search space: every Fig. 2 partition at one level, the
+// strongest partitions at two (homogeneous) levels, and the paper's hybrid
+// two-level combinations, for each requested variant.
+std::vector<Plan> default_plan_space(const std::vector<Variant>& variants,
+                                     int max_levels = 2);
+
+// Ranks `plans` by predicted time for (m, n, k); ascending time.
+std::vector<Candidate> rank_by_model(index_t m, index_t n, index_t k,
+                                     const std::vector<Plan>& plans,
+                                     const ModelParams& params,
+                                     const GemmConfig& cfg);
+
+// Paper §4.4: takes the best `top_k` model candidates, measures each on
+// synthetic operands of the given size, and returns them re-ranked by
+// measured time (winner first).
+std::vector<Candidate> select_empirical(index_t m, index_t n, index_t k,
+                                        const std::vector<Plan>& plans,
+                                        const ModelParams& params,
+                                        const GemmConfig& cfg, int top_k = 2,
+                                        int reps = 2);
+
+}  // namespace fmm

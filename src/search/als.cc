@@ -1,0 +1,384 @@
+#include "src/search/als.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "src/linalg/ops.h"
+#include "src/search/brent.h"
+#include "src/util/prng.h"
+
+namespace fmm {
+namespace {
+
+// G[r*R + s] = Σ_row X[row, r] X[row, s]  (the factor Gram matrix).
+std::vector<double> gram(const std::vector<double>& x, int rows, int R) {
+  std::vector<double> g(static_cast<std::size_t>(R) * R, 0.0);
+  for (int row = 0; row < rows; ++row) {
+    const double* xr = x.data() + static_cast<std::size_t>(row) * R;
+    for (int r = 0; r < R; ++r) {
+      if (xr[r] == 0.0) continue;
+      for (int s = 0; s < R; ++s) g[static_cast<std::size_t>(r) * R + s] += xr[r] * xr[s];
+    }
+  }
+  return g;
+}
+
+std::vector<double> hadamard(const std::vector<double>& a,
+                             const std::vector<double>& b) {
+  std::vector<double> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+// Solves (Gram ∘ Gram2 + reg I) X = rhs for all unknown rows at once and
+// writes the solution back into `factor` (rows x R, row-major).
+bool solve_factor(std::vector<double>& factor, int rows, int R,
+                  std::vector<double> gram_mat, std::vector<double> rhs,
+                  double reg) {
+  for (int r = 0; r < R; ++r) gram_mat[static_cast<std::size_t>(r) * R + r] += reg;
+  if (!solve_spd_inplace(gram_mat, R, rhs, rows)) return false;
+  for (int row = 0; row < rows; ++row) {
+    for (int r = 0; r < R; ++r) {
+      factor[static_cast<std::size_t>(row) * R + r] =
+          rhs[static_cast<std::size_t>(r) * rows + row];
+    }
+  }
+  return true;
+}
+
+// Rebalances column norms across U, V, W (standard CP-ALS hygiene: keeps a
+// single factor from absorbing all the scale and stalling the solves).
+void rebalance(FmmAlgorithm& alg) {
+  for (int r = 0; r < alg.R; ++r) {
+    auto col_norm = [&](const std::vector<double>& x, int rows) {
+      double s = 0;
+      for (int row = 0; row < rows; ++row) {
+        const double v = x[static_cast<std::size_t>(row) * alg.R + r];
+        s += v * v;
+      }
+      return std::sqrt(s);
+    };
+    const double nu = col_norm(alg.U, alg.rows_u());
+    const double nv = col_norm(alg.V, alg.rows_v());
+    const double nw = col_norm(alg.W, alg.rows_w());
+    if (nu <= 0 || nv <= 0 || nw <= 0) continue;
+    const double target = std::cbrt(nu * nv * nw);
+    auto scale_col = [&](std::vector<double>& x, int rows, double f) {
+      for (int row = 0; row < rows; ++row) {
+        x[static_cast<std::size_t>(row) * alg.R + r] *= f;
+      }
+    };
+    scale_col(alg.U, alg.rows_u(), target / nu);
+    scale_col(alg.V, alg.rows_v(), target / nv);
+    scale_col(alg.W, alg.rows_w(), target / nw);
+  }
+}
+
+}  // namespace
+
+bool solve_for_w(FmmAlgorithm& alg, double reg) {
+  const int R = alg.R, C = alg.rows_w();
+  auto g = hadamard(gram(alg.U, alg.rows_u(), R), gram(alg.V, alg.rows_v(), R));
+  // rhs[r, c] = Σ_{(i,l,j): c=(i,j)} U[(i,l), r] V[(l,j), r]
+  std::vector<double> rhs(static_cast<std::size_t>(R) * C, 0.0);
+  for (int i = 0; i < alg.mt; ++i) {
+    for (int l = 0; l < alg.kt; ++l) {
+      for (int j = 0; j < alg.nt; ++j) {
+        const int c = i * alg.nt + j;
+        const double* u = alg.U.data() + static_cast<std::size_t>(i * alg.kt + l) * R;
+        const double* v = alg.V.data() + static_cast<std::size_t>(l * alg.nt + j) * R;
+        for (int r = 0; r < R; ++r) rhs[static_cast<std::size_t>(r) * C + c] += u[r] * v[r];
+      }
+    }
+  }
+  return solve_factor(alg.W, C, R, std::move(g), std::move(rhs), reg);
+}
+
+bool solve_for_u(FmmAlgorithm& alg, double reg) {
+  const int R = alg.R, A = alg.rows_u();
+  auto g = hadamard(gram(alg.V, alg.rows_v(), R), gram(alg.W, alg.rows_w(), R));
+  // rhs[r, a] = Σ_{(l,j): a=(i,l)} V[(l,j), r] W[(i,j), r]
+  std::vector<double> rhs(static_cast<std::size_t>(R) * A, 0.0);
+  for (int i = 0; i < alg.mt; ++i) {
+    for (int l = 0; l < alg.kt; ++l) {
+      const int a = i * alg.kt + l;
+      for (int j = 0; j < alg.nt; ++j) {
+        const double* v = alg.V.data() + static_cast<std::size_t>(l * alg.nt + j) * R;
+        const double* w = alg.W.data() + static_cast<std::size_t>(i * alg.nt + j) * R;
+        for (int r = 0; r < R; ++r) rhs[static_cast<std::size_t>(r) * A + a] += v[r] * w[r];
+      }
+    }
+  }
+  return solve_factor(alg.U, A, R, std::move(g), std::move(rhs), reg);
+}
+
+bool solve_for_v(FmmAlgorithm& alg, double reg) {
+  const int R = alg.R, B = alg.rows_v();
+  auto g = hadamard(gram(alg.U, alg.rows_u(), R), gram(alg.W, alg.rows_w(), R));
+  // rhs[r, b] = Σ_{(i): b=(l,j)} U[(i,l), r] W[(i,j), r]
+  std::vector<double> rhs(static_cast<std::size_t>(R) * B, 0.0);
+  for (int l = 0; l < alg.kt; ++l) {
+    for (int j = 0; j < alg.nt; ++j) {
+      const int b = l * alg.nt + j;
+      for (int i = 0; i < alg.mt; ++i) {
+        const double* u = alg.U.data() + static_cast<std::size_t>(i * alg.kt + l) * R;
+        const double* w = alg.W.data() + static_cast<std::size_t>(i * alg.nt + j) * R;
+        for (int r = 0; r < R; ++r) rhs[static_cast<std::size_t>(r) * B + b] += u[r] * w[r];
+      }
+    }
+  }
+  return solve_factor(alg.V, B, R, std::move(g), std::move(rhs), reg);
+}
+
+FmmAlgorithm snap_coefficients(const FmmAlgorithm& alg, int den) {
+  FmmAlgorithm out = alg;
+  auto snap = [den](std::vector<double>& x) {
+    for (double& v : x) v = std::round(v * den) / den;
+  };
+  snap(out.U);
+  snap(out.V);
+  snap(out.W);
+  return out;
+}
+
+void normalize_gauge(FmmAlgorithm& alg) {
+  auto col_extreme = [&](const std::vector<double>& x, int rows, int r) {
+    double a = 0.0;
+    for (int row = 0; row < rows; ++row) {
+      const double v = x[static_cast<std::size_t>(row) * alg.R + r];
+      if (std::fabs(v) > std::fabs(a)) a = v;
+    }
+    return a;
+  };
+  auto scale_col = [&](std::vector<double>& x, int rows, int r, double f) {
+    for (int row = 0; row < rows; ++row) {
+      x[static_cast<std::size_t>(row) * alg.R + r] *= f;
+    }
+  };
+  for (int r = 0; r < alg.R; ++r) {
+    const double a = col_extreme(alg.U, alg.rows_u(), r);
+    if (a != 0.0) {
+      scale_col(alg.U, alg.rows_u(), r, 1.0 / a);
+      scale_col(alg.V, alg.rows_v(), r, a);
+    }
+    const double b = col_extreme(alg.V, alg.rows_v(), r);
+    if (b != 0.0) {
+      scale_col(alg.V, alg.rows_v(), r, 1.0 / b);
+      scale_col(alg.W, alg.rows_w(), r, b);
+    }
+  }
+}
+
+bool try_rationalize(FmmAlgorithm& alg, int den, int rounds) {
+  auto snap_field = [den](std::vector<double>& x) {
+    for (double& v : x) v = std::round(v * den) / den;
+  };
+  auto verified = [&](FmmAlgorithm& cand) {
+    return brent_residual_max(cand) < 1e-12 && brent_exact(cand);
+  };
+  FmmAlgorithm work = alg;
+  for (int round = 0; round < rounds; ++round) {
+    normalize_gauge(work);
+    // Project one factor at a time onto the lattice and refit the others
+    // exactly; cycling the pinned factor avoids biasing one side.
+    switch (round % 3) {
+      case 0:
+        snap_field(work.U);
+        if (!solve_for_v(work, 0.0) || !solve_for_w(work, 0.0)) return false;
+        break;
+      case 1:
+        snap_field(work.V);
+        if (!solve_for_w(work, 0.0) || !solve_for_u(work, 0.0)) return false;
+        break;
+      case 2:
+        snap_field(work.W);
+        if (!solve_for_u(work, 0.0) || !solve_for_v(work, 0.0)) return false;
+        break;
+    }
+    FmmAlgorithm cand = snap_coefficients(work, den);
+    if (verified(cand)) {
+      cand.name = cand.dims_string();
+      alg = std::move(cand);
+      return true;
+    }
+    if (std::sqrt(brent_residual_sq(work)) > 0.5) return false;  // diverged
+  }
+  return false;
+}
+
+std::string emit_seed_code(const FmmAlgorithm& alg) {
+  std::ostringstream os;
+  auto emit = [&](const char* field, const std::vector<double>& x, int rows) {
+    os << "    alg." << field << " = {\n";
+    for (int row = 0; row < rows; ++row) {
+      os << "        ";
+      for (int r = 0; r < alg.R; ++r) {
+        const double v = x[static_cast<std::size_t>(row) * alg.R + r];
+        if (v == std::floor(v)) {
+          os << static_cast<long long>(v);
+        } else {
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%.17g", v);
+          os << buf;
+        }
+        os << ",";
+      }
+      os << "\n";
+    }
+    os << "    };\n";
+  };
+  os << "  {\n    FmmAlgorithm alg;\n"
+     << "    alg.mt = " << alg.mt << "; alg.kt = " << alg.kt
+     << "; alg.nt = " << alg.nt << "; alg.R = " << alg.R << ";\n";
+  emit("U", alg.U, alg.rows_u());
+  emit("V", alg.V, alg.rows_v());
+  emit("W", alg.W, alg.rows_w());
+  os << "    alg.name = \"" << alg.dims_string() << "\";\n"
+     << "    alg.provenance = \"" << alg.provenance << "\";\n"
+     << "    out.push_back(std::move(alg));\n  }\n";
+  return os.str();
+}
+
+AlsResult als_search(int mt, int kt, int nt, int R, const AlsOptions& opts) {
+  AlsResult result;
+  Xoshiro256 rng(opts.seed);
+
+  for (int restart = 0; restart < opts.restarts; ++restart) {
+    FmmAlgorithm alg;
+    alg.mt = mt;
+    alg.kt = kt;
+    alg.nt = nt;
+    alg.R = R;
+    alg.U.resize(static_cast<std::size_t>(alg.rows_u()) * R);
+    alg.V.resize(static_cast<std::size_t>(alg.rows_v()) * R);
+    alg.W.resize(static_cast<std::size_t>(alg.rows_w()) * R);
+    const bool use_warm = opts.warm_start != nullptr &&
+                          opts.warm_start->R >= R && restart % 2 == 0;
+    if (use_warm) {
+      // Keep a random R-subset of the warm algorithm's columns, then add
+      // noise so distinct restarts explore distinct nearby basins.
+      const FmmAlgorithm& w = *opts.warm_start;
+      std::vector<int> cols(static_cast<std::size_t>(w.R));
+      for (int r = 0; r < w.R; ++r) cols[r] = r;
+      for (int r = w.R - 1; r > 0; --r) {
+        std::swap(cols[r], cols[rng.uniform_int(0, r)]);
+      }
+      auto take = [&](const std::vector<double>& src, std::vector<double>& dst,
+                      int rows) {
+        for (int row = 0; row < rows; ++row) {
+          for (int r = 0; r < R; ++r) {
+            dst[static_cast<std::size_t>(row) * R + r] =
+                src[static_cast<std::size_t>(row) * w.R + cols[r]] +
+                opts.warm_noise * (rng.next_double() - 0.5);
+          }
+        }
+      };
+      take(w.U, alg.U, alg.rows_u());
+      take(w.V, alg.V, alg.rows_v());
+      take(w.W, alg.W, alg.rows_w());
+    } else {
+      // Discrete random init biased toward the {-1, 0, 1} lattice where
+      // practical algorithms live; continuous noise breaks ties.
+      auto init = [&](std::vector<double>& x) {
+        for (double& v : x) {
+          const int pick = rng.uniform_int(0, 5);
+          v = (pick < 2 ? 0.0 : pick < 4 ? 1.0 : -1.0) +
+              0.3 * (rng.next_double() - 0.5);
+        }
+      };
+      init(alg.U);
+      init(alg.V);
+      init(alg.W);
+    }
+
+    double reg = opts.reg_init;
+    double prev = 1e300;
+    double attract_strength = 0.0;
+    int stall = 0;
+    int kicks = 0;
+    for (int sweep = 0; sweep < opts.max_sweeps; ++sweep) {
+      ++result.sweeps_used;
+      if (!solve_for_u(alg, reg) || !solve_for_v(alg, reg) ||
+          !solve_for_w(alg, reg)) {
+        break;  // singular normal equations: give up on this restart
+      }
+      rebalance(alg);
+      const double res = std::sqrt(brent_residual_sq(alg));
+      if (res < result.best_residual) result.best_residual = res;
+
+      // Lattice attraction: once numerically converged, steer the
+      // continuous solution toward discrete coefficients (ALS alone lands
+      // on an arbitrary gauge/basis of the solution family; practical
+      // algorithms live on the small-rational lattice).  The pull grows as
+      // the solves keep repairing the residual it introduces.
+      if (res < 1e-2) {
+        normalize_gauge(alg);
+        attract_strength = std::min(attract_strength + 0.02, 1.0);
+        const double pull = attract_strength;
+        auto attract = [&](std::vector<double>& x) {
+          for (double& v : x) {
+            const double snapped =
+                std::round(v * opts.snap_denominator) / opts.snap_denominator;
+            v += pull * (snapped - v);
+          }
+        };
+        attract(alg.U);
+        attract(alg.V);
+        attract(alg.W);
+      } else {
+        attract_strength = 0.0;
+      }
+
+      if (res < opts.snap_threshold) {
+        // Rounding phase: alternating projection between the solution
+        // manifold and the coefficient lattice, trying coarse lattices
+        // first (integer solutions are the common case).
+        for (int den : {1, 2, opts.snap_denominator}) {
+          FmmAlgorithm cand = alg;
+          if (try_rationalize(cand, den)) {
+            char prov[128];
+            std::snprintf(prov, sizeof(prov),
+                          "ALS discovery (seed %llu, restart %d, sweep %d)",
+                          static_cast<unsigned long long>(opts.seed), restart,
+                          sweep);
+            cand.provenance = prov;
+            result.found = true;
+            result.alg = std::move(cand);
+            return result;
+          }
+        }
+      }
+
+      // Regularization schedule: decay while progressing; on a sustained
+      // stall, kick the factors with noise proportional to the residual
+      // (cheaper than a cold restart — a good basin is often nearby).
+      if (res < prev * 0.9999) {
+        reg = std::max(reg * 0.95, opts.reg_min);
+        stall = 0;
+      } else if (++stall > 60 && res > opts.snap_threshold) {
+        if (++kicks > 12) break;  // this basin is hopeless; cold restart
+        auto jolt = [&](std::vector<double>& x) {
+          for (double& v : x) v += 0.3 * res * (rng.next_double() - 0.5);
+        };
+        jolt(alg.U);
+        jolt(alg.V);
+        jolt(alg.W);
+        reg = opts.reg_init;
+        stall = 0;
+      } else {
+        reg = std::min(reg * 1.5, opts.reg_init);
+      }
+      prev = res;
+      if (opts.verbose && sweep % 100 == 0) {
+        std::fprintf(stderr, "restart %d sweep %d residual %.3e reg %.1e\n",
+                     restart, sweep, res, reg);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace fmm

@@ -1,0 +1,83 @@
+#pragma once
+
+// Numerical discovery of FMM algorithms by regularized alternating least
+// squares on the Brent equations — the approach behind the upstream
+// framework of Benson & Ballard [1] and Smirnov [12] whose algorithm
+// families the paper consumes.
+//
+// The matmul tensor of ⟨m̃,k̃,ñ⟩ admits a rank-R CP decomposition exactly
+// when an R-multiplication algorithm exists; ALS fixes two of (U, V, W)
+// and solves the (linear) least-squares problem for the third, cycling.
+// The Gram matrix of each subproblem is the Hadamard product of the two
+// fixed factors' Grams, so a full sweep is O(R^3 + R^2 · dims) — cheap.
+// After the residual is small the factors are snapped to small dyadic
+// rationals and verified exactly (src/search/brent.h); only exact
+// algorithms ever enter the catalog.
+//
+// solve_for_w() is also the "repair" tool: given U and V transcribed from
+// the literature, the exact W (when one exists) is recoverable by a single
+// linear solve — no trust in transcribed C-side coefficients is needed.
+
+#include <cstdint>
+
+#include "src/core/algorithm.h"
+
+namespace fmm {
+
+struct AlsOptions {
+  int max_sweeps = 2000;        // ALS sweeps per restart
+  int restarts = 20;            // random restarts
+  double reg_init = 5e-2;       // Tikhonov regularization, decayed on progress
+  double reg_min = 1e-9;
+  double snap_threshold = 2e-2; // try rounding when sqrt(residual) below this
+  int snap_denominator = 4;     // snap to multiples of 1/snap_denominator
+  std::uint64_t seed = 42;
+  double target_residual = 1e-12;
+  bool verbose = false;
+
+  // Optional warm start (rank-reduction continuation): a known higher-rank
+  // algorithm for the same dims.  Alternating restarts initialize from it
+  // with a random subset of columns dropped plus noise, targeting basins
+  // near the constructive solution instead of cold random starts.
+  const FmmAlgorithm* warm_start = nullptr;
+  double warm_noise = 0.25;
+};
+
+struct AlsResult {
+  bool found = false;          // exact (rationally verified) algorithm found
+  FmmAlgorithm alg;            // valid only when found
+  double best_residual = 1e300;  // best sqrt(sum sq residual) across restarts
+  int sweeps_used = 0;
+};
+
+// Attempts to find an exact ⟨mt,kt,nt;R⟩ algorithm.
+AlsResult als_search(int mt, int kt, int nt, int R, const AlsOptions& opts);
+
+// One exact least-squares solve for W given U and V (regularization `reg`;
+// pass 0 for the pure solve).  Returns false if the normal equations are
+// numerically singular.  On success alg.W minimizes the Brent residual.
+bool solve_for_w(FmmAlgorithm& alg, double reg);
+bool solve_for_u(FmmAlgorithm& alg, double reg);
+bool solve_for_v(FmmAlgorithm& alg, double reg);
+
+// Rounds every coefficient to the nearest multiple of 1/den.
+FmmAlgorithm snap_coefficients(const FmmAlgorithm& alg, int den);
+
+// Canonicalizes the per-product scale gauge (u_r, v_r, w_r) ->
+// (u_r/a, a v_r / b, b w_r): divides each U column by its largest-|.|
+// entry (compensating in V), then each V column likewise (compensating in
+// W).  Lattice solutions become actual lattice points under this gauge.
+void normalize_gauge(FmmAlgorithm& alg);
+
+// Alternating projection between the solution manifold (exact re-solves)
+// and the 1/den coefficient lattice (snaps), starting from a numerically
+// converged decomposition.  Returns true and replaces `alg` with an
+// exactly-verified algorithm on success.  This is the "rounding" phase of
+// the Benson–Ballard style generator.
+bool try_rationalize(FmmAlgorithm& alg, int den, int rounds = 60);
+
+// Serializes an algorithm as a C++ code fragment suitable for pasting into
+// discovered_seeds.cc.
+std::string emit_seed_code(const FmmAlgorithm& alg);
+
+}  // namespace fmm

@@ -1,0 +1,83 @@
+#include "src/search/brent.h"
+
+#include <vector>
+
+#include "src/search/rational.h"
+
+namespace fmm {
+
+bool brent_exact(const FmmAlgorithm& alg) {
+  const int mt = alg.mt, kt = alg.kt, nt = alg.nt, R = alg.R;
+  auto lift = [R](const std::vector<double>& x) {
+    std::vector<Rational> out(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      out[i] = Rational::from_double(x[i]);
+    }
+    (void)R;
+    return out;
+  };
+  const auto U = lift(alg.U);
+  const auto V = lift(alg.V);
+  const auto W = lift(alg.W);
+
+  for (int i = 0; i < mt; ++i) {
+    for (int l = 0; l < kt; ++l) {
+      const int a = i * kt + l;
+      for (int lp = 0; lp < kt; ++lp) {
+        for (int j = 0; j < nt; ++j) {
+          const int b = lp * nt + j;
+          for (int p = 0; p < mt; ++p) {
+            for (int q = 0; q < nt; ++q) {
+              const int c = p * nt + q;
+              Rational s(0);
+              for (int r = 0; r < R; ++r) {
+                const Rational& u = U[static_cast<std::size_t>(a) * R + r];
+                if (u.is_zero()) continue;
+                const Rational& v = V[static_cast<std::size_t>(b) * R + r];
+                if (v.is_zero()) continue;
+                s = s + u * v * W[static_cast<std::size_t>(c) * R + r];
+              }
+              const Rational target((l == lp && i == p && j == q) ? 1 : 0);
+              if (s != target) return false;
+            }
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+double brent_residual_sq(const FmmAlgorithm& alg) {
+  const int mt = alg.mt, kt = alg.kt, nt = alg.nt, R = alg.R;
+  double total = 0.0;
+  for (int i = 0; i < mt; ++i) {
+    for (int l = 0; l < kt; ++l) {
+      const int a = i * kt + l;
+      for (int lp = 0; lp < kt; ++lp) {
+        for (int j = 0; j < nt; ++j) {
+          const int b = lp * nt + j;
+          for (int p = 0; p < mt; ++p) {
+            for (int q = 0; q < nt; ++q) {
+              const int c = p * nt + q;
+              double s = 0.0;
+              for (int r = 0; r < R; ++r) {
+                s += alg.u(a, r) * alg.v(b, r) * alg.w(c, r);
+              }
+              const double target = (l == lp && i == p && j == q) ? 1.0 : 0.0;
+              const double e = s - target;
+              total += e * e;
+            }
+          }
+        }
+      }
+    }
+  }
+  return total;
+}
+
+double brent_residual_max(const FmmAlgorithm& alg) {
+  return alg.brent_residual();
+}
+
+}  // namespace fmm

@@ -1,0 +1,28 @@
+#pragma once
+
+// Brent-equation utilities shared by verification and the ALS search.
+//
+// An algorithm ⟦U,V,W⟧ for ⟨m̃,k̃,ñ⟩ is correct iff for all index triples
+// a=(i,l), b=(l',j), c=(p,q):
+//
+//   Σ_r U[a,r] V[b,r] W[c,r] = δ(l=l') δ(i=p) δ(j=q)
+//
+// (paper §3.1; these are the classical Brent equations).
+
+#include "src/core/algorithm.h"
+
+namespace fmm {
+
+// Exact verification with rational arithmetic.  Returns true iff every
+// Brent equation holds exactly.  Throws std::domain_error if a coefficient
+// is not exactly rational (which itself means the algorithm is unverified).
+bool brent_exact(const FmmAlgorithm& alg);
+
+// Sum of squared residuals in double precision (the ALS objective).
+double brent_residual_sq(const FmmAlgorithm& alg);
+
+// Max absolute residual in double precision (convenience; mirrors
+// FmmAlgorithm::brent_residual but lives with the search tooling).
+double brent_residual_max(const FmmAlgorithm& alg);
+
+}  // namespace fmm

@@ -1,0 +1,31 @@
+#include "src/search/rational.h"
+
+#include <cmath>
+
+namespace fmm {
+
+Rational Rational::from_double(double v, std::int64_t max_den) {
+  if (!std::isfinite(v)) {
+    throw std::domain_error("Rational::from_double: non-finite value");
+  }
+  // Coefficients in this library are dyadic (k / 2^e), so scanning
+  // power-of-two denominators finds the exact representation fast; a final
+  // linear scan covers small non-dyadic denominators (e.g. thirds) that
+  // discovered algorithms could in principle carry.
+  for (std::int64_t den = 1; den <= max_den; den *= 2) {
+    const double scaled = v * static_cast<double>(den);
+    if (scaled == std::floor(scaled) && std::fabs(scaled) < 9.0e18) {
+      return Rational(static_cast<std::int64_t>(scaled), den);
+    }
+  }
+  for (std::int64_t den = 3; den <= std::min<std::int64_t>(max_den, 1024);
+       den += 2) {
+    const double scaled = v * static_cast<double>(den);
+    if (scaled == std::floor(scaled) && std::fabs(scaled) < 9.0e18) {
+      return Rational(static_cast<std::int64_t>(scaled), den);
+    }
+  }
+  throw std::domain_error("Rational::from_double: value not exactly rational");
+}
+
+}  // namespace fmm

@@ -1,0 +1,91 @@
+#pragma once
+
+// Exact rational arithmetic for Brent-equation verification.
+//
+// FMM coefficients in this library are integers or small dyadic rationals;
+// verifying an algorithm in floating point leaves a sliver of doubt that a
+// residual of 1e-16 is rounding rather than error.  This Rational (int64
+// numerator/denominator, __int128 intermediates, overflow-checked) removes
+// it: catalog verification is exact.
+
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+
+namespace fmm {
+
+class Rational {
+ public:
+  constexpr Rational() = default;
+  constexpr Rational(std::int64_t num) : num_(num), den_(1) {}
+  Rational(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+    normalize();
+  }
+
+  // Finds the small rational p/q (q <= max_den) whose value rounds to
+  // exactly the double `v` (round-trip semantics); throws std::domain_error
+  // if none exists (catches accidentally-inexact coefficients).
+  static Rational from_double(double v, std::int64_t max_den = 1 << 20);
+
+  std::int64_t num() const { return num_; }
+  std::int64_t den() const { return den_; }
+
+  bool is_zero() const { return num_ == 0; }
+
+  friend Rational operator+(const Rational& a, const Rational& b) {
+    return Rational(checked_add(checked_mul(a.num_, b.den_),
+                                checked_mul(b.num_, a.den_)),
+                    checked_mul(a.den_, b.den_));
+  }
+  friend Rational operator-(const Rational& a, const Rational& b) {
+    return a + Rational(-b.num_, b.den_);
+  }
+  friend Rational operator*(const Rational& a, const Rational& b) {
+    return Rational(checked_mul(a.num_, b.num_), checked_mul(a.den_, b.den_));
+  }
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend bool operator!=(const Rational& a, const Rational& b) {
+    return !(a == b);
+  }
+
+  double to_double() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+ private:
+  static std::int64_t checked_mul(std::int64_t a, std::int64_t b) {
+    const __int128 r = static_cast<__int128>(a) * b;
+    if (r > INT64_MAX || r < INT64_MIN) {
+      throw std::overflow_error("Rational: multiplication overflow");
+    }
+    return static_cast<std::int64_t>(r);
+  }
+  static std::int64_t checked_add(std::int64_t a, std::int64_t b) {
+    const __int128 r = static_cast<__int128>(a) + b;
+    if (r > INT64_MAX || r < INT64_MIN) {
+      throw std::overflow_error("Rational: addition overflow");
+    }
+    return static_cast<std::int64_t>(r);
+  }
+
+  void normalize() {
+    if (den_ == 0) throw std::domain_error("Rational: zero denominator");
+    if (den_ < 0) {
+      num_ = -num_;
+      den_ = -den_;
+    }
+    const std::int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+    if (g > 1) {
+      num_ /= g;
+      den_ /= g;
+    }
+    if (num_ == 0) den_ = 1;
+  }
+
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+}  // namespace fmm

@@ -1,0 +1,76 @@
+#pragma once
+
+// 64-byte-aligned owning buffer for packed panels and matrix storage.
+//
+// Packing buffers and matrix data are read with vector loads whose natural
+// alignment is a cache line; std::vector gives no such guarantee, so the
+// library allocates through this small RAII wrapper instead.
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+namespace fmm {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+template <typename T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t count) { resize(count); }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { release(); }
+
+  // Grows (never shrinks) the buffer to hold at least `count` elements.
+  // Contents are NOT preserved; this is a workspace, not a container.
+  void resize(std::size_t count) {
+    if (count <= size_) return;
+    release();
+    // Round the byte size up to a whole number of cache lines so the
+    // allocation size meets std::aligned_alloc's divisibility requirement.
+    std::size_t bytes = count * sizeof(T);
+    bytes = (bytes + kCacheLineBytes - 1) / kCacheLineBytes * kCacheLineBytes;
+    data_ = static_cast<T*>(std::aligned_alloc(kCacheLineBytes, bytes));
+    if (data_ == nullptr) throw std::bad_alloc();
+    size_ = count;
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+ private:
+  void release() {
+    std::free(data_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace fmm

@@ -1,0 +1,97 @@
+#include "src/util/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace fmm {
+
+Cli::Cli(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "program";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      args_.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args_.emplace_back(arg, argv[++i]);
+    } else {
+      args_.emplace_back(arg, "true");  // bare boolean flag
+    }
+  }
+}
+
+bool Cli::lookup(const std::string& name, std::string* value) const {
+  for (const auto& [k, v] : args_) {
+    if (k == name) {
+      *value = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+int Cli::get_int(const std::string& name, int default_value,
+                 const std::string& help) {
+  declared_.push_back({name, std::to_string(default_value), help});
+  std::string v;
+  return lookup(name, &v) ? std::stoi(v) : default_value;
+}
+
+double Cli::get_double(const std::string& name, double default_value,
+                       const std::string& help) {
+  declared_.push_back({name, std::to_string(default_value), help});
+  std::string v;
+  return lookup(name, &v) ? std::stod(v) : default_value;
+}
+
+bool Cli::get_bool(const std::string& name, bool default_value,
+                   const std::string& help) {
+  declared_.push_back({name, default_value ? "true" : "false", help});
+  std::string v;
+  if (!lookup(name, &v)) return default_value;
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::string Cli::get_string(const std::string& name,
+                            const std::string& default_value,
+                            const std::string& help) {
+  declared_.push_back({name, default_value, help});
+  std::string v;
+  return lookup(name, &v) ? v : default_value;
+}
+
+void Cli::finish() {
+  if (help_requested_) {
+    std::printf("usage: %s [flags]\n", program_.c_str());
+    for (const auto& d : declared_) {
+      std::printf("  --%-18s (default: %s)  %s\n", d.name.c_str(),
+                  d.default_repr.c_str(), d.help.c_str());
+    }
+    std::exit(0);
+  }
+  for (const auto& [k, v] : args_) {
+    (void)v;
+    bool known = false;
+    for (const auto& d : declared_) {
+      if (d.name == k) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::fprintf(stderr, "unknown flag --%s (see --help)\n", k.c_str());
+      std::exit(2);
+    }
+  }
+}
+
+}  // namespace fmm

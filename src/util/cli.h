@@ -1,0 +1,50 @@
+#pragma once
+
+// Minimal command-line flag parsing shared by the bench and example binaries.
+//
+// Supported syntax:  --name=value   --name value   --flag   (boolean true)
+// Unknown flags abort with a usage message so typos in sweep scripts fail
+// loudly instead of silently benchmarking the default configuration.
+
+#include <string>
+#include <vector>
+
+namespace fmm {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  // Declares a flag (for usage/validation) and returns its value.
+  int get_int(const std::string& name, int default_value,
+              const std::string& help = "");
+  double get_double(const std::string& name, double default_value,
+                    const std::string& help = "");
+  bool get_bool(const std::string& name, bool default_value,
+                const std::string& help = "");
+  std::string get_string(const std::string& name,
+                         const std::string& default_value,
+                         const std::string& help = "");
+
+  // Call after all get_* declarations: errors on unknown flags, prints
+  // usage and exits on --help.
+  void finish();
+
+  const std::string& program() const { return program_; }
+
+ private:
+  struct Declared {
+    std::string name;
+    std::string default_repr;
+    std::string help;
+  };
+
+  bool lookup(const std::string& name, std::string* value) const;
+
+  std::string program_;
+  std::vector<std::pair<std::string, std::string>> args_;  // name -> raw value
+  std::vector<Declared> declared_;
+  bool help_requested_ = false;
+};
+
+}  // namespace fmm

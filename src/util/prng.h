@@ -1,0 +1,63 @@
+#pragma once
+
+// Deterministic, fast PRNG (xoshiro256**) used by tests, workload generators
+// and the ALS search.  std::mt19937_64 would also work but is slower to seed
+// reproducibly across platforms; xoshiro is tiny and has well-known output.
+
+#include <cstdint>
+
+namespace fmm {
+
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 seeding, the reference initialization for xoshiro.
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  // Uniform integer in [0, n).
+  std::uint64_t next_below(std::uint64_t n) { return next_u64() % n; }
+
+  // Integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi) {
+    return lo + static_cast<int>(next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace fmm

@@ -1,0 +1,42 @@
+#pragma once
+
+// Plain-text table / CSV emission for the benchmark harness.
+//
+// Every bench binary reproduces one paper table or figure by printing the
+// same rows/series the paper reports.  TablePrinter renders an aligned
+// human-readable table on stdout and, when given a CSV path, mirrors the
+// rows into a machine-readable file for plotting.
+
+#include <fstream>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fmm {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Adds one row; cells are pre-formatted strings.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string fmt(double value, int precision = 2);
+  static std::string fmt(long long value);
+
+  // Renders the aligned table to `os`.
+  void print(std::ostream& os) const;
+
+  // Writes headers+rows as CSV (no quoting needed for our numeric content).
+  void write_csv(const std::string& path) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fmm

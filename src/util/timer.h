@@ -1,0 +1,50 @@
+#pragma once
+
+// Wall-clock timing utilities for the benchmark harness.
+//
+// All paper figures report "Effective GFLOPS" = 2*m*n*k / time; the harness
+// takes the best of a few repetitions (standard practice for dense kernels,
+// where the minimum is the least noisy estimator of achievable time).
+
+#include <chrono>
+#include <cstdint>
+
+namespace fmm {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Runs `fn` `reps` times and returns the fastest wall time in seconds.
+template <typename Fn>
+double best_time_of(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    fn();
+    double s = t.seconds();
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+// Effective GFLOPS for C += A*B of the given dimensions (paper Fig. 5, eq. 1).
+inline double effective_gflops(std::int64_t m, std::int64_t n, std::int64_t k,
+                               double seconds) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+         static_cast<double>(k) / seconds * 1e-9;
+}
+
+}  // namespace fmm

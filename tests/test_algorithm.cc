@@ -1,0 +1,92 @@
+// Tests for the ⟦U,V,W⟧ algorithm representation: Brent-equation
+// verification of the hand-coded seeds, structural checks, and the paper's
+// Fig. 2 bookkeeping (R, m̃k̃ñ, theoretical speedup).
+
+#include <gtest/gtest.h>
+
+#include "src/core/algorithm.h"
+
+namespace fmm {
+namespace {
+
+TEST(Strassen, HasPaperDimensions) {
+  const FmmAlgorithm s = make_strassen();
+  EXPECT_EQ(s.mt, 2);
+  EXPECT_EQ(s.kt, 2);
+  EXPECT_EQ(s.nt, 2);
+  EXPECT_EQ(s.R, 7);
+  EXPECT_TRUE(s.shape_ok());
+}
+
+TEST(Strassen, SatisfiesBrentEquations) {
+  EXPECT_EQ(make_strassen().brent_residual(), 0.0);
+}
+
+TEST(Strassen, NnzMatchesEquationFour) {
+  // Count the non-zeros of paper eq. (4): 12 per coefficient matrix.
+  const FmmAlgorithm s = make_strassen();
+  EXPECT_EQ(s.nnz_u(), 12);
+  EXPECT_EQ(s.nnz_v(), 12);
+  EXPECT_EQ(s.nnz_w(), 12);
+}
+
+TEST(Strassen, TheoreticalSpeedupIsOneSeventh) {
+  // Fig. 2 row 1: 14.3% = 8/7 - 1.
+  EXPECT_NEAR(make_strassen().theoretical_speedup(), 1.0 / 7.0, 1e-12);
+}
+
+TEST(Winograd, SatisfiesBrentEquations) {
+  const FmmAlgorithm w = make_winograd();
+  EXPECT_TRUE(w.shape_ok());
+  EXPECT_EQ(w.R, 7);
+  EXPECT_EQ(w.brent_residual(), 0.0);
+}
+
+TEST(Winograd, DiffersFromStrassen) {
+  EXPECT_NE(make_winograd().U, make_strassen().U);
+}
+
+TEST(Classical, AllDimsSatisfyBrent) {
+  for (int mt = 1; mt <= 3; ++mt) {
+    for (int kt = 1; kt <= 3; ++kt) {
+      for (int nt = 1; nt <= 3; ++nt) {
+        const FmmAlgorithm c = make_classical(mt, kt, nt);
+        EXPECT_TRUE(c.shape_ok());
+        EXPECT_EQ(c.R, mt * kt * nt);
+        EXPECT_EQ(c.brent_residual(), 0.0) << c.name;
+        // Classical: exactly one 1 per column in each matrix.
+        EXPECT_EQ(c.nnz_u(), c.R);
+        EXPECT_EQ(c.nnz_v(), c.R);
+        EXPECT_EQ(c.nnz_w(), c.R);
+        EXPECT_DOUBLE_EQ(c.theoretical_speedup(), 0.0);
+      }
+    }
+  }
+}
+
+TEST(BrentResidual, DetectsCorruption) {
+  FmmAlgorithm s = make_strassen();
+  s.u(0, 0) += 0.5;
+  EXPECT_GT(s.brent_residual(), 0.1);
+  EXPECT_FALSE(s.is_valid());
+}
+
+TEST(BrentResidual, DetectsWrongSign) {
+  FmmAlgorithm s = make_strassen();
+  s.w(3, 1) = -s.w(3, 1);
+  EXPECT_GT(s.brent_residual(), 0.5);
+}
+
+TEST(ShapeOk, RejectsTruncatedCoefficients) {
+  FmmAlgorithm s = make_strassen();
+  s.U.pop_back();
+  EXPECT_FALSE(s.shape_ok());
+}
+
+TEST(DimsString, Formats) {
+  EXPECT_EQ(make_strassen().dims_string(), "<2,2,2>");
+  EXPECT_EQ(make_classical(3, 4, 5).dims_string(), "<3,4,5>");
+}
+
+}  // namespace
+}  // namespace fmm

@@ -1,0 +1,80 @@
+// AutoMultiplier (poly-algorithm API) tests: correctness, gemm fallback on
+// small problems, decision caching, and shape-sensitivity of the choice.
+
+#include <gtest/gtest.h>
+
+#include "src/linalg/ops.h"
+#include "src/model/auto.h"
+
+namespace fmm {
+namespace {
+
+// Shared fixture state: AutoMultiplier construction calibrates once.
+class AutoTest : public ::testing::Test {
+ protected:
+  static AutoMultiplier& mult() {
+    static AutoMultiplier m{GemmConfig{}, /*calibrate_now=*/false};
+    return m;
+  }
+};
+
+TEST_F(AutoTest, MultiplyMatchesReference) {
+  for (index_t s : {64, 200, 331}) {
+    Matrix a = Matrix::random(s, s, s);
+    Matrix b = Matrix::random(s, s, s + 1);
+    Matrix c = Matrix::random(s, s, s + 2);
+    Matrix d = c.clone();
+    mult().multiply(c.view(), a.view(), b.view());
+    ref_gemm(d.view(), a.view(), b.view());
+    EXPECT_LE(max_abs_diff(c.view(), d.view()), 1e-10 * s) << "s=" << s;
+  }
+}
+
+TEST_F(AutoTest, TinyProblemsFallBackToGemm) {
+  const AutoChoice& choice = mult().choice_for(64, 64, 64);
+  EXPECT_TRUE(choice.use_gemm);
+  EXPECT_EQ(choice.description, "gemm");
+}
+
+TEST_F(AutoTest, HugeSquareSelectsAnFmmPlan) {
+  // At paper-scale square sizes the model must prefer some FMM plan.
+  const AutoChoice& choice = mult().choice_for(16384, 16384, 16384);
+  EXPECT_FALSE(choice.use_gemm);
+  ASSERT_TRUE(choice.plan.has_value());
+  EXPECT_LT(choice.plan->R(),
+            choice.plan->flat.classical_mults());  // genuinely fast
+}
+
+TEST_F(AutoTest, RankKShapePrefersModestPartitions) {
+  // m = n >> k: thin partitions of k (Kt small) should be chosen; a plan
+  // with Kt > 4 would split k below the blocking sweet spot.
+  const AutoChoice& choice = mult().choice_for(16384, 16384, 1024);
+  if (!choice.use_gemm) {
+    EXPECT_LE(choice.plan->Kt(), 4) << choice.description;
+  }
+}
+
+TEST_F(AutoTest, ChoiceIsCachedPerShape) {
+  const AutoChoice& a = mult().choice_for(512, 512, 512);
+  const AutoChoice& b = mult().choice_for(512, 512, 512);
+  EXPECT_EQ(&a, &b);
+}
+
+TEST_F(AutoTest, LastChoiceReflectsExecution) {
+  Matrix a = Matrix::random(96, 48, 1);
+  Matrix b = Matrix::random(48, 96, 2);
+  Matrix c = Matrix::zero(96, 96);
+  mult().multiply(c.view(), a.view(), b.view());
+  EXPECT_FALSE(mult().last_choice().description.empty());
+}
+
+TEST_F(AutoTest, NonSquareShapesGetDistinctDecisions) {
+  const AutoChoice& square = mult().choice_for(8192, 8192, 8192);
+  const AutoChoice& rank_k = mult().choice_for(8192, 8192, 512);
+  // The decisions need not differ, but the predicted times must reflect
+  // the very different work volumes.
+  EXPECT_GT(square.predicted_seconds, rank_k.predicted_seconds * 4);
+}
+
+}  // namespace
+}  // namespace fmm

@@ -1,0 +1,109 @@
+// Catalog tests: every Fig. 2 partition must resolve to an exactly-verified
+// algorithm with the expected (constructively guaranteed) rank, and the DP
+// must prefer discovered seeds when they improve on composition.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/core/catalog.h"
+#include "src/search/brent.h"
+
+namespace fmm {
+namespace {
+
+TEST(Catalog, Figure2ListHas23Entries) {
+  EXPECT_EQ(catalog::figure2_dims().size(), 23u);
+  EXPECT_EQ(catalog::figure2_names().size(), 23u);
+  EXPECT_EQ(catalog::figure2_names()[0], "<2,2,2>");
+}
+
+class CatalogFigure2 : public ::testing::TestWithParam<int> {};
+
+TEST_P(CatalogFigure2, EntryIsExactlyVerified) {
+  const auto d = catalog::figure2_dims()[GetParam()];
+  const FmmAlgorithm& alg = catalog::best(d[0], d[1], d[2]);
+  EXPECT_EQ(alg.mt, d[0]);
+  EXPECT_EQ(alg.kt, d[1]);
+  EXPECT_EQ(alg.nt, d[2]);
+  EXPECT_TRUE(alg.shape_ok());
+  // Exact rational Brent verification — not just floating point.
+  EXPECT_TRUE(brent_exact(alg)) << alg.name << " : " << alg.provenance;
+  // Fast: strictly fewer multiplications than classical.
+  EXPECT_LT(alg.R, alg.classical_mults()) << alg.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEntries, CatalogFigure2, ::testing::Range(0, 23));
+
+TEST(Catalog, RanksMatchConstructiveGuarantees) {
+  // Ranks the DP must reach from the Strassen seed alone (see DESIGN.md);
+  // discovered seeds may lower the starred entries but never raise any.
+  const std::map<std::string, int> max_rank = {
+      {"<2,2,2>", 7},   {"<2,3,2>", 11},  {"<3,2,2>", 11},  {"<2,5,2>", 18},
+      {"<5,2,2>", 18},  {"<4,2,2>", 14},  {"<2,3,4>", 22},  {"<2,4,3>", 22},
+      {"<3,2,4>", 22},  {"<3,4,2>", 22},  {"<4,2,3>", 22},  {"<4,3,2>", 22},
+      {"<3,2,3>", 17},  {"<3,3,2>", 17},  {"<3,3,3>", 26},  {"<3,4,3>", 34},
+      {"<4,3,3>", 34},  {"<3,5,3>", 43},  {"<3,3,6>", 51},  {"<3,6,3>", 51},
+      {"<6,3,3>", 51},  {"<4,2,4>", 28},  {"<4,4,2>", 28},
+  };
+  for (const auto& [name, bound] : max_rank) {
+    const FmmAlgorithm alg = catalog::get(name);
+    EXPECT_LE(alg.R, bound) << name << " built via " << alg.provenance;
+  }
+}
+
+TEST(Catalog, StrassenIsTheBest222) {
+  const FmmAlgorithm& alg = catalog::best(2, 2, 2);
+  EXPECT_EQ(alg.R, 7);
+}
+
+TEST(Catalog, TrivialDimsFallBackToClassical) {
+  EXPECT_EQ(catalog::best(1, 1, 1).R, 1);
+  EXPECT_EQ(catalog::best(1, 1, 5).R, 5);
+  EXPECT_EQ(catalog::best(2, 1, 2).R, 4);  // outer products have full rank
+}
+
+TEST(Catalog, PermutedDimsShareRank) {
+  const int r234 = catalog::best(2, 3, 4).R;
+  EXPECT_EQ(catalog::best(4, 3, 2).R, r234);
+  EXPECT_EQ(catalog::best(3, 2, 4).R, r234);
+  EXPECT_EQ(catalog::best(2, 4, 3).R, r234);
+}
+
+TEST(Catalog, BestIsMemoizedAndStable) {
+  const FmmAlgorithm* a = &catalog::best(3, 3, 3);
+  const FmmAlgorithm* b = &catalog::best(3, 3, 3);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Catalog, GetParsesNames) {
+  EXPECT_EQ(catalog::get("strassen").R, 7);
+  EXPECT_EQ(catalog::get("winograd").R, 7);
+  EXPECT_EQ(catalog::get("<2,3,2>").R, catalog::best(2, 3, 2).R);
+  EXPECT_EQ(catalog::get("classical:2,2,2").R, 8);
+  EXPECT_THROW(catalog::get("bogus"), std::invalid_argument);
+}
+
+TEST(Catalog, SeedsAreAllExact) {
+  for (const auto& s : catalog::seeds()) {
+    EXPECT_TRUE(brent_exact(s)) << s.name << " : " << s.provenance;
+  }
+}
+
+TEST(Catalog, DiscoveredSeedsAreExactIfPresent) {
+  for (const auto& s : catalog::discovered_seeds()) {
+    EXPECT_TRUE(s.shape_ok()) << s.name;
+    EXPECT_TRUE(brent_exact(s)) << s.name << " : " << s.provenance;
+    // A discovered seed must beat what composition already provides, else
+    // it is dead weight in the catalog.
+    EXPECT_LT(s.R, s.classical_mults()) << s.name;
+  }
+}
+
+TEST(Catalog, InvalidDimsThrow) {
+  EXPECT_THROW(catalog::best(0, 2, 2), std::invalid_argument);
+  EXPECT_THROW(catalog::best(2, -1, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fmm

@@ -1,0 +1,96 @@
+// Code-generator tests: structural checks on the emitted C, plus an
+// integration test that compiles the generated source with the system C
+// compiler and runs its self-check (skipped if no compiler is available).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+
+#include "src/core/catalog.h"
+#include "src/core/codegen.h"
+
+namespace fmm {
+namespace {
+
+TEST(Codegen, EmitsFunctionSignature) {
+  const Plan plan = make_plan({make_strassen()}, Variant::kNaive);
+  const std::string src = emit_c_source(plan, {.tag = "strassen1"});
+  EXPECT_NE(src.find("void fmm_strassen1(int m, int n, int k"), std::string::npos);
+  EXPECT_NE(src.find("dynamic peeling"), std::string::npos);
+}
+
+TEST(Codegen, UnrolledForSmallR) {
+  const Plan plan = make_plan({make_strassen()}, Variant::kNaive);
+  const std::string src = emit_c_source(plan);
+  // Unrolled form has one comment block per product and no coefficient
+  // tables.
+  EXPECT_NE(src.find("/* M_0 */"), std::string::npos);
+  EXPECT_NE(src.find("/* M_6 */"), std::string::npos);
+  EXPECT_EQ(src.find("Ucoef"), std::string::npos);
+}
+
+TEST(Codegen, TableDrivenForLargeR) {
+  const Plan plan =
+      make_uniform_plan(catalog::best(2, 2, 2), 3, Variant::kNaive);  // R=343
+  const std::string src = emit_c_source(plan);
+  EXPECT_NE(src.find("Ucoef"), std::string::npos);
+  EXPECT_EQ(src.find("/* M_0 */"), std::string::npos);
+}
+
+TEST(Codegen, TestMainOnlyOnRequest) {
+  const Plan plan = make_plan({make_strassen()}, Variant::kNaive);
+  EXPECT_EQ(emit_c_source(plan).find("int main"), std::string::npos);
+  CodegenOptions opts;
+  opts.emit_test_main = true;
+  EXPECT_NE(emit_c_source(plan, opts).find("int main"), std::string::npos);
+}
+
+TEST(Codegen, CoefficientsPrintExactly) {
+  // A plan with dyadic coefficients must not lose precision in the text.
+  FmmAlgorithm s = make_strassen();
+  for (int row = 0; row < s.rows_u(); ++row) s.u(row, 0) *= 0.5;
+  for (int row = 0; row < s.rows_v(); ++row) s.v(row, 0) *= 2.0;
+  const Plan plan = make_plan({s}, Variant::kNaive);
+  const std::string src = emit_c_source(plan);
+  EXPECT_NE(src.find("0.5"), std::string::npos);
+}
+
+bool have_cc() { return std::system("cc --version > /dev/null 2>&1") == 0; }
+
+void compile_and_run(const Plan& plan, const std::string& stem) {
+  CodegenOptions opts;
+  opts.tag = "gen";
+  opts.emit_test_main = true;
+  const std::string src = emit_c_source(plan, opts);
+  const std::string dir = ::testing::TempDir();
+  const std::string c_path = dir + "/" + stem + ".c";
+  const std::string bin_path = dir + "/" + stem + ".bin";
+  std::ofstream(c_path) << src;
+  const std::string compile = "cc -O2 -std=c99 " + c_path + " -o " + bin_path +
+                              " -lm > /dev/null 2>&1";
+  ASSERT_EQ(std::system(compile.c_str()), 0) << "generated C failed to compile";
+  ASSERT_EQ(std::system((bin_path + " > /dev/null").c_str()), 0)
+      << "generated kernel self-check failed for " << plan.name();
+}
+
+TEST(CodegenIntegration, StrassenCompilesAndValidates) {
+  if (!have_cc()) GTEST_SKIP() << "no system C compiler";
+  compile_and_run(make_plan({make_strassen()}, Variant::kNaive), "strassen");
+}
+
+TEST(CodegenIntegration, HybridTwoLevelCompilesAndValidates) {
+  if (!have_cc()) GTEST_SKIP() << "no system C compiler";
+  compile_and_run(make_plan({catalog::best(2, 2, 2), catalog::best(2, 3, 2)},
+                            Variant::kNaive),
+                  "hybrid");
+}
+
+TEST(CodegenIntegration, TableDriven333CompilesAndValidates) {
+  if (!have_cc()) GTEST_SKIP() << "no system C compiler";
+  compile_and_run(make_uniform_plan(catalog::best(3, 3, 3), 2, Variant::kNaive),
+                  "laderman2");  // R = 529: table-driven path
+}
+
+}  // namespace
+}  // namespace fmm

@@ -1,0 +1,178 @@
+// End-to-end correctness of the FMM execution engine: every variant
+// (Naive / AB / ABC), one and two levels, hybrid level combinations, exact
+// and fringe-heavy problem sizes — all against the naive reference GEMM.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/core/catalog.h"
+#include "src/core/driver.h"
+#include "src/linalg/ops.h"
+
+namespace fmm {
+namespace {
+
+double tol_for(index_t k, int levels) {
+  // FMM loses a few bits per level relative to classical; this bound is
+  // loose enough for validation, tight enough to catch wrong coefficients.
+  return 1e-11 * std::max<index_t>(k, 1) * (levels == 1 ? 1 : 8);
+}
+
+void expect_fmm_matches_ref(const Plan& plan, index_t m, index_t n, index_t k,
+                            std::uint64_t seed) {
+  Matrix a = Matrix::random(m, k, seed);
+  Matrix b = Matrix::random(k, n, seed + 1);
+  Matrix c = Matrix::random(m, n, seed + 2);
+  Matrix d = c.clone();
+  fmm_multiply(plan, c.view(), a.view(), b.view());
+  ref_gemm(d.view(), a.view(), b.view());
+  EXPECT_LE(max_abs_diff(c.view(), d.view()), tol_for(k, plan.num_levels()))
+      << plan.name() << " at m=" << m << " n=" << n << " k=" << k;
+}
+
+class VariantTest : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(VariantTest, OneLevelStrassenDivisibleSizes) {
+  const Plan p = make_plan({catalog::best(2, 2, 2)}, GetParam());
+  expect_fmm_matches_ref(p, 64, 64, 64, 1);
+  expect_fmm_matches_ref(p, 128, 96, 160, 2);
+}
+
+TEST_P(VariantTest, OneLevelStrassenFringeSizes) {
+  const Plan p = make_plan({catalog::best(2, 2, 2)}, GetParam());
+  expect_fmm_matches_ref(p, 63, 65, 67, 3);
+  expect_fmm_matches_ref(p, 101, 99, 97, 4);
+}
+
+TEST_P(VariantTest, TwoLevelStrassen) {
+  const Plan p = make_uniform_plan(catalog::best(2, 2, 2), 2, GetParam());
+  expect_fmm_matches_ref(p, 128, 128, 128, 5);
+  expect_fmm_matches_ref(p, 130, 126, 131, 6);  // fringes at two levels
+}
+
+TEST_P(VariantTest, OneLevel232) {
+  const Plan p = make_plan({catalog::best(2, 3, 2)}, GetParam());
+  expect_fmm_matches_ref(p, 64, 64, 96, 7);
+  expect_fmm_matches_ref(p, 65, 67, 100, 8);
+}
+
+TEST_P(VariantTest, OneLevel333) {
+  const Plan p = make_plan({catalog::best(3, 3, 3)}, GetParam());
+  expect_fmm_matches_ref(p, 81, 81, 81, 9);
+  expect_fmm_matches_ref(p, 82, 83, 85, 10);
+}
+
+TEST_P(VariantTest, HybridTwoLevel222x232) {
+  const Plan p = make_plan(
+      {catalog::best(2, 2, 2), catalog::best(2, 3, 2)}, GetParam());
+  expect_fmm_matches_ref(p, 4 * 13, 4 * 11, 6 * 9, 11);
+  expect_fmm_matches_ref(p, 123, 87, 95, 12);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, VariantTest,
+                         ::testing::Values(Variant::kNaive, Variant::kAB,
+                                           Variant::kABC),
+                         [](const ::testing::TestParamInfo<Variant>& info) {
+                           return variant_name(info.param);
+                         });
+
+// Exhaustive one-level sweep over every Fig. 2 partition with the ABC
+// variant (the paper's flagship configuration).
+class Figure2Abc : public ::testing::TestWithParam<int> {};
+
+TEST_P(Figure2Abc, MatchesReference) {
+  const auto d = catalog::figure2_dims()[GetParam()];
+  const Plan p = make_plan({catalog::best(d[0], d[1], d[2])}, Variant::kABC);
+  // One divisible size and one fringe-heavy size per partition.
+  expect_fmm_matches_ref(p, d[0] * 16, d[2] * 16, d[1] * 16, 100 + GetParam());
+  expect_fmm_matches_ref(p, d[0] * 16 + 1, d[2] * 16 + 2, d[1] * 16 + 3,
+                         200 + GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPartitions, Figure2Abc, ::testing::Range(0, 23));
+
+TEST(Driver, RankKUpdateShape) {
+  // The paper's motivating special shape: m = n >> k.
+  const Plan p = make_plan({catalog::best(2, 2, 2)}, Variant::kABC);
+  expect_fmm_matches_ref(p, 256, 256, 32, 20);
+}
+
+TEST(Driver, OuterProductLikeShape) {
+  const Plan p = make_plan({catalog::best(2, 2, 2)}, Variant::kABC);
+  expect_fmm_matches_ref(p, 64, 512, 16, 21);
+}
+
+TEST(Driver, TinyProblemFullyPeeled) {
+  // Smaller than one partition: the interior is empty, peel does it all.
+  const Plan p = make_uniform_plan(catalog::best(3, 3, 3), 2, Variant::kABC);
+  expect_fmm_matches_ref(p, 5, 4, 3, 22);
+}
+
+TEST(Driver, EmptyProblemIsNoOp) {
+  const Plan p = make_plan({catalog::best(2, 2, 2)}, Variant::kABC);
+  Matrix a(0, 4), b(4, 0), c(0, 0);
+  FmmContext ctx;
+  fmm_multiply(p, c.view(), ConstMatView(nullptr, 0, 4, 4),
+               ConstMatView(nullptr, 4, 0, 0), ctx);
+}
+
+TEST(Driver, OperandsOnStridedViews) {
+  // FMM on interior blocks of padded parents (stride > cols).
+  const Plan p = make_plan({catalog::best(2, 2, 2)}, Variant::kABC);
+  Matrix pa = Matrix::random(70, 80, 23);
+  Matrix pb = Matrix::random(80, 90, 24);
+  Matrix pc = Matrix::zero(70, 90);
+  ConstMatView a = pa.view().block(1, 2, 64, 64);
+  ConstMatView b = pb.view().block(3, 4, 64, 64);
+  MatView c = pc.view().block(5, 6, 64, 64);
+  fmm_multiply(p, c, a, b);
+  Matrix want = Matrix::zero(64, 64);
+  ref_gemm(want.view(), a, b);
+  EXPECT_LE(max_abs_diff(c, want.view()), 1e-10);
+}
+
+TEST(Driver, ContextReuseAcrossPlansAndSizes) {
+  FmmContext ctx;
+  const Plan p1 = make_plan({catalog::best(2, 2, 2)}, Variant::kAB);
+  const Plan p2 = make_plan({catalog::best(3, 2, 3)}, Variant::kNaive);
+  for (const Plan* p : {&p1, &p2}) {
+    for (index_t s : {48, 36, 60}) {
+      Matrix a = Matrix::random(s, s, s);
+      Matrix b = Matrix::random(s, s, s + 1);
+      Matrix c = Matrix::zero(s, s);
+      fmm_multiply(*p, c.view(), a.view(), b.view(), ctx);
+      Matrix d = Matrix::zero(s, s);
+      ref_gemm(d.view(), a.view(), b.view());
+      EXPECT_LE(max_abs_diff(c.view(), d.view()), tol_for(s, 1)) << p->name();
+    }
+  }
+}
+
+TEST(Driver, AccumulatesLikeGemm) {
+  // C += A*B twice must equal 2*(A*B) added to the initial C.
+  const Plan p = make_plan({catalog::best(2, 2, 2)}, Variant::kABC);
+  Matrix a = Matrix::random(32, 32, 30);
+  Matrix b = Matrix::random(32, 32, 31);
+  Matrix c = Matrix::random(32, 32, 32);
+  Matrix d = c.clone();
+  fmm_multiply(p, c.view(), a.view(), b.view());
+  fmm_multiply(p, c.view(), a.view(), b.view());
+  ref_gemm(d.view(), a.view(), b.view());
+  ref_gemm(d.view(), a.view(), b.view());
+  EXPECT_LE(max_abs_diff(c.view(), d.view()), 1e-10);
+}
+
+TEST(Driver, WinogradVariantOfStrassenAlsoWorks) {
+  const Plan p = make_plan({catalog::get("winograd")}, Variant::kABC);
+  expect_fmm_matches_ref(p, 64, 64, 64, 33);
+  expect_fmm_matches_ref(p, 66, 62, 58, 34);
+}
+
+TEST(Driver, ThreeLevelStrassen) {
+  const Plan p = make_uniform_plan(catalog::best(2, 2, 2), 3, Variant::kABC);
+  expect_fmm_matches_ref(p, 8 * 20, 8 * 20, 8 * 20, 35);
+}
+
+}  // namespace
+}  // namespace fmm

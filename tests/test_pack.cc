@@ -1,0 +1,140 @@
+// Unit tests for the packing routines, including the fused linear
+// combinations that implement "Pack X + Y -> A~" of paper Fig. 1 (right).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/gemm/pack.h"
+#include "src/linalg/matrix.h"
+
+namespace fmm {
+namespace {
+
+// Reference unpack: element (r, kk) of logical row r from the packed-A
+// layout.
+double packed_a_at(const std::vector<double>& buf, index_t m, index_t k,
+                   index_t r, index_t kk) {
+  (void)m;
+  const index_t panel = r / kMR;
+  return buf[panel * kMR * k + kk * kMR + (r % kMR)];
+}
+
+double packed_b_at(const std::vector<double>& buf, index_t k, index_t n,
+                   index_t kk, index_t c) {
+  (void)n;
+  const index_t panel = c / kNR;
+  return buf[panel * kNR * k + kk * kNR + (c % kNR)];
+}
+
+TEST(PackA, SingleTermRoundTrips) {
+  const index_t m = 13, k = 9;  // not multiples of kMR on purpose
+  Matrix a = Matrix::random(m, k, 3);
+  std::vector<double> buf(static_cast<std::size_t>(ceil_div(m, kMR)) * kMR * k,
+                          -1.0);
+  LinTerm t{a.data(), 1.0};
+  pack_a(&t, 1, a.stride(), m, k, buf.data());
+  for (index_t r = 0; r < m; ++r)
+    for (index_t kk = 0; kk < k; ++kk)
+      EXPECT_DOUBLE_EQ(packed_a_at(buf, m, k, r, kk), a(r, kk));
+}
+
+TEST(PackA, EdgePanelIsZeroPadded) {
+  const index_t m = 10, k = 4;  // 2 rows past the first panel
+  Matrix a = Matrix::random(m, k, 4);
+  std::vector<double> buf(static_cast<std::size_t>(2) * kMR * k, -7.0);
+  LinTerm t{a.data(), 1.0};
+  pack_a(&t, 1, a.stride(), m, k, buf.data());
+  for (index_t r = m; r < 2 * kMR; ++r)
+    for (index_t kk = 0; kk < k; ++kk)
+      EXPECT_DOUBLE_EQ(packed_a_at(buf, m, k, r, kk), 0.0);
+}
+
+TEST(PackA, CoefficientScales) {
+  const index_t m = 8, k = 5;
+  Matrix a = Matrix::random(m, k, 5);
+  std::vector<double> buf(static_cast<std::size_t>(kMR) * k);
+  LinTerm t{a.data(), -2.5};
+  pack_a(&t, 1, a.stride(), m, k, buf.data());
+  EXPECT_DOUBLE_EQ(packed_a_at(buf, m, k, 3, 2), -2.5 * a(3, 2));
+}
+
+TEST(PackA, LinearCombinationOfThreeTerms) {
+  const index_t m = 11, k = 7;
+  Matrix big = Matrix::random(3 * m, k, 6);
+  LinTerm terms[3] = {{big.data(), 1.0},
+                      {big.data() + m * big.stride(), -1.0},
+                      {big.data() + 2 * m * big.stride(), 0.5}};
+  std::vector<double> buf(static_cast<std::size_t>(ceil_div(m, kMR)) * kMR * k);
+  pack_a(terms, 3, big.stride(), m, k, buf.data());
+  for (index_t r = 0; r < m; ++r) {
+    for (index_t kk = 0; kk < k; ++kk) {
+      const double want =
+          big(r, kk) - big(m + r, kk) + 0.5 * big(2 * m + r, kk);
+      EXPECT_NEAR(packed_a_at(buf, m, k, r, kk), want, 1e-14);
+    }
+  }
+}
+
+TEST(PackA, MultiTermEdgePanelZeroPadded) {
+  const index_t m = 9, k = 3;
+  Matrix big = Matrix::random(2 * m, k, 61);
+  LinTerm terms[2] = {{big.data(), 2.0}, {big.data() + m * big.stride(), 1.0}};
+  std::vector<double> buf(static_cast<std::size_t>(2) * kMR * k, -3.0);
+  pack_a(terms, 2, big.stride(), m, k, buf.data());
+  for (index_t r = m; r < 2 * kMR; ++r)
+    for (index_t kk = 0; kk < k; ++kk)
+      EXPECT_DOUBLE_EQ(packed_a_at(buf, m, k, r, kk), 0.0);
+}
+
+TEST(PackB, SingleTermRoundTrips) {
+  const index_t k = 9, n = 14;  // n not a multiple of kNR
+  Matrix b = Matrix::random(k, n, 7);
+  std::vector<double> buf(static_cast<std::size_t>(ceil_div(n, kNR)) * kNR * k,
+                          -1.0);
+  LinTerm t{b.data(), 1.0};
+  pack_b(&t, 1, b.stride(), k, n, buf.data());
+  for (index_t kk = 0; kk < k; ++kk)
+    for (index_t c = 0; c < n; ++c)
+      EXPECT_DOUBLE_EQ(packed_b_at(buf, k, n, kk, c), b(kk, c));
+}
+
+TEST(PackB, EdgePanelIsZeroPadded) {
+  const index_t k = 4, n = 8;  // 2 cols past the first panel
+  Matrix b = Matrix::random(k, n, 8);
+  std::vector<double> buf(static_cast<std::size_t>(2) * kNR * k, -7.0);
+  LinTerm t{b.data(), 1.0};
+  pack_b(&t, 1, b.stride(), k, n, buf.data());
+  for (index_t kk = 0; kk < k; ++kk)
+    for (index_t c = n; c < 2 * kNR; ++c)
+      EXPECT_DOUBLE_EQ(packed_b_at(buf, k, n, kk, c), 0.0);
+}
+
+TEST(PackB, LinearCombination) {
+  const index_t k = 6, n = 13;
+  Matrix big = Matrix::random(2 * k, n, 9);
+  LinTerm terms[2] = {{big.data(), 1.0}, {big.data() + k * big.stride(), -1.0}};
+  std::vector<double> buf(static_cast<std::size_t>(ceil_div(n, kNR)) * kNR * k);
+  pack_b(terms, 2, big.stride(), k, n, buf.data());
+  for (index_t kk = 0; kk < k; ++kk)
+    for (index_t c = 0; c < n; ++c)
+      EXPECT_NEAR(packed_b_at(buf, k, n, kk, c), big(kk, c) - big(k + kk, c),
+                  1e-14);
+}
+
+TEST(PackB, PanelApiMatchesFullPack) {
+  const index_t k = 5, n = 17;
+  Matrix b = Matrix::random(k, n, 10);
+  LinTerm t{b.data(), 1.0};
+  const index_t panels = ceil_div(n, kNR);
+  std::vector<double> full(static_cast<std::size_t>(panels) * kNR * k);
+  std::vector<double> by_panel(full.size());
+  pack_b(&t, 1, b.stride(), k, n, full.data());
+  for (index_t q = 0; q < panels; ++q) {
+    pack_b_panel(&t, 1, b.stride(), k, n, q, by_panel.data() + q * kNR * k);
+  }
+  EXPECT_EQ(full, by_panel);
+}
+
+}  // namespace
+}  // namespace fmm

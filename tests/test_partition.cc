@@ -1,0 +1,89 @@
+// Tests for the recursive block (Morton-like) index maps of paper §3.3.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/core/partition.h"
+
+namespace fmm {
+namespace {
+
+TEST(BlockCoords, SingleLevelIsRowMajor) {
+  const std::vector<GridLevel> g = {{2, 3}};
+  EXPECT_EQ(block_coords(g, 0), std::make_pair(0, 0));
+  EXPECT_EQ(block_coords(g, 1), std::make_pair(0, 1));
+  EXPECT_EQ(block_coords(g, 2), std::make_pair(0, 2));
+  EXPECT_EQ(block_coords(g, 3), std::make_pair(1, 0));
+  EXPECT_EQ(block_coords(g, 5), std::make_pair(1, 2));
+}
+
+TEST(BlockCoords, MatchesPaperFigure3) {
+  // Fig. 3: 2x2 partitions, three levels, indices 0..63 on an 8x8 grid.
+  // Spot-check the values the figure prints.
+  const std::vector<GridLevel> g = {{2, 2}, {2, 2}, {2, 2}};
+  // Index 0..3 fill the top-left 2x2 quadrant of the top-left quadrant.
+  EXPECT_EQ(block_coords(g, 0), std::make_pair(0, 0));
+  EXPECT_EQ(block_coords(g, 1), std::make_pair(0, 1));
+  EXPECT_EQ(block_coords(g, 2), std::make_pair(1, 0));
+  EXPECT_EQ(block_coords(g, 3), std::make_pair(1, 1));
+  // Index 4 starts the next inner quadrant to the right: (0, 2).
+  EXPECT_EQ(block_coords(g, 4), std::make_pair(0, 2));
+  // Index 16 starts the second level-0 quadrant: (0, 4).
+  EXPECT_EQ(block_coords(g, 16), std::make_pair(0, 4));
+  // Index 63 is the bottom-right corner.
+  EXPECT_EQ(block_coords(g, 63), std::make_pair(7, 7));
+  // Fig. 3: the third innermost 2x2 block [8 9; 10 11] sits at rows 2-3,
+  // cols 0-1.
+  EXPECT_EQ(block_coords(g, 8), std::make_pair(2, 0));
+  EXPECT_EQ(block_coords(g, 10), std::make_pair(3, 0));
+  EXPECT_EQ(block_coords(g, 11), std::make_pair(3, 1));
+}
+
+TEST(BlockCoords, MixedRadixLevels) {
+  // Two levels <2,3> then <3,2>: 6x6 grid of blocks.
+  const std::vector<GridLevel> g = {{2, 3}, {3, 2}};
+  EXPECT_EQ(grid_shape(g), std::make_pair(6, 6));
+  // Flat 0..5 cover the first inner grid (rows 0..2, cols 0..1).
+  EXPECT_EQ(block_coords(g, 0), std::make_pair(0, 0));
+  EXPECT_EQ(block_coords(g, 5), std::make_pair(2, 1));
+  // Flat 6 jumps to the second outer column block: col 2.
+  EXPECT_EQ(block_coords(g, 6), std::make_pair(0, 2));
+  // Flat 18 starts outer block (1,0): rows 3.., cols 0..
+  EXPECT_EQ(block_coords(g, 18), std::make_pair(3, 0));
+}
+
+TEST(BlockCoords, IsABijection) {
+  const std::vector<GridLevel> g = {{3, 2}, {2, 2}, {2, 3}};
+  const auto [gr, gc] = grid_shape(g);
+  ASSERT_EQ(gr, 12);
+  ASSERT_EQ(gc, 12);
+  std::set<std::pair<int, int>> seen;
+  for (int f = 0; f < gr * gc; ++f) {
+    const auto rc = block_coords(g, f);
+    EXPECT_GE(rc.first, 0);
+    EXPECT_LT(rc.first, gr);
+    EXPECT_GE(rc.second, 0);
+    EXPECT_LT(rc.second, gc);
+    EXPECT_TRUE(seen.insert(rc).second) << "duplicate at flat " << f;
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(gr * gc));
+}
+
+TEST(BlockOffset, PointsAtBlockOrigins) {
+  // 12x12 matrix, stride 20, two levels of <2,2> -> 4x4 grid of 3x3 blocks.
+  const std::vector<GridLevel> g = {{2, 2}, {2, 2}};
+  EXPECT_EQ(block_offset(g, 0, 12, 12, 20), 0);
+  EXPECT_EQ(block_offset(g, 1, 12, 12, 20), 3);          // (0, 3)
+  EXPECT_EQ(block_offset(g, 2, 12, 12, 20), 3 * 20);     // (3, 0)
+  EXPECT_EQ(block_offset(g, 5, 12, 12, 20), 9);          // (0, 9)
+  EXPECT_EQ(block_offset(g, 15, 12, 12, 20), 9 * 20 + 9);
+}
+
+TEST(GridShape, EmptyLevelsIsUnit) {
+  EXPECT_EQ(grid_shape({}), std::make_pair(1, 1));
+  EXPECT_EQ(block_coords({}, 0), std::make_pair(0, 0));
+}
+
+}  // namespace
+}  // namespace fmm

@@ -1,0 +1,129 @@
+// Dynamic-peeling tests (paper §4.1): the peel decomposition must tile the
+// problem exactly once, and fringe-heavy shapes must stay correct for every
+// partition and level count.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/catalog.h"
+#include "src/core/driver.h"
+#include "src/linalg/ops.h"
+
+namespace fmm {
+namespace {
+
+// Verifies that interior + peel pieces cover each (i, p, j) multiply-add
+// exactly once.
+void expect_exact_cover(index_t m, index_t n, index_t k, index_t m1,
+                        index_t n1, index_t k1) {
+  std::vector<int> count(static_cast<std::size_t>(m * n * k), 0);
+  auto mark = [&](index_t mm0, index_t mm1, index_t kk0, index_t kk1,
+                  index_t nn0, index_t nn1) {
+    for (index_t i = mm0; i < mm1; ++i)
+      for (index_t p = kk0; p < kk1; ++p)
+        for (index_t j = nn0; j < nn1; ++j)
+          ++count[static_cast<std::size_t>((i * k + p) * n + j)];
+  };
+  if (m1 > 0 && n1 > 0 && k1 > 0) mark(0, m1, 0, k1, 0, n1);  // FMM interior
+  for (const auto& piece : peel_pieces(m, n, k, m1, n1, k1)) {
+    mark(piece.m0, piece.m1, piece.k0, piece.k1, piece.n0, piece.n1);
+  }
+  for (index_t i = 0; i < m; ++i)
+    for (index_t p = 0; p < k; ++p)
+      for (index_t j = 0; j < n; ++j)
+        ASSERT_EQ(count[static_cast<std::size_t>((i * k + p) * n + j)], 1)
+            << "(" << i << "," << p << "," << j << ") covered wrong number of"
+            << " times for m1=" << m1 << " n1=" << n1 << " k1=" << k1;
+}
+
+TEST(PeelPieces, NoFringesMeansNoPieces) {
+  EXPECT_TRUE(peel_pieces(8, 8, 8, 8, 8, 8).empty());
+}
+
+TEST(PeelPieces, SingleFringeEachAxis) {
+  expect_exact_cover(9, 8, 8, 8, 8, 8);  // m fringe only
+  expect_exact_cover(8, 9, 8, 8, 8, 8);  // n fringe only
+  expect_exact_cover(8, 8, 9, 8, 8, 8);  // k fringe only
+}
+
+TEST(PeelPieces, PairsOfFringes) {
+  expect_exact_cover(9, 10, 8, 8, 8, 8);
+  expect_exact_cover(9, 8, 11, 8, 8, 8);
+  expect_exact_cover(8, 9, 11, 8, 8, 8);
+}
+
+TEST(PeelPieces, AllThreeFringes) {
+  expect_exact_cover(9, 10, 11, 8, 8, 8);
+  expect_exact_cover(13, 14, 15, 12, 12, 12);
+}
+
+TEST(PeelPieces, EmptyInteriorCoversEverything) {
+  expect_exact_cover(5, 6, 7, 0, 0, 0);
+}
+
+TEST(PeelPieces, ExhaustiveSmallSweep) {
+  // All fringe widths 0..3 against a 4-divisible interior.
+  for (index_t dm = 0; dm <= 3; ++dm)
+    for (index_t dn = 0; dn <= 3; ++dn)
+      for (index_t dk = 0; dk <= 3; ++dk)
+        expect_exact_cover(8 + dm, 8 + dn, 8 + dk, 8, 8, 8);
+}
+
+// Numerical end-to-end: sizes chosen adversarially around partition
+// multiples for several partitions and levels.
+class PeelingNumeric
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(PeelingNumeric, FmmMatchesReferenceOnAwkwardSizes) {
+  auto [mt, kt, nt, levels] = GetParam();
+  const Plan plan =
+      make_uniform_plan(catalog::best(mt, kt, nt), levels, Variant::kABC);
+  const int Mt = plan.Mt(), Kt = plan.Kt(), Nt = plan.Nt();
+  // One below, exactly at, and a prime offset above a multiple.
+  const index_t sizes_m[] = {4 * Mt - 1, 4 * Mt, 4 * Mt + 3};
+  const index_t sizes_n[] = {4 * Nt - 1, 4 * Nt + 1};
+  const index_t sizes_k[] = {4 * Kt - 1, 4 * Kt + 2};
+  std::uint64_t seed = 1000;
+  for (index_t m : sizes_m) {
+    for (index_t n : sizes_n) {
+      for (index_t k : sizes_k) {
+        Matrix a = Matrix::random(m, k, ++seed);
+        Matrix b = Matrix::random(k, n, ++seed);
+        Matrix c = Matrix::random(m, n, ++seed);
+        Matrix d = c.clone();
+        fmm_multiply(plan, c.view(), a.view(), b.view());
+        ref_gemm(d.view(), a.view(), b.view());
+        EXPECT_LE(max_abs_diff(c.view(), d.view()), 1e-9)
+            << plan.name() << " m=" << m << " n=" << n << " k=" << k;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Partitions, PeelingNumeric,
+    ::testing::Values(std::make_tuple(2, 2, 2, 1), std::make_tuple(2, 2, 2, 2),
+                      std::make_tuple(2, 3, 2, 1), std::make_tuple(3, 3, 3, 1),
+                      std::make_tuple(2, 3, 4, 1), std::make_tuple(4, 2, 4, 1),
+                      std::make_tuple(3, 3, 6, 1)));
+
+TEST(Peeling, DegenerateOneDimensionalProblems) {
+  const Plan plan = make_plan({catalog::best(2, 2, 2)}, Variant::kABC);
+  // m=1: interior empty in m.
+  for (auto [m, n, k] : {std::tuple<index_t, index_t, index_t>{1, 40, 40},
+                         std::tuple<index_t, index_t, index_t>{40, 1, 40},
+                         std::tuple<index_t, index_t, index_t>{40, 40, 1},
+                         std::tuple<index_t, index_t, index_t>{1, 1, 1}}) {
+    Matrix a = Matrix::random(m, k, m + 1);
+    Matrix b = Matrix::random(k, n, n + 2);
+    Matrix c = Matrix::zero(m, n);
+    fmm_multiply(plan, c.view(), a.view(), b.view());
+    Matrix d = Matrix::zero(m, n);
+    ref_gemm(d.view(), a.view(), b.view());
+    EXPECT_LE(max_abs_diff(c.view(), d.view()), 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace fmm

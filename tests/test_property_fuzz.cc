@@ -1,0 +1,136 @@
+// Randomized property tests over the full plan space: random catalog
+// entries, random level counts, random variants, random (often awkward)
+// problem sizes, random strides — every combination must agree with the
+// reference GEMM.  Seeded PRNG: failures reproduce deterministically.
+
+#include <gtest/gtest.h>
+
+#include "src/core/catalog.h"
+#include "src/core/driver.h"
+#include "src/linalg/ops.h"
+#include "src/util/prng.h"
+
+namespace fmm {
+namespace {
+
+struct FuzzCase {
+  Plan plan;
+  index_t m, n, k;
+  std::uint64_t data_seed;
+  std::string describe() const {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%s m=%lld n=%lld k=%lld seed=%llu",
+                  plan.name().c_str(), (long long)m, (long long)n,
+                  (long long)k, (unsigned long long)data_seed);
+    return buf;
+  }
+};
+
+FuzzCase random_case(Xoshiro256& rng) {
+  const auto& dims = catalog::figure2_dims();
+  const int levels = rng.uniform_int(1, 2);
+  std::vector<FmmAlgorithm> algs;
+  for (int l = 0; l < levels; ++l) {
+    const auto d = dims[rng.next_below(dims.size())];
+    algs.push_back(catalog::best(d[0], d[1], d[2]));
+  }
+  const Variant variant = static_cast<Variant>(rng.uniform_int(0, 2));
+  FuzzCase fc{make_plan(std::move(algs), variant), 0, 0, 0, rng.next_u64()};
+  // Sizes biased toward fringe-heavy values around small multiples of the
+  // flattened partition.
+  auto pick = [&](int t) {
+    const index_t base = t * rng.uniform_int(2, 5);
+    return std::max<index_t>(1, base + rng.uniform_int(-3, 7));
+  };
+  fc.m = pick(fc.plan.Mt() * 8);
+  fc.n = pick(fc.plan.Nt() * 8);
+  fc.k = pick(fc.plan.Kt() * 8);
+  return fc;
+}
+
+class FuzzBatch : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzBatch, RandomPlansMatchReference) {
+  Xoshiro256 rng(9000 + GetParam());
+  for (int i = 0; i < 6; ++i) {
+    const FuzzCase fc = random_case(rng);
+    Matrix a = Matrix::random(fc.m, fc.k, fc.data_seed);
+    Matrix b = Matrix::random(fc.k, fc.n, fc.data_seed + 1);
+    Matrix c = Matrix::random(fc.m, fc.n, fc.data_seed + 2);
+    Matrix d = c.clone();
+    fmm_multiply(fc.plan, c.view(), a.view(), b.view());
+    ref_gemm(d.view(), a.view(), b.view());
+    EXPECT_LE(max_abs_diff(c.view(), d.view()),
+              1e-10 * std::max<index_t>(fc.k, 1))
+        << fc.describe();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, FuzzBatch, ::testing::Range(0, 12));
+
+TEST(FuzzStrided, RandomPlansOnPaddedParents) {
+  Xoshiro256 rng(777);
+  for (int i = 0; i < 8; ++i) {
+    const FuzzCase fc = random_case(rng);
+    // Embed the operands in larger parents at random offsets.
+    const index_t pad = rng.uniform_int(1, 9);
+    Matrix pa = Matrix::random(fc.m + pad, fc.k + pad, fc.data_seed);
+    Matrix pb = Matrix::random(fc.k + pad, fc.n + pad, fc.data_seed + 1);
+    Matrix pc = Matrix::random(fc.m + pad, fc.n + pad, fc.data_seed + 2);
+    const index_t om = rng.next_below(pad + 1), on = rng.next_below(pad + 1),
+                  ok = rng.next_below(pad + 1);
+    ConstMatView a = pa.view().block(om, ok, fc.m, fc.k);
+    ConstMatView b = pb.view().block(ok, on, fc.k, fc.n);
+    MatView c = pc.view().block(om, on, fc.m, fc.n);
+    Matrix want(fc.m, fc.n);
+    for (index_t r = 0; r < fc.m; ++r)
+      for (index_t s = 0; s < fc.n; ++s) want(r, s) = c(r, s);
+    ref_gemm(want.view(), a, b);
+    fmm_multiply(fc.plan, c, a, b);
+    EXPECT_LE(max_abs_diff(c, want.view()), 1e-10 * std::max<index_t>(fc.k, 1))
+        << fc.describe() << " pad=" << pad;
+  }
+}
+
+TEST(FuzzThreads, RandomPlansBitwiseStableAcrossThreads) {
+  Xoshiro256 rng(555);
+  for (int i = 0; i < 5; ++i) {
+    const FuzzCase fc = random_case(rng);
+    Matrix a = Matrix::random(fc.m, fc.k, fc.data_seed);
+    Matrix b = Matrix::random(fc.k, fc.n, fc.data_seed + 1);
+    Matrix c1 = Matrix::zero(fc.m, fc.n);
+    Matrix c4 = Matrix::zero(fc.m, fc.n);
+    FmmContext ctx1, ctx4;
+    ctx1.cfg.num_threads = 1;
+    ctx4.cfg.num_threads = 4;
+    fmm_multiply(fc.plan, c1.view(), a.view(), b.view(), ctx1);
+    fmm_multiply(fc.plan, c4.view(), a.view(), b.view(), ctx4);
+    EXPECT_EQ(max_abs_diff(c1.view(), c4.view()), 0.0) << fc.describe();
+  }
+}
+
+TEST(FuzzBlocking, RandomBlockingConfigsStayCorrect) {
+  Xoshiro256 rng(333);
+  for (int i = 0; i < 8; ++i) {
+    GemmConfig cfg;
+    cfg.mc = kMR * rng.uniform_int(1, 24);
+    cfg.kc = rng.uniform_int(16, 512);
+    cfg.nc = kNR * rng.uniform_int(2, 64);
+    ASSERT_TRUE(cfg.valid());
+    const index_t m = rng.uniform_int(1, 300);
+    const index_t n = rng.uniform_int(1, 300);
+    const index_t k = rng.uniform_int(1, 300);
+    Matrix a = Matrix::random(m, k, 50 + i);
+    Matrix b = Matrix::random(k, n, 60 + i);
+    Matrix c = Matrix::zero(m, n);
+    Matrix d = Matrix::zero(m, n);
+    gemm(c.view(), a.view(), b.view(), cfg);
+    ref_gemm(d.view(), a.view(), b.view());
+    EXPECT_LE(max_abs_diff(c.view(), d.view()), 1e-10 * k)
+        << "mc=" << cfg.mc << " kc=" << cfg.kc << " nc=" << cfg.nc << " m="
+        << m << " n=" << n << " k=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace fmm

@@ -1,0 +1,88 @@
+// Exact rational arithmetic tests (the foundation of catalog verification).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/search/rational.h"
+
+namespace fmm {
+namespace {
+
+TEST(Rational, NormalizesOnConstruction) {
+  const Rational r(6, 8);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 4);
+}
+
+TEST(Rational, NegativeDenominatorMovesSign) {
+  const Rational r(3, -6);
+  EXPECT_EQ(r.num(), -1);
+  EXPECT_EQ(r.den(), 2);
+}
+
+TEST(Rational, ZeroHasCanonicalForm) {
+  const Rational r(0, 7);
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+  EXPECT_TRUE(r.is_zero());
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), std::domain_error);
+}
+
+TEST(Rational, Arithmetic) {
+  const Rational half(1, 2), third(1, 3);
+  EXPECT_EQ(half + third, Rational(5, 6));
+  EXPECT_EQ(half - third, Rational(1, 6));
+  EXPECT_EQ(half * third, Rational(1, 6));
+  EXPECT_EQ(half + Rational(-1, 2), Rational(0));
+}
+
+TEST(Rational, EqualityIsExact) {
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_NE(Rational(1, 3), Rational(333333333, 1000000000));
+}
+
+TEST(Rational, FromDoubleExactIntegers) {
+  EXPECT_EQ(Rational::from_double(3.0), Rational(3));
+  EXPECT_EQ(Rational::from_double(-17.0), Rational(-17));
+  EXPECT_EQ(Rational::from_double(0.0), Rational(0));
+}
+
+TEST(Rational, FromDoubleDyadics) {
+  EXPECT_EQ(Rational::from_double(0.5), Rational(1, 2));
+  EXPECT_EQ(Rational::from_double(-0.25), Rational(-1, 4));
+  EXPECT_EQ(Rational::from_double(0.375), Rational(3, 8));
+}
+
+TEST(Rational, FromDoubleSmallOddDenominators) {
+  // from_double finds the small rational that round-trips to the given
+  // double: double(1/3)*3 rounds exactly to 1.0 in IEEE arithmetic.
+  EXPECT_EQ(Rational::from_double(1.0 / 3.0, 8), Rational(1, 3));
+}
+
+TEST(Rational, FromDoubleRejectsIrrational) {
+  EXPECT_THROW(Rational::from_double(0.1234567890123, 64), std::domain_error);
+  EXPECT_THROW(Rational::from_double(std::sqrt(2.0), 1024), std::domain_error);
+}
+
+TEST(Rational, FromDoubleRejectsNonFinite) {
+  EXPECT_THROW(Rational::from_double(1.0 / 0.0), std::domain_error);
+  EXPECT_THROW(Rational::from_double(0.0 / 0.0), std::domain_error);
+}
+
+TEST(Rational, OverflowIsDetectedNotWrapped) {
+  const Rational huge(INT64_MAX - 1, 1);
+  EXPECT_THROW(huge * huge, std::overflow_error);
+  EXPECT_THROW(huge + huge, std::overflow_error);  // numerator sum overflows
+}
+
+TEST(Rational, ToDoubleRoundTrips) {
+  EXPECT_DOUBLE_EQ(Rational(1, 2).to_double(), 0.5);
+  EXPECT_DOUBLE_EQ(Rational(-7, 4).to_double(), -1.75);
+}
+
+}  // namespace
+}  // namespace fmm

@@ -1,0 +1,170 @@
+// Search-module tests: Brent residuals, the exact linear solves (ALS
+// steps), gauge normalization, rationalization, and an end-to-end ALS
+// rediscovery of Strassen's algorithm.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/catalog.h"
+#include "src/search/als.h"
+#include "src/search/brent.h"
+#include "src/util/prng.h"
+
+namespace fmm {
+namespace {
+
+TEST(BrentExact, AcceptsKnownAlgorithms) {
+  EXPECT_TRUE(brent_exact(make_strassen()));
+  EXPECT_TRUE(brent_exact(make_winograd()));
+  EXPECT_TRUE(brent_exact(make_classical(2, 3, 2)));
+}
+
+TEST(BrentExact, RejectsCorruption) {
+  FmmAlgorithm s = make_strassen();
+  s.v(2, 3) += 1.0;
+  EXPECT_FALSE(brent_exact(s));
+}
+
+TEST(BrentExact, HandlesDyadicCoefficients) {
+  // Scale gauge: (2 u_r, 1/2 v_r) is still exact.
+  FmmAlgorithm s = make_strassen();
+  for (int row = 0; row < s.rows_u(); ++row) s.u(row, 0) *= 2.0;
+  for (int row = 0; row < s.rows_v(); ++row) s.v(row, 0) *= 0.5;
+  EXPECT_TRUE(brent_exact(s));
+}
+
+TEST(BrentResidualSq, ZeroForExactPositiveForBroken) {
+  EXPECT_DOUBLE_EQ(brent_residual_sq(make_strassen()), 0.0);
+  FmmAlgorithm s = make_strassen();
+  s.w(0, 0) = 0.0;
+  EXPECT_GT(brent_residual_sq(s), 0.5);
+}
+
+TEST(SolveForW, RecoversStrassenWFromUV) {
+  // The repair tool: zero out W entirely, recover it by one exact solve.
+  FmmAlgorithm s = make_strassen();
+  const std::vector<double> w_true = s.W;
+  for (auto& w : s.W) w = 0.0;
+  ASSERT_TRUE(solve_for_w(s, 0.0));
+  for (std::size_t i = 0; i < w_true.size(); ++i) {
+    EXPECT_NEAR(s.W[i], w_true[i], 1e-8) << "entry " << i;
+  }
+}
+
+TEST(SolveForU, RecoversStrassenU) {
+  FmmAlgorithm s = make_strassen();
+  const std::vector<double> u_true = s.U;
+  for (auto& u : s.U) u = 0.5;  // garbage start
+  ASSERT_TRUE(solve_for_u(s, 0.0));
+  EXPECT_LT(std::sqrt(brent_residual_sq(s)), 1e-8);
+  // U need not equal u_true (solutions can differ in gauge), but with V, W
+  // fixed the LS problem is strictly convex, so it must match.
+  for (std::size_t i = 0; i < u_true.size(); ++i) {
+    EXPECT_NEAR(s.U[i], u_true[i], 1e-8);
+  }
+}
+
+TEST(SolveForV, RecoversStrassenV) {
+  FmmAlgorithm s = make_strassen();
+  const std::vector<double> v_true = s.V;
+  for (auto& v : s.V) v = -0.3;
+  ASSERT_TRUE(solve_for_v(s, 0.0));
+  for (std::size_t i = 0; i < v_true.size(); ++i) {
+    EXPECT_NEAR(s.V[i], v_true[i], 1e-8);
+  }
+}
+
+TEST(SolveSteps, RegularizationShrinksSolution) {
+  FmmAlgorithm a = make_strassen();
+  FmmAlgorithm b = make_strassen();
+  solve_for_w(a, 0.0);
+  solve_for_w(b, 10.0);  // heavy Tikhonov pulls toward zero
+  double na = 0, nb = 0;
+  for (double w : a.W) na += w * w;
+  for (double w : b.W) nb += w * w;
+  EXPECT_LT(nb, na);
+}
+
+TEST(SnapCoefficients, RoundsToLattice) {
+  FmmAlgorithm s = make_strassen();
+  s.u(0, 0) = 0.994;
+  s.v(1, 2) = -0.502;
+  const FmmAlgorithm snapped = snap_coefficients(s, 2);
+  EXPECT_DOUBLE_EQ(snapped.u(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(snapped.v(1, 2), -0.5);
+}
+
+TEST(NormalizeGauge, MakesColumnExtremesOne) {
+  FmmAlgorithm s = make_strassen();
+  // Perturb the gauge of column 0: (u, v, w) -> (a u, b v, w / (a b))
+  // leaves the algorithm exact but off the lattice.
+  for (int row = 0; row < s.rows_u(); ++row) s.u(row, 0) *= -0.37;
+  for (int row = 0; row < s.rows_v(); ++row) s.v(row, 0) *= 5.11;
+  for (int row = 0; row < s.rows_w(); ++row) s.w(row, 0) /= (-0.37 * 5.11);
+  normalize_gauge(s);
+  EXPECT_LT(std::sqrt(brent_residual_sq(s)), 1e-9);  // gauge moves are exact
+  double umax = 0, vmax = 0;
+  for (int row = 0; row < s.rows_u(); ++row)
+    umax = std::max(umax, std::fabs(s.u(row, 0)));
+  for (int row = 0; row < s.rows_v(); ++row)
+    vmax = std::max(vmax, std::fabs(s.v(row, 0)));
+  EXPECT_NEAR(umax, 1.0, 1e-12);
+  EXPECT_NEAR(vmax, 1.0, 1e-12);
+}
+
+TEST(TryRationalize, FixesAGaugePerturbedStrassen) {
+  FmmAlgorithm s = make_strassen();
+  Xoshiro256 rng(5);
+  // Random non-lattice gauge + small noise: rationalization must recover
+  // an exact algorithm.
+  for (int r = 0; r < s.R; ++r) {
+    const double a = rng.uniform(0.5, 2.0);
+    for (int row = 0; row < s.rows_u(); ++row) s.u(row, r) *= a;
+    for (int row = 0; row < s.rows_v(); ++row) s.v(row, r) /= a;
+  }
+  for (auto& u : s.U) u += rng.uniform(-1e-4, 1e-4);
+  ASSERT_TRUE(try_rationalize(s, 2));
+  EXPECT_TRUE(brent_exact(s));
+  EXPECT_EQ(s.R, 7);
+}
+
+TEST(AlsSearch, RediscoversStrassenRankSeven) {
+  // End-to-end: find an exact <2,2,2;7> from random starts.  This is the
+  // canonical smoke test of the generator (Benson–Ballard report the same
+  // experiment).  Discovery is stochastic, so mirror real usage: several
+  // seeds, success on any.
+  AlsResult result;
+  for (std::uint64_t seed : {123u, 7u, 99u}) {
+    AlsOptions opts;
+    opts.restarts = 25;
+    opts.max_sweeps = 600;
+    opts.seed = seed;
+    result = als_search(2, 2, 2, 7, opts);
+    if (result.found) break;
+  }
+  ASSERT_TRUE(result.found) << "best residual " << result.best_residual;
+  EXPECT_EQ(result.alg.R, 7);
+  EXPECT_TRUE(brent_exact(result.alg));
+}
+
+TEST(AlsSearch, ImpossibleRankFails) {
+  // Rank 6 < R(<2,2,2>) = 7: the search must not "find" anything.
+  AlsOptions opts;
+  opts.restarts = 4;
+  opts.max_sweeps = 150;
+  const AlsResult result = als_search(2, 2, 2, 6, opts);
+  EXPECT_FALSE(result.found);
+  EXPECT_GT(result.best_residual, 1e-3);
+}
+
+TEST(EmitSeedCode, ContainsDimsAndTables) {
+  const std::string code = emit_seed_code(make_strassen());
+  EXPECT_NE(code.find("alg.mt = 2"), std::string::npos);
+  EXPECT_NE(code.find("alg.R = 7"), std::string::npos);
+  EXPECT_NE(code.find("alg.U = {"), std::string::npos);
+  EXPECT_NE(code.find("out.push_back"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fmm

@@ -1,0 +1,79 @@
+// Poly-algorithm selector tests (paper §4.4): plan-space construction,
+// model ranking, and the measure-top-k refinement.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/model/selector.h"
+
+namespace fmm {
+namespace {
+
+TEST(PlanSpace, ContainsEveryFigure2PartitionPerVariant) {
+  const auto plans = default_plan_space({Variant::kABC});
+  std::set<std::string> names;
+  for (const auto& p : plans) names.insert(p.name());
+  EXPECT_TRUE(names.count("<2,2,2> ABC"));
+  EXPECT_TRUE(names.count("<3,6,3> ABC"));
+  EXPECT_TRUE(names.count("<2,2,2>+<2,2,2> ABC"));
+  EXPECT_TRUE(names.count("<2,2,2>+<2,3,2> ABC"));  // the paper's hybrid
+  EXPECT_TRUE(names.count("<2,2,2>+<3,3,3> ABC"));
+  // 23 one-level + 4 homogeneous two-level + 2 hybrids.
+  EXPECT_EQ(plans.size(), 29u);
+}
+
+TEST(PlanSpace, OneLevelOnlyWhenRequested) {
+  const auto plans = default_plan_space({Variant::kABC}, /*max_levels=*/1);
+  EXPECT_EQ(plans.size(), 23u);
+}
+
+TEST(PlanSpace, MultipleVariantsMultiply) {
+  const auto plans =
+      default_plan_space({Variant::kABC, Variant::kAB, Variant::kNaive});
+  EXPECT_EQ(plans.size(), 3u * 29u);
+}
+
+TEST(RankByModel, SortsAscendingPredictedTime) {
+  const auto plans = default_plan_space({Variant::kABC});
+  const ModelParams params;
+  const auto ranked = rank_by_model(2048, 2048, 2048, plans, params, GemmConfig{});
+  ASSERT_EQ(ranked.size(), plans.size());
+  for (std::size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_LE(ranked[i - 1].predicted_seconds, ranked[i].predicted_seconds);
+  }
+  EXPECT_GT(ranked.front().predicted_gflops, 0.0);
+}
+
+TEST(RankByModel, RankKShapePrefersLowOverheadPartitions) {
+  // §4.3 / Fig. 7: for rank-k updates, <2,2,2> ABC should rank near the
+  // top; high-nnz monsters like <3,6,3> should rank poorly.
+  const auto plans = default_plan_space({Variant::kABC}, 1);
+  const ModelParams params;
+  const auto ranked =
+      rank_by_model(8192, 8192, 1024, plans, params, GemmConfig{});
+  std::size_t pos222 = 0, pos363 = 0;
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    if (ranked[i].plan.name() == "<2,2,2> ABC") pos222 = i;
+    if (ranked[i].plan.name() == "<3,6,3> ABC") pos363 = i;
+  }
+  EXPECT_LT(pos222, pos363);
+  EXPECT_LT(pos222, 8u);
+  // And the heavyweight should be in the bottom half of the ranking.
+  EXPECT_GT(pos363, ranked.size() / 2);
+}
+
+TEST(SelectEmpirical, MeasuresTopKAndReturnsWinnerFirst) {
+  const auto plans = default_plan_space({Variant::kABC}, 1);
+  const ModelParams params;
+  GemmConfig cfg;
+  const auto winners =
+      select_empirical(256, 256, 256, plans, params, cfg, /*top_k=*/2,
+                       /*reps=*/1);
+  ASSERT_EQ(winners.size(), 2u);
+  EXPECT_GE(winners[0].measured_seconds, 0.0);
+  EXPECT_LE(winners[0].measured_seconds, winners[1].measured_seconds);
+}
+
+}  // namespace
+}  // namespace fmm

@@ -1,0 +1,99 @@
+// Numerical stability characterization (paper §2.2 cites the known mild
+// instability of Strassen-like methods; §6 lists stability as the reason
+// APA algorithms were excluded).  These tests pin down the *expected*
+// error-growth behaviour: FMM error is bounded by a modest factor over
+// classical GEMM at one or two levels, and grows with level count.
+
+#include <gtest/gtest.h>
+
+#include "src/core/catalog.h"
+#include "src/core/driver.h"
+#include "src/linalg/ops.h"
+
+namespace fmm {
+namespace {
+
+// Relative Frobenius error of plan-output vs reference GEMM output.
+double fmm_rel_error(const Plan& plan, index_t s, std::uint64_t seed) {
+  Matrix a = Matrix::random(s, s, seed);
+  Matrix b = Matrix::random(s, s, seed + 1);
+  Matrix c = Matrix::zero(s, s);
+  Matrix d = Matrix::zero(s, s);
+  fmm_multiply(plan, c.view(), a.view(), b.view());
+  ref_gemm(d.view(), a.view(), b.view());
+  return rel_error_fro(c.view(), d.view());
+}
+
+TEST(Stability, OneLevelErrorWithinModestFactorOfMachineEps) {
+  for (const char* name : {"<2,2,2>", "<3,3,3>", "<2,3,2>"}) {
+    const Plan p = make_plan({catalog::get(name)}, Variant::kABC);
+    const double e = fmm_rel_error(p, 256, 11);
+    EXPECT_LT(e, 1e-12) << name;  // ~250 * eps * growth; generous headroom
+    EXPECT_GT(e, 0.0) << name;    // but it is NOT exact — FMM reorders sums
+  }
+}
+
+TEST(Stability, ErrorGrowsWithLevels) {
+  const FmmAlgorithm& s = catalog::best(2, 2, 2);
+  const double e1 = fmm_rel_error(make_uniform_plan(s, 1, Variant::kABC), 256, 21);
+  const double e3 = fmm_rel_error(make_uniform_plan(s, 3, Variant::kABC), 256, 21);
+  // Three levels should be measurably less accurate than one (the paper's
+  // reason to use only a few levels in practice).
+  EXPECT_GT(e3, e1);
+}
+
+TEST(Stability, VariantsAgreeWithEachOther) {
+  // Naive/AB/ABC implement the same arithmetic graph; their results must
+  // agree to far tighter tolerance than FMM-vs-classical.
+  const FmmAlgorithm& alg = catalog::best(2, 2, 2);
+  const index_t s = 128;
+  Matrix a = Matrix::random(s, s, 31);
+  Matrix b = Matrix::random(s, s, 32);
+  Matrix c_abc = Matrix::zero(s, s);
+  Matrix c_ab = Matrix::zero(s, s);
+  Matrix c_nv = Matrix::zero(s, s);
+  fmm_multiply(make_plan({alg}, Variant::kABC), c_abc.view(), a.view(), b.view());
+  fmm_multiply(make_plan({alg}, Variant::kAB), c_ab.view(), a.view(), b.view());
+  fmm_multiply(make_plan({alg}, Variant::kNaive), c_nv.view(), a.view(), b.view());
+  EXPECT_LT(max_abs_diff(c_abc.view(), c_ab.view()), 1e-12);
+  EXPECT_LT(max_abs_diff(c_abc.view(), c_nv.view()), 1e-12);
+}
+
+TEST(Stability, LargeMagnitudeSpreadStillBounded) {
+  // Mix tiny and huge entries: FMM's extra additions amplify cancellation;
+  // the error should stay within a classical-GEMM-times-constant envelope.
+  const index_t s = 128;
+  Matrix a = Matrix::random(s, s, 41);
+  Matrix b = Matrix::random(s, s, 42);
+  for (index_t i = 0; i < s; i += 7)
+    for (index_t j = 0; j < s; j += 5) a(i, j) *= 1e6;
+  Matrix c = Matrix::zero(s, s);
+  Matrix d = Matrix::zero(s, s);
+  const Plan p = make_plan({catalog::best(2, 2, 2)}, Variant::kABC);
+  fmm_multiply(p, c.view(), a.view(), b.view());
+  ref_gemm(d.view(), a.view(), b.view());
+  EXPECT_LT(rel_error_fro(c.view(), d.view()), 1e-10);
+}
+
+TEST(Stability, ZeroMatricesStayExactlyZero) {
+  const Plan p = make_plan({catalog::best(3, 3, 3)}, Variant::kABC);
+  Matrix a = Matrix::zero(60, 60);
+  Matrix b = Matrix::zero(60, 60);
+  Matrix c = Matrix::zero(60, 60);
+  fmm_multiply(p, c.view(), a.view(), b.view());
+  EXPECT_EQ(max_abs(c.view()), 0.0);
+}
+
+TEST(Stability, IdentityTimesMatrixIsNearExact) {
+  const index_t s = 64;
+  Matrix a = Matrix::zero(s, s);
+  for (index_t i = 0; i < s; ++i) a(i, i) = 1.0;
+  Matrix b = Matrix::random(s, s, 51);
+  Matrix c = Matrix::zero(s, s);
+  const Plan p = make_plan({catalog::best(2, 2, 2)}, Variant::kABC);
+  fmm_multiply(p, c.view(), a.view(), b.view());
+  EXPECT_LT(max_abs_diff(c.view(), b.view()), 1e-13);
+}
+
+}  // namespace
+}  // namespace fmm

@@ -1,0 +1,87 @@
+// Task-parallel driver tests: correctness against the reference for every
+// shape class, tolerance-based (accumulation order is schedule-dependent),
+// plus agreement with the data-parallel driver.
+
+#include <gtest/gtest.h>
+
+#include "src/core/catalog.h"
+#include "src/core/driver.h"
+#include "src/core/task_driver.h"
+#include "src/linalg/ops.h"
+
+namespace fmm {
+namespace {
+
+void expect_tasks_match_ref(const Plan& plan, index_t m, index_t n, index_t k,
+                            int threads, std::uint64_t seed) {
+  Matrix a = Matrix::random(m, k, seed);
+  Matrix b = Matrix::random(k, n, seed + 1);
+  Matrix c = Matrix::random(m, n, seed + 2);
+  Matrix d = c.clone();
+  TaskContext ctx;
+  ctx.cfg.num_threads = threads;
+  fmm_multiply_tasks(plan, c.view(), a.view(), b.view(), ctx);
+  ref_gemm(d.view(), a.view(), b.view());
+  EXPECT_LE(max_abs_diff(c.view(), d.view()), 1e-10 * std::max<index_t>(k, 1))
+      << plan.name() << " threads=" << threads;
+}
+
+TEST(TaskDriver, OneLevelStrassenAcrossThreadCounts) {
+  const Plan p = make_plan({catalog::best(2, 2, 2)}, Variant::kNaive);
+  for (int threads : {1, 2, 8}) {
+    expect_tasks_match_ref(p, 96, 96, 96, threads, 100 + threads);
+  }
+}
+
+TEST(TaskDriver, FringeSizes) {
+  const Plan p = make_plan({catalog::best(2, 2, 2)}, Variant::kNaive);
+  expect_tasks_match_ref(p, 97, 101, 89, 4, 7);
+}
+
+TEST(TaskDriver, TwoLevelHybrid) {
+  const Plan p = make_plan(
+      {catalog::best(2, 2, 2), catalog::best(2, 3, 2)}, Variant::kNaive);
+  expect_tasks_match_ref(p, 123, 119, 131, 8, 9);
+}
+
+TEST(TaskDriver, HighRankAlgorithm) {
+  const Plan p = make_plan({catalog::best(3, 6, 3)}, Variant::kNaive);
+  expect_tasks_match_ref(p, 60, 60, 120, 8, 11);
+}
+
+TEST(TaskDriver, TinyProblemFullyPeeled) {
+  const Plan p = make_plan({catalog::best(3, 3, 3)}, Variant::kNaive);
+  expect_tasks_match_ref(p, 2, 2, 2, 4, 13);
+}
+
+TEST(TaskDriver, AgreesWithDataParallelDriver) {
+  const Plan p = make_plan({catalog::best(2, 2, 2)}, Variant::kABC);
+  Matrix a = Matrix::random(128, 128, 21);
+  Matrix b = Matrix::random(128, 128, 22);
+  Matrix c1 = Matrix::zero(128, 128);
+  Matrix c2 = Matrix::zero(128, 128);
+  FmmContext dctx;
+  fmm_multiply(p, c1.view(), a.view(), b.view(), dctx);
+  TaskContext tctx;
+  tctx.cfg.num_threads = 8;
+  fmm_multiply_tasks(p, c2.view(), a.view(), b.view(), tctx);
+  EXPECT_LE(max_abs_diff(c1.view(), c2.view()), 1e-11);
+}
+
+TEST(TaskDriver, ContextReuseAcrossCalls) {
+  TaskContext ctx;
+  ctx.cfg.num_threads = 4;
+  const Plan p = make_plan({catalog::best(2, 2, 2)}, Variant::kNaive);
+  for (index_t s : {64, 32, 96}) {
+    Matrix a = Matrix::random(s, s, s);
+    Matrix b = Matrix::random(s, s, s + 1);
+    Matrix c = Matrix::zero(s, s);
+    Matrix d = Matrix::zero(s, s);
+    fmm_multiply_tasks(p, c.view(), a.view(), b.view(), ctx);
+    ref_gemm(d.view(), a.view(), b.view());
+    EXPECT_LE(max_abs_diff(c.view(), d.view()), 1e-11 * s);
+  }
+}
+
+}  // namespace
+}  // namespace fmm

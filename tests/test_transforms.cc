@@ -1,0 +1,161 @@
+// Property tests for the algorithm transformations: every output of
+// kronecker / cyclic / transposed / oriented / concat_{m,k,n} must satisfy
+// the Brent equations whenever its inputs do, with the expected dims and
+// rank arithmetic.
+
+#include <gtest/gtest.h>
+
+#include "src/core/algorithm.h"
+#include "src/core/transforms.h"
+
+namespace fmm {
+namespace {
+
+void expect_valid(const FmmAlgorithm& a, const char* what) {
+  EXPECT_TRUE(a.shape_ok()) << what;
+  EXPECT_LT(a.brent_residual(), 1e-9) << what;
+}
+
+TEST(Kronecker, TwoLevelStrassenMatchesPaperSection34) {
+  // ⟦U⊗U, V⊗V, W⊗W⟧ is the two-level Strassen algorithm: ⟨4,4,4;49⟩.
+  const FmmAlgorithm s = make_strassen();
+  const FmmAlgorithm s2 = kronecker(s, s);
+  EXPECT_EQ(s2.mt, 4);
+  EXPECT_EQ(s2.kt, 4);
+  EXPECT_EQ(s2.nt, 4);
+  EXPECT_EQ(s2.R, 49);
+  expect_valid(s2, "strassen x strassen");
+  // nnz multiplies under Kronecker products.
+  EXPECT_EQ(s2.nnz_u(), 12 * 12);
+}
+
+TEST(Kronecker, ThreeLevels) {
+  const FmmAlgorithm s = make_strassen();
+  const FmmAlgorithm s3 = kronecker(kronecker(s, s), s);
+  EXPECT_EQ(s3.mt, 8);
+  EXPECT_EQ(s3.R, 343);
+  expect_valid(s3, "three-level strassen");
+}
+
+TEST(Kronecker, HybridLevelsAndAssociativity) {
+  const FmmAlgorithm s = make_strassen();
+  const FmmAlgorithm c = make_classical(1, 3, 2);
+  const FmmAlgorithm h1 = kronecker(s, c);
+  EXPECT_EQ(h1.mt, 2);
+  EXPECT_EQ(h1.kt, 6);
+  EXPECT_EQ(h1.nt, 4);
+  EXPECT_EQ(h1.R, 7 * 6);
+  expect_valid(h1, "strassen x classical");
+  // (a⊗b)⊗c == a⊗(b⊗c) on the coefficient level.
+  const FmmAlgorithm l = kronecker(kronecker(s, c), s);
+  const FmmAlgorithm r = kronecker(s, kronecker(c, s));
+  EXPECT_EQ(l.U, r.U);
+  EXPECT_EQ(l.V, r.V);
+  EXPECT_EQ(l.W, r.W);
+}
+
+TEST(Cyclic, RotatesDimsAndPreservesValidity) {
+  const FmmAlgorithm s = make_strassen();
+  const FmmAlgorithm base = make_classical(2, 3, 4);
+  for (const FmmAlgorithm* alg : {&s, &base}) {
+    const FmmAlgorithm c = cyclic(*alg);
+    EXPECT_EQ(c.mt, alg->kt);
+    EXPECT_EQ(c.kt, alg->nt);
+    EXPECT_EQ(c.nt, alg->mt);
+    EXPECT_EQ(c.R, alg->R);
+    expect_valid(c, "cyclic");
+  }
+}
+
+TEST(Cyclic, ThreeApplicationsAreIdentity) {
+  const FmmAlgorithm base = make_classical(2, 3, 4);
+  const FmmAlgorithm c3 = cyclic(cyclic(cyclic(base)));
+  EXPECT_EQ(c3.U, base.U);
+  EXPECT_EQ(c3.V, base.V);
+  EXPECT_EQ(c3.W, base.W);
+}
+
+TEST(Transposed, SwapsOuterDims) {
+  const FmmAlgorithm base = make_classical(2, 3, 4);
+  const FmmAlgorithm t = transposed(base);
+  EXPECT_EQ(t.mt, 4);
+  EXPECT_EQ(t.kt, 3);
+  EXPECT_EQ(t.nt, 2);
+  expect_valid(t, "transposed");
+  const FmmAlgorithm tt = transposed(t);
+  EXPECT_EQ(tt.U, base.U);
+  EXPECT_EQ(tt.V, base.V);
+  EXPECT_EQ(tt.W, base.W);
+}
+
+TEST(Oriented, ReachesAllSixPermutations) {
+  const FmmAlgorithm base = make_classical(2, 3, 4);
+  const int perms[6][3] = {{2, 3, 4}, {3, 4, 2}, {4, 2, 3},
+                           {4, 3, 2}, {3, 2, 4}, {2, 4, 3}};
+  for (const auto& p : perms) {
+    const FmmAlgorithm o = oriented(base, p[0], p[1], p[2]);
+    EXPECT_EQ(o.mt, p[0]);
+    EXPECT_EQ(o.kt, p[1]);
+    EXPECT_EQ(o.nt, p[2]);
+    EXPECT_EQ(o.R, base.R);
+    expect_valid(o, "oriented");
+  }
+}
+
+TEST(Oriented, ThrowsOnUnreachableDims) {
+  EXPECT_THROW(oriented(make_strassen(), 2, 2, 3), std::invalid_argument);
+}
+
+TEST(ConcatN, StrassenPlusMatVecGivesRank11) {
+  // ⟨2,2,3;11⟩ — the constructive Hopcroft–Kerr-rank algorithm used by the
+  // catalog for the ⟨2,3,2⟩ / ⟨3,2,2⟩ rows of Fig. 2.
+  const FmmAlgorithm a = concat_n(make_strassen(), make_classical(2, 2, 1));
+  EXPECT_EQ(a.mt, 2);
+  EXPECT_EQ(a.kt, 2);
+  EXPECT_EQ(a.nt, 3);
+  EXPECT_EQ(a.R, 11);
+  expect_valid(a, "concat_n");
+}
+
+TEST(ConcatM, SplitsRowsOfCAndA) {
+  const FmmAlgorithm a =
+      concat_m(make_strassen(), make_classical(1, 2, 2));
+  EXPECT_EQ(a.mt, 3);
+  EXPECT_EQ(a.kt, 2);
+  EXPECT_EQ(a.nt, 2);
+  EXPECT_EQ(a.R, 11);
+  expect_valid(a, "concat_m");
+}
+
+TEST(ConcatK, SumsTwoProducts) {
+  const FmmAlgorithm a =
+      concat_k(make_strassen(), make_classical(2, 1, 2));
+  EXPECT_EQ(a.mt, 2);
+  EXPECT_EQ(a.kt, 3);
+  EXPECT_EQ(a.nt, 2);
+  EXPECT_EQ(a.R, 11);
+  expect_valid(a, "concat_k");
+}
+
+TEST(Concat, MismatchedDimsThrow) {
+  EXPECT_THROW(concat_n(make_strassen(), make_classical(3, 2, 1)),
+               std::invalid_argument);
+  EXPECT_THROW(concat_m(make_strassen(), make_classical(1, 3, 2)),
+               std::invalid_argument);
+  EXPECT_THROW(concat_k(make_strassen(), make_classical(3, 1, 2)),
+               std::invalid_argument);
+}
+
+TEST(Transforms, ComposeDeeply) {
+  // Stress composition: concat of a kron with an oriented concat.
+  const FmmAlgorithm s = make_strassen();
+  const FmmAlgorithm k1 = kronecker(s, make_classical(1, 1, 2));  // <2,2,4;14>
+  const FmmAlgorithm c1 = concat_n(k1, oriented(concat_n(s, make_classical(2, 2, 1)),
+                                                2, 2, 3));       // <2,2,7;25>
+  EXPECT_EQ(c1.nt, 7);
+  EXPECT_EQ(c1.R, 25);
+  expect_valid(c1, "deep composition");
+}
+
+}  // namespace
+}  // namespace fmm

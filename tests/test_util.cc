@@ -1,0 +1,140 @@
+// Unit tests for src/util: aligned buffers, PRNG determinism, CLI parsing,
+// table emission.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+#include "src/util/aligned_buffer.h"
+#include "src/util/cli.h"
+#include "src/util/prng.h"
+#include "src/util/table.h"
+#include "src/util/timer.h"
+
+namespace fmm {
+namespace {
+
+TEST(AlignedBuffer, AlignmentIs64Bytes) {
+  for (std::size_t n : {1u, 7u, 64u, 1000u, 4096u}) {
+    AlignedBuffer<double> buf(n);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % 64, 0u);
+    EXPECT_GE(buf.size(), n);
+  }
+}
+
+TEST(AlignedBuffer, ResizeGrowsButNeverShrinks) {
+  AlignedBuffer<double> buf(100);
+  buf.resize(10);
+  EXPECT_EQ(buf.size(), 100u);
+  buf.resize(200);
+  EXPECT_EQ(buf.size(), 200u);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer<double> a(16);
+  a[0] = 42.0;
+  double* p = a.data();
+  AlignedBuffer<double> b(std::move(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(b[0], 42.0);
+  EXPECT_EQ(a.data(), nullptr);
+}
+
+TEST(Xoshiro, DeterministicForSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Xoshiro, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Xoshiro, UniformInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Xoshiro, UniformIntCoversRangeInclusive) {
+  Xoshiro256 rng(7);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    lo |= (v == 3);
+    hi |= (v == 7);
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  volatile double x = 0;
+  for (int i = 0; i < 1000000; ++i) x = x + 1.0;
+  EXPECT_GT(t.seconds(), 0.0);
+}
+
+TEST(Timer, EffectiveGflopsFormula) {
+  // 2*m*n*k / t * 1e-9 with m=n=k=1000, t=1s -> 2 GFLOPS.
+  EXPECT_DOUBLE_EQ(effective_gflops(1000, 1000, 1000, 1.0), 2.0);
+}
+
+TEST(BestTimeOf, TakesMinimum) {
+  int calls = 0;
+  double t = best_time_of(3, [&] { ++calls; });
+  EXPECT_EQ(calls, 3);
+  EXPECT_GE(t, 0.0);
+}
+
+TEST(Cli, ParsesEqualsAndSpaceForms) {
+  const char* argv[] = {"prog", "--m=100", "--n", "200", "--flag"};
+  Cli cli(5, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("m", 1), 100);
+  EXPECT_EQ(cli.get_int("n", 1), 200);
+  EXPECT_TRUE(cli.get_bool("flag", false));
+  EXPECT_EQ(cli.get_int("absent", 7), 7);
+}
+
+TEST(Cli, ParsesDoubleAndString) {
+  const char* argv[] = {"prog", "--x=1.5", "--name=foo"};
+  Cli cli(3, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(cli.get_double("x", 0.0), 1.5);
+  EXPECT_EQ(cli.get_string("name", ""), "foo");
+}
+
+TEST(Table, AlignedOutputAndCsv) {
+  TablePrinter t({"alg", "gflops"});
+  t.add_row({"<2,2,2>", TablePrinter::fmt(12.345, 2)});
+  t.add_row({"gemm", TablePrinter::fmt(10.0, 2)});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("<2,2,2>"), std::string::npos);
+  EXPECT_NE(s.find("12.35"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+
+  const std::string path = ::testing::TempDir() + "/fmm_table.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "alg,gflops");
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fmm
