@@ -1,8 +1,8 @@
 #include "src/core/driver.h"
 
-#include <omp.h>
-
 #include <cassert>
+
+#include "src/util/omp_compat.h"
 
 namespace fmm {
 namespace {
@@ -10,7 +10,7 @@ namespace {
 // Parallel C_view += w * M over rows (the scatter of AB/Naive variants).
 void scaled_add(double w, ConstMatView src, MatView dst) {
   const index_t rows = src.rows(), cols = src.cols();
-#pragma omp parallel for schedule(static)
+  FMM_PRAGMA_OMP(parallel for schedule(static))
   for (index_t i = 0; i < rows; ++i) {
     const double* s = src.row(i);
     double* d = dst.row(i);
@@ -21,7 +21,7 @@ void scaled_add(double w, ConstMatView src, MatView dst) {
 // Parallel dst = Σ terms (the explicit operand sums of the Naive variant).
 void lin_comb(const std::vector<LinTerm>& terms, index_t lds, index_t rows,
               index_t cols, MatView dst) {
-#pragma omp parallel for schedule(static)
+  FMM_PRAGMA_OMP(parallel for schedule(static))
   for (index_t i = 0; i < rows; ++i) {
     double* d = dst.row(i);
     {

@@ -1,11 +1,10 @@
 #include "src/core/task_driver.h"
 
-#include <omp.h>
-
 #include <cassert>
 #include <vector>
 
 #include "src/core/driver.h"
+#include "src/util/omp_compat.h"
 
 namespace fmm {
 namespace {
@@ -60,11 +59,11 @@ void fmm_tasks_interior(const Plan& plan, MatView c, ConstMatView a,
   GemmConfig serial_cfg = ctx.cfg;
   serial_cfg.num_threads = 1;
 
-#pragma omp parallel num_threads(nth)
-#pragma omp single
+  FMM_PRAGMA_OMP(parallel num_threads(nth))
+  FMM_PRAGMA_OMP(single)
   {
     for (int r = 0; r < alg.R; ++r) {
-#pragma omp task firstprivate(r)
+      FMM_PRAGMA_OMP(task firstprivate(r))
       {
         TaskContext::Worker& w =
             ctx.workers[static_cast<std::size_t>(omp_get_thread_num())];

@@ -1,11 +1,10 @@
 #include "src/gemm/fused.h"
 
-#include <omp.h>
-
 #include <cassert>
 
 #include "src/gemm/microkernel.h"
 #include "src/gemm/pack.h"
+#include "src/util/omp_compat.h"
 
 namespace fmm {
 
@@ -76,7 +75,7 @@ void fused_multiply(index_t m, index_t n, index_t k,
   const bool jr_parallel =
       nth > 1 && ceil_div(m, mc_use) < std::max<index_t>(2, nth / 2);
 
-#pragma omp parallel num_threads(nth)
+  FMM_PRAGMA_OMP(parallel num_threads(nth))
   {
     const int tid = omp_get_thread_num();
     double* apack = ws.a_tile(jr_parallel ? 0 : tid);
@@ -97,7 +96,7 @@ void fused_multiply(index_t m, index_t n, index_t k,
         // panel per iteration.  Implicit barrier publishes the buffer.
         offset_terms(b_terms, num_b, ldb, pc, jc, b_local.data());
         const index_t b_panels = ceil_div(nc_eff, kNR);
-#pragma omp for schedule(static)
+        FMM_PRAGMA_OMP(for schedule(static))
         for (index_t q = 0; q < b_panels; ++q) {
           pack_b_panel(b_local.data(), num_b, ldb, kc_eff, nc_eff, q,
                        bpack + q * kNR * kc_eff);
@@ -106,7 +105,7 @@ void fused_multiply(index_t m, index_t n, index_t k,
         const index_t ic_blocks = ceil_div(m, mc_use);
         if (!jr_parallel) {
           // 3rd loop (i_c) carries the parallelism; A-tiles are private.
-#pragma omp for schedule(dynamic, 1)
+          FMM_PRAGMA_OMP(for schedule(dynamic, 1))
           for (index_t icb = 0; icb < ic_blocks; ++icb) {
             const index_t ic = icb * mc_use;
             const index_t mc_eff = std::min<index_t>(mc_use, m - ic);
@@ -141,13 +140,13 @@ void fused_multiply(index_t m, index_t n, index_t k,
             const index_t mc_eff = std::min<index_t>(mc_use, m - ic);
             offset_terms(a_terms, num_a, lda, ic, pc, a_local.data());
             const index_t a_panels = ceil_div(mc_eff, kMR);
-#pragma omp for schedule(static)
+            FMM_PRAGMA_OMP(for schedule(static))
             for (index_t p = 0; p < a_panels; ++p) {
               pack_a_panel(a_local.data(), num_a, lda, mc_eff, kc_eff, p,
                            apack + p * kMR * kc_eff);
             }
             // Implicit barrier: the shared A-tile is complete.
-#pragma omp for schedule(dynamic, 2)
+            FMM_PRAGMA_OMP(for schedule(dynamic, 2))
             for (index_t jrb = 0; jrb < ceil_div(nc_eff, kNR); ++jrb) {
               const index_t jr = jrb * kNR;
               const index_t n_sub = std::min<index_t>(kNR, nc_eff - jr);

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/util/omp_compat.h"
+
 namespace fmm {
 
 void gemm(MatView c, ConstMatView a, ConstMatView b, GemmWorkspace& ws,
@@ -22,7 +24,7 @@ void gemm(MatView c, ConstMatView a, ConstMatView b, const GemmConfig& cfg) {
 void ref_gemm(MatView c, ConstMatView a, ConstMatView b) {
   assert(a.rows() == c.rows() && b.cols() == c.cols() && a.cols() == b.rows());
   const index_t m = c.rows(), n = c.cols(), k = a.cols();
-#pragma omp parallel for schedule(static)
+  FMM_PRAGMA_OMP(parallel for schedule(static))
   for (index_t i = 0; i < m; ++i) {
     double* crow = c.row(i);
     for (index_t p = 0; p < k; ++p) {

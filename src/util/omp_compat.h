@@ -1,0 +1,37 @@
+#ifndef FMM_UTIL_OMP_COMPAT_H_
+#define FMM_UTIL_OMP_COMPAT_H_
+
+// OpenMP compatibility layer.  When compiled with OpenMP this is a thin
+// wrapper over <omp.h> plus FMM_PRAGMA_OMP, which expands to the given
+// `#pragma omp ...` directive.  Without OpenMP the directive expands to
+// nothing (so no -Wunknown-pragmas noise) and the omp_* runtime calls used
+// by the engine resolve to serial no-op stand-ins, keeping every call site
+// identical in both builds.
+
+#ifdef _OPENMP
+
+#include <omp.h>
+
+#define FMM_OMP_STRINGIZE_(x) #x
+#define FMM_PRAGMA_OMP(directive) _Pragma(FMM_OMP_STRINGIZE_(omp directive))
+
+#else  // !_OPENMP
+
+#define FMM_PRAGMA_OMP(directive)
+
+// Serial stand-ins for the subset of the OpenMP runtime the engine uses.
+// Declared at global scope with the standard names so call sites do not
+// change between builds.
+typedef int omp_lock_t;
+
+inline int omp_get_max_threads() { return 1; }
+inline int omp_get_num_threads() { return 1; }
+inline int omp_get_thread_num() { return 0; }
+inline void omp_init_lock(omp_lock_t*) {}
+inline void omp_destroy_lock(omp_lock_t*) {}
+inline void omp_set_lock(omp_lock_t*) {}
+inline void omp_unset_lock(omp_lock_t*) {}
+
+#endif  // _OPENMP
+
+#endif  // FMM_UTIL_OMP_COMPAT_H_

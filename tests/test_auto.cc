@@ -5,6 +5,7 @@
 
 #include "src/linalg/ops.h"
 #include "src/model/auto.h"
+#include "tests/test_support.h"
 
 namespace fmm {
 namespace {
@@ -20,13 +21,10 @@ class AutoTest : public ::testing::Test {
 
 TEST_F(AutoTest, MultiplyMatchesReference) {
   for (index_t s : {64, 200, 331}) {
-    Matrix a = Matrix::random(s, s, s);
-    Matrix b = Matrix::random(s, s, s + 1);
-    Matrix c = Matrix::random(s, s, s + 2);
-    Matrix d = c.clone();
-    mult().multiply(c.view(), a.view(), b.view());
-    ref_gemm(d.view(), a.view(), b.view());
-    EXPECT_LE(max_abs_diff(c.view(), d.view()), 1e-10 * s) << "s=" << s;
+    test::RandomProblem p = test::random_problem(s, s, s, s);
+    mult().multiply(p.c.view(), p.a.view(), p.b.view());
+    ref_gemm(p.want.view(), p.a.view(), p.b.view());
+    EXPECT_LE(max_abs_diff(p.c.view(), p.want.view()), 1e-10 * s) << "s=" << s;
   }
 }
 

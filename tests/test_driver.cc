@@ -9,27 +9,13 @@
 #include "src/core/catalog.h"
 #include "src/core/driver.h"
 #include "src/linalg/ops.h"
+#include "tests/test_support.h"
 
 namespace fmm {
 namespace {
 
-double tol_for(index_t k, int levels) {
-  // FMM loses a few bits per level relative to classical; this bound is
-  // loose enough for validation, tight enough to catch wrong coefficients.
-  return 1e-11 * std::max<index_t>(k, 1) * (levels == 1 ? 1 : 8);
-}
-
-void expect_fmm_matches_ref(const Plan& plan, index_t m, index_t n, index_t k,
-                            std::uint64_t seed) {
-  Matrix a = Matrix::random(m, k, seed);
-  Matrix b = Matrix::random(k, n, seed + 1);
-  Matrix c = Matrix::random(m, n, seed + 2);
-  Matrix d = c.clone();
-  fmm_multiply(plan, c.view(), a.view(), b.view());
-  ref_gemm(d.view(), a.view(), b.view());
-  EXPECT_LE(max_abs_diff(c.view(), d.view()), tol_for(k, plan.num_levels()))
-      << plan.name() << " at m=" << m << " n=" << n << " k=" << k;
-}
+using test::expect_fmm_matches_ref;
+using test::tol_for;
 
 class VariantTest : public ::testing::TestWithParam<Variant> {};
 

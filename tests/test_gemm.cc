@@ -9,23 +9,13 @@
 #include "src/gemm/gemm.h"
 #include "src/linalg/matrix.h"
 #include "src/linalg/ops.h"
+#include "tests/test_support.h"
 
 namespace fmm {
 namespace {
 
-double tol_for(index_t k) { return 1e-12 * std::max<index_t>(k, 1); }
-
-void expect_gemm_matches_ref(index_t m, index_t n, index_t k,
-                             const GemmConfig& cfg, std::uint64_t seed) {
-  Matrix a = Matrix::random(m, k, seed);
-  Matrix b = Matrix::random(k, n, seed + 1);
-  Matrix c = Matrix::random(m, n, seed + 2);  // nonzero start: C += A*B
-  Matrix d = c.clone();
-  gemm(c.view(), a.view(), b.view(), cfg);
-  ref_gemm(d.view(), a.view(), b.view());
-  EXPECT_LE(max_abs_diff(c.view(), d.view()), tol_for(k))
-      << "m=" << m << " n=" << n << " k=" << k;
-}
+using test::expect_gemm_matches_ref;
+using test::tol_classical;
 
 class GemmShapes
     : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
@@ -167,7 +157,7 @@ TEST(Gemm, WorkspaceReuseAcrossShapes) {
     gemm(c.view(), a.view(), b.view(), ws, cfg);
     Matrix d = Matrix::zero(m, n);
     ref_gemm(d.view(), a.view(), b.view());
-    EXPECT_LE(max_abs_diff(c.view(), d.view()), tol_for(k));
+    EXPECT_LE(max_abs_diff(c.view(), d.view()), tol_classical(k));
   }
 }
 

@@ -9,6 +9,7 @@
 #include "src/core/catalog.h"
 #include "src/core/driver.h"
 #include "src/linalg/ops.h"
+#include "tests/test_support.h"
 
 namespace fmm {
 namespace {
@@ -79,23 +80,12 @@ TEST_P(PeelingNumeric, FmmMatchesReferenceOnAwkwardSizes) {
   auto [mt, kt, nt, levels] = GetParam();
   const Plan plan =
       make_uniform_plan(catalog::best(mt, kt, nt), levels, Variant::kABC);
-  const int Mt = plan.Mt(), Kt = plan.Kt(), Nt = plan.Nt();
-  // One below, exactly at, and a prime offset above a multiple.
-  const index_t sizes_m[] = {4 * Mt - 1, 4 * Mt, 4 * Mt + 3};
-  const index_t sizes_n[] = {4 * Nt - 1, 4 * Nt + 1};
-  const index_t sizes_k[] = {4 * Kt - 1, 4 * Kt + 2};
+  // One below, exactly at, one above, and a prime offset above a multiple.
   std::uint64_t seed = 1000;
-  for (index_t m : sizes_m) {
-    for (index_t n : sizes_n) {
-      for (index_t k : sizes_k) {
-        Matrix a = Matrix::random(m, k, ++seed);
-        Matrix b = Matrix::random(k, n, ++seed);
-        Matrix c = Matrix::random(m, n, ++seed);
-        Matrix d = c.clone();
-        fmm_multiply(plan, c.view(), a.view(), b.view());
-        ref_gemm(d.view(), a.view(), b.view());
-        EXPECT_LE(max_abs_diff(c.view(), d.view()), 1e-9)
-            << plan.name() << " m=" << m << " n=" << n << " k=" << k;
+  for (index_t m : test::sizes_around_multiple(plan.Mt())) {
+    for (index_t n : test::sizes_around_multiple(plan.Nt())) {
+      for (index_t k : test::sizes_around_multiple(plan.Kt())) {
+        test::expect_fmm_matches_ref(plan, m, n, k, seed += 3);
       }
     }
   }
@@ -108,20 +98,54 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(2, 3, 4, 1), std::make_tuple(4, 2, 4, 1),
                       std::make_tuple(3, 3, 6, 1)));
 
-TEST(Peeling, DegenerateOneDimensionalProblems) {
+TEST(Peeling, DegenerateZeroAndOneDimensionalProblems) {
+  // m/n/k of 0 or 1: the interior is empty along at least one axis, so the
+  // peel (or nothing at all) must do the work.
   const Plan plan = make_plan({catalog::best(2, 2, 2)}, Variant::kABC);
-  // m=1: interior empty in m.
-  for (auto [m, n, k] : {std::tuple<index_t, index_t, index_t>{1, 40, 40},
-                         std::tuple<index_t, index_t, index_t>{40, 1, 40},
-                         std::tuple<index_t, index_t, index_t>{40, 40, 1},
-                         std::tuple<index_t, index_t, index_t>{1, 1, 1}}) {
+  for (auto [m, n, k] : test::degenerate_shapes()) {
     Matrix a = Matrix::random(m, k, m + 1);
     Matrix b = Matrix::random(k, n, n + 2);
     Matrix c = Matrix::zero(m, n);
     fmm_multiply(plan, c.view(), a.view(), b.view());
     Matrix d = Matrix::zero(m, n);
     ref_gemm(d.view(), a.view(), b.view());
-    EXPECT_LE(max_abs_diff(c.view(), d.view()), 1e-10);
+    EXPECT_LE(max_abs_diff(c.view(), d.view()), 1e-10)
+        << "m=" << m << " n=" << n << " k=" << k;
+  }
+}
+
+TEST(Peeling, ZeroKLeavesAccumulatorUntouched) {
+  // k = 0 means C += A*B adds nothing: C must come back bitwise unchanged.
+  const Plan plan = make_plan({catalog::best(2, 2, 2)}, Variant::kABC);
+  Matrix a(12, 0), b(0, 10);
+  Matrix c = Matrix::random(12, 10, 5);
+  Matrix before = c.clone();
+  fmm_multiply(plan, c.view(), a.view(), b.view());
+  EXPECT_EQ(max_abs_diff(c.view(), before.view()), 0.0);
+}
+
+TEST(Peeling, PeelPiecesOnDegenerateInputs) {
+  // The cover property must also hold when whole dimensions are 0 or 1.
+  for (auto [m, n, k] : test::degenerate_shapes()) {
+    expect_exact_cover(m, n, k, 0, 0, 0);
+    // And with an interior that can only exist where the dims allow it.
+    const index_t m1 = m - m % 2, n1 = n - n % 2, k1 = k - k % 2;
+    if (m1 > 0 && n1 > 0 && k1 > 0) expect_exact_cover(m, n, k, m1, n1, k1);
+  }
+}
+
+TEST(Peeling, OneBelowAndOneAboveInteriorPerAxis) {
+  // Sizes exactly one below/above the divisible interior on a single axis,
+  // the other two held at exact multiples — the thinnest possible fringes.
+  const Plan plan = make_plan({catalog::best(2, 2, 2)}, Variant::kABC);
+  const index_t M = 4 * plan.Mt(), N = 4 * plan.Nt(), K = 4 * plan.Kt();
+  std::uint64_t seed = 4000;
+  for (index_t dm : {-1, 0, 1}) {
+    for (index_t dn : {-1, 0, 1}) {
+      for (index_t dk : {-1, 0, 1}) {
+        test::expect_fmm_matches_ref(plan, M + dm, N + dn, K + dk, seed += 3);
+      }
+    }
   }
 }
 

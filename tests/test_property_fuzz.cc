@@ -9,9 +9,14 @@
 #include "src/core/driver.h"
 #include "src/linalg/ops.h"
 #include "src/util/prng.h"
+#include "tests/test_support.h"
 
 namespace fmm {
 namespace {
+
+// Per-test iteration counts default small for a fast `ctest -L fuzz` loop;
+// FMM_FUZZ_ITERS scales every campaign up for soak runs.
+using test::fuzz_iters;
 
 struct FuzzCase {
   Plan plan;
@@ -52,25 +57,26 @@ class FuzzBatch : public ::testing::TestWithParam<int> {};
 
 TEST_P(FuzzBatch, RandomPlansMatchReference) {
   Xoshiro256 rng(9000 + GetParam());
-  for (int i = 0; i < 6; ++i) {
+  const int iters = fuzz_iters(4);
+  for (int i = 0; i < iters; ++i) {
     const FuzzCase fc = random_case(rng);
-    Matrix a = Matrix::random(fc.m, fc.k, fc.data_seed);
-    Matrix b = Matrix::random(fc.k, fc.n, fc.data_seed + 1);
-    Matrix c = Matrix::random(fc.m, fc.n, fc.data_seed + 2);
-    Matrix d = c.clone();
-    fmm_multiply(fc.plan, c.view(), a.view(), b.view());
-    ref_gemm(d.view(), a.view(), b.view());
-    EXPECT_LE(max_abs_diff(c.view(), d.view()),
+    test::RandomProblem p =
+        test::random_problem(fc.m, fc.n, fc.k, fc.data_seed);
+    fmm_multiply(fc.plan, p.c.view(), p.a.view(), p.b.view());
+    ref_gemm(p.want.view(), p.a.view(), p.b.view());
+    EXPECT_LE(max_abs_diff(p.c.view(), p.want.view()),
               1e-10 * std::max<index_t>(fc.k, 1))
         << fc.describe();
   }
 }
 
+// All 12 seed streams stay reachable; FMM_FUZZ_ITERS deepens each one.
 INSTANTIATE_TEST_SUITE_P(Batches, FuzzBatch, ::testing::Range(0, 12));
 
 TEST(FuzzStrided, RandomPlansOnPaddedParents) {
   Xoshiro256 rng(777);
-  for (int i = 0; i < 8; ++i) {
+  const int iters = fuzz_iters(6);
+  for (int i = 0; i < iters; ++i) {
     const FuzzCase fc = random_case(rng);
     // Embed the operands in larger parents at random offsets.
     const index_t pad = rng.uniform_int(1, 9);
@@ -94,7 +100,8 @@ TEST(FuzzStrided, RandomPlansOnPaddedParents) {
 
 TEST(FuzzThreads, RandomPlansBitwiseStableAcrossThreads) {
   Xoshiro256 rng(555);
-  for (int i = 0; i < 5; ++i) {
+  const int iters = fuzz_iters(4);
+  for (int i = 0; i < iters; ++i) {
     const FuzzCase fc = random_case(rng);
     Matrix a = Matrix::random(fc.m, fc.k, fc.data_seed);
     Matrix b = Matrix::random(fc.k, fc.n, fc.data_seed + 1);
@@ -111,7 +118,8 @@ TEST(FuzzThreads, RandomPlansBitwiseStableAcrossThreads) {
 
 TEST(FuzzBlocking, RandomBlockingConfigsStayCorrect) {
   Xoshiro256 rng(333);
-  for (int i = 0; i < 8; ++i) {
+  const int iters = fuzz_iters(6);
+  for (int i = 0; i < iters; ++i) {
     GemmConfig cfg;
     cfg.mc = kMR * rng.uniform_int(1, 24);
     cfg.kc = rng.uniform_int(16, 512);

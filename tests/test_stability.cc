@@ -9,19 +9,17 @@
 #include "src/core/catalog.h"
 #include "src/core/driver.h"
 #include "src/linalg/ops.h"
+#include "tests/test_support.h"
 
 namespace fmm {
 namespace {
 
 // Relative Frobenius error of plan-output vs reference GEMM output.
 double fmm_rel_error(const Plan& plan, index_t s, std::uint64_t seed) {
-  Matrix a = Matrix::random(s, s, seed);
-  Matrix b = Matrix::random(s, s, seed + 1);
-  Matrix c = Matrix::zero(s, s);
-  Matrix d = Matrix::zero(s, s);
-  fmm_multiply(plan, c.view(), a.view(), b.view());
-  ref_gemm(d.view(), a.view(), b.view());
-  return rel_error_fro(c.view(), d.view());
+  test::RandomProblem p = test::random_problem(s, s, s, seed, /*zero_c=*/true);
+  fmm_multiply(plan, p.c.view(), p.a.view(), p.b.view());
+  ref_gemm(p.want.view(), p.a.view(), p.b.view());
+  return rel_error_fro(p.c.view(), p.want.view());
 }
 
 TEST(Stability, OneLevelErrorWithinModestFactorOfMachineEps) {

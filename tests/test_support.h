@@ -1,0 +1,138 @@
+#ifndef FMM_TESTS_TEST_SUPPORT_H_
+#define FMM_TESTS_TEST_SUPPORT_H_
+
+// Shared test support: random-problem builders, tolerance helpers, shape
+// tables, and the FMM_FUZZ_ITERS override.  Every test binary links the
+// same fmm library; this header is the one place the reference-comparison
+// idiom (build random A/B/C, run an engine, compare against ref_gemm) and
+// the tolerance model live.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "src/core/driver.h"
+#include "src/core/task_driver.h"
+#include "src/gemm/gemm.h"
+#include "src/linalg/matrix.h"
+#include "src/linalg/ops.h"
+
+namespace fmm {
+namespace test {
+
+// --------------------------------------------------------------------------
+// Tolerances.
+// --------------------------------------------------------------------------
+
+// Classical (non-FMM) GEMM against the naive reference: only the summation
+// order differs, so the bound is a small multiple of k * eps.
+inline double tol_classical(index_t k) {
+  return 1e-12 * std::max<index_t>(k, 1);
+}
+
+// FMM against the reference: each level loses a few bits relative to
+// classical; this bound is loose enough for validation, tight enough to
+// catch wrong coefficients.
+inline double tol_for(index_t k, int levels = 1) {
+  return 1e-11 * std::max<index_t>(k, 1) * (levels <= 1 ? 1 : 8);
+}
+
+// --------------------------------------------------------------------------
+// Random-problem builders.
+// --------------------------------------------------------------------------
+
+// A GEMM-shaped problem with random operands.  `c` is the output the engine
+// under test writes into and `want` starts as an identical copy for the
+// reference path, so C-accumulation (C += A*B) is exercised by default.
+struct RandomProblem {
+  Matrix a, b, c, want;
+};
+
+inline RandomProblem random_problem(index_t m, index_t n, index_t k,
+                                    std::uint64_t seed, bool zero_c = false) {
+  RandomProblem p{Matrix::random(m, k, seed), Matrix::random(k, n, seed + 1),
+                  zero_c ? Matrix::zero(m, n) : Matrix::random(m, n, seed + 2),
+                  Matrix()};
+  p.want = p.c.clone();
+  return p;
+}
+
+// --------------------------------------------------------------------------
+// Reference-comparison checkers.
+// --------------------------------------------------------------------------
+
+inline void expect_gemm_matches_ref(index_t m, index_t n, index_t k,
+                                    const GemmConfig& cfg,
+                                    std::uint64_t seed) {
+  RandomProblem p = random_problem(m, n, k, seed);
+  gemm(p.c.view(), p.a.view(), p.b.view(), cfg);
+  ref_gemm(p.want.view(), p.a.view(), p.b.view());
+  EXPECT_LE(max_abs_diff(p.c.view(), p.want.view()), tol_classical(k))
+      << "m=" << m << " n=" << n << " k=" << k;
+}
+
+inline void expect_fmm_matches_ref(const Plan& plan, index_t m, index_t n,
+                                   index_t k, std::uint64_t seed) {
+  RandomProblem p = random_problem(m, n, k, seed);
+  fmm_multiply(plan, p.c.view(), p.a.view(), p.b.view());
+  ref_gemm(p.want.view(), p.a.view(), p.b.view());
+  EXPECT_LE(max_abs_diff(p.c.view(), p.want.view()),
+            tol_for(k, plan.num_levels()))
+      << plan.name() << " at m=" << m << " n=" << n << " k=" << k;
+}
+
+inline void expect_tasks_match_ref(const Plan& plan, index_t m, index_t n,
+                                   index_t k, int threads,
+                                   std::uint64_t seed) {
+  RandomProblem p = random_problem(m, n, k, seed);
+  TaskContext ctx;
+  ctx.cfg.num_threads = threads;
+  fmm_multiply_tasks(plan, p.c.view(), p.a.view(), p.b.view(), ctx);
+  ref_gemm(p.want.view(), p.a.view(), p.b.view());
+  // Task accumulation order is schedule-dependent: tolerance, not bitwise.
+  EXPECT_LE(max_abs_diff(p.c.view(), p.want.view()),
+            1e-10 * std::max<index_t>(k, 1))
+      << plan.name() << " threads=" << threads;
+}
+
+// --------------------------------------------------------------------------
+// Shape tables.
+// --------------------------------------------------------------------------
+
+// Sizes bracketing a multiple of the tile `t`: exactly one below, exactly
+// at, exactly one above, and a prime offset above — the adversarial band
+// for dynamic peeling.
+inline std::vector<index_t> sizes_around_multiple(index_t t, index_t mult = 4) {
+  return {mult * t - 1, mult * t, mult * t + 1, mult * t + 3};
+}
+
+// Degenerate problem shapes (empty and one-dimensional): every engine must
+// handle these without touching the interior path.
+inline std::vector<std::array<index_t, 3>> degenerate_shapes() {
+  return {{0, 8, 8},  {8, 0, 8},  {8, 8, 0},  {0, 0, 0},
+          {1, 40, 40}, {40, 1, 40}, {40, 40, 1}, {1, 1, 1}};
+}
+
+// --------------------------------------------------------------------------
+// Fuzzing knobs.
+// --------------------------------------------------------------------------
+
+// Iteration count for randomized property tests.  Defaults stay small so
+// `ctest -L fuzz` is quick; set FMM_FUZZ_ITERS to run longer campaigns
+// (e.g. FMM_FUZZ_ITERS=200 for a soak run).
+inline int fuzz_iters(int default_iters) {
+  if (const char* env = std::getenv("FMM_FUZZ_ITERS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return default_iters;
+}
+
+}  // namespace test
+}  // namespace fmm
+
+#endif  // FMM_TESTS_TEST_SUPPORT_H_

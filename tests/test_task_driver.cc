@@ -8,23 +8,12 @@
 #include "src/core/driver.h"
 #include "src/core/task_driver.h"
 #include "src/linalg/ops.h"
+#include "tests/test_support.h"
 
 namespace fmm {
 namespace {
 
-void expect_tasks_match_ref(const Plan& plan, index_t m, index_t n, index_t k,
-                            int threads, std::uint64_t seed) {
-  Matrix a = Matrix::random(m, k, seed);
-  Matrix b = Matrix::random(k, n, seed + 1);
-  Matrix c = Matrix::random(m, n, seed + 2);
-  Matrix d = c.clone();
-  TaskContext ctx;
-  ctx.cfg.num_threads = threads;
-  fmm_multiply_tasks(plan, c.view(), a.view(), b.view(), ctx);
-  ref_gemm(d.view(), a.view(), b.view());
-  EXPECT_LE(max_abs_diff(c.view(), d.view()), 1e-10 * std::max<index_t>(k, 1))
-      << plan.name() << " threads=" << threads;
-}
+using test::expect_tasks_match_ref;
 
 TEST(TaskDriver, OneLevelStrassenAcrossThreadCounts) {
   const Plan p = make_plan({catalog::best(2, 2, 2)}, Variant::kNaive);
