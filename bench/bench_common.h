@@ -23,6 +23,7 @@ namespace fmm::bench {
 
 struct Options {
   bool big = false;     // ~4x the default problem volume
+  bool smoke = false;   // tiny sizes: CI perf-tracking smoke runs
   bool full = false;    // all 23 catalog entries where the default is a subset
   int reps = 2;         // timed repetitions (after one warm-up)
   int threads = 0;      // 0 = all cores
@@ -32,6 +33,9 @@ struct Options {
 inline Options parse_common(Cli& cli) {
   Options o;
   o.big = cli.get_bool("big", false, "run near paper-scale problem sizes");
+  o.smoke = cli.get_bool("smoke", false,
+                         "tiny problem sizes for CI smoke runs (noisy "
+                         "absolute numbers, stable relative trends)");
   o.full = cli.get_bool("full", false, "all 23 algorithms (default: subset)");
   o.reps = cli.get_int("reps", 2, "timed repetitions per point");
   o.threads = cli.get_int("threads", 0, "thread count (0 = all cores)");

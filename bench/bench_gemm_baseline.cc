@@ -1,11 +1,16 @@
-// Substrate benchmark (the "BLIS" line of every paper figure): micro-kernel
-// peak, packing bandwidth, and GEMM effective GFLOPS across sizes and
-// thread counts.  Uses google-benchmark for the micro-level timings.
+// Substrate benchmark (the "BLIS" line of every paper figure): per-kernel
+// micro-kernel peak, packing bandwidth, and GEMM effective GFLOPS across
+// sizes and thread counts.  Uses google-benchmark for the micro-level
+// timings; micro-kernel and GEMM benchmarks are registered dynamically for
+// every *supported* kernel in the registry, so the emitted JSON tracks the
+// whole kernel family over time.
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "src/gemm/gemm.h"
-#include "src/gemm/microkernel.h"
+#include "src/gemm/kernel.h"
 #include "src/gemm/pack.h"
 #include "src/linalg/matrix.h"
 #include "src/util/aligned_buffer.h"
@@ -13,30 +18,30 @@
 namespace fmm {
 namespace {
 
-void BM_Microkernel(benchmark::State& state) {
+void BM_Microkernel(benchmark::State& state, const KernelInfo* kern) {
   const index_t kc = state.range(0);
-  AlignedBuffer<double> a(static_cast<std::size_t>(kMR) * kc);
-  AlignedBuffer<double> b(static_cast<std::size_t>(kNR) * kc);
-  alignas(64) double acc[kMR * kNR];
+  AlignedBuffer<double> a(static_cast<std::size_t>(kern->mr) * kc);
+  AlignedBuffer<double> b(static_cast<std::size_t>(kern->nr) * kc);
+  alignas(64) double acc[kMaxAccElems];
   for (std::size_t i = 0; i < a.size(); ++i) a[i] = 1.0;
   for (std::size_t i = 0; i < b.size(); ++i) b[i] = 2.0;
   for (auto _ : state) {
-    microkernel(kc, a.data(), b.data(), acc);
+    kern->fn(kc, a.data(), b.data(), acc);
     benchmark::DoNotOptimize(acc[0]);
   }
   state.counters["GFLOPS"] = benchmark::Counter(
-      2.0 * kMR * kNR * kc * state.iterations() * 1e-9,
+      2.0 * kern->mr * kern->nr * kc * state.iterations() * 1e-9,
       benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_Microkernel)->Arg(64)->Arg(256)->Arg(1024);
 
 void BM_PackA_SingleTerm(benchmark::State& state) {
+  const int mr = active_kernel().mr;
   const index_t m = 96, k = 256;
   Matrix a = Matrix::random(m, k, 1);
-  AlignedBuffer<double> out(static_cast<std::size_t>(ceil_div(m, kMR)) * kMR * k);
+  AlignedBuffer<double> out(static_cast<std::size_t>(ceil_div(m, mr)) * mr * k);
   LinTerm t{a.data(), 1.0};
   for (auto _ : state) {
-    pack_a(&t, 1, a.stride(), m, k, out.data());
+    pack_a(&t, 1, a.stride(), m, k, mr, out.data());
     benchmark::DoNotOptimize(out.data());
   }
   state.counters["GB/s"] = benchmark::Counter(
@@ -47,12 +52,13 @@ BENCHMARK(BM_PackA_SingleTerm);
 
 void BM_PackA_TwoTermSum(benchmark::State& state) {
   // The FMM case: A~ = A_i + A_j fused into packing.
+  const int mr = active_kernel().mr;
   const index_t m = 96, k = 256;
   Matrix big = Matrix::random(2 * m, k, 2);
-  AlignedBuffer<double> out(static_cast<std::size_t>(ceil_div(m, kMR)) * kMR * k);
+  AlignedBuffer<double> out(static_cast<std::size_t>(ceil_div(m, mr)) * mr * k);
   LinTerm t[2] = {{big.data(), 1.0}, {big.data() + m * big.stride(), 1.0}};
   for (auto _ : state) {
-    pack_a(t, 2, big.stride(), m, k, out.data());
+    pack_a(t, 2, big.stride(), m, k, mr, out.data());
     benchmark::DoNotOptimize(out.data());
   }
   state.counters["GB/s"] = benchmark::Counter(
@@ -62,12 +68,13 @@ void BM_PackA_TwoTermSum(benchmark::State& state) {
 BENCHMARK(BM_PackA_TwoTermSum);
 
 void BM_PackB_Panel(benchmark::State& state) {
+  const int nr = active_kernel().nr;
   const index_t k = 256, n = 4092;
   Matrix b = Matrix::random(k, n, 3);
-  AlignedBuffer<double> out(static_cast<std::size_t>(ceil_div(n, kNR)) * kNR * k);
+  AlignedBuffer<double> out(static_cast<std::size_t>(ceil_div(n, nr)) * nr * k);
   LinTerm t{b.data(), 1.0};
   for (auto _ : state) {
-    pack_b(&t, 1, b.stride(), k, n, out.data());
+    pack_b(&t, 1, b.stride(), k, n, nr, out.data());
     benchmark::DoNotOptimize(out.data());
   }
   state.counters["GB/s"] = benchmark::Counter(
@@ -76,7 +83,7 @@ void BM_PackB_Panel(benchmark::State& state) {
 }
 BENCHMARK(BM_PackB_Panel);
 
-void BM_Gemm(benchmark::State& state) {
+void BM_Gemm(benchmark::State& state, const KernelInfo* kern) {
   const index_t s = state.range(0);
   const int threads = static_cast<int>(state.range(1));
   Matrix a = Matrix::random(s, s, 1);
@@ -85,6 +92,7 @@ void BM_Gemm(benchmark::State& state) {
   GemmWorkspace ws;
   GemmConfig cfg;
   cfg.num_threads = threads;
+  cfg.kernel = kern;  // nullptr = dispatch default
   gemm(c.view(), a.view(), b.view(), ws, cfg);  // warm up + workspace alloc
   for (auto _ : state) {
     gemm(c.view(), a.view(), b.view(), ws, cfg);
@@ -94,13 +102,6 @@ void BM_Gemm(benchmark::State& state) {
       2.0 * s * s * s * state.iterations() * 1e-9,
       benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_Gemm)
-    ->Args({512, 1})
-    ->Args({1024, 1})
-    ->Args({2048, 1})
-    ->Args({1024, 0})
-    ->Args({2048, 0})
-    ->Unit(benchmark::kMillisecond);
 
 void BM_GemmRankK(benchmark::State& state) {
   // The paper's special shape: m = n large, k small.
@@ -122,7 +123,36 @@ void BM_GemmRankK(benchmark::State& state) {
 }
 BENCHMARK(BM_GemmRankK)->Arg(256)->Arg(512)->Arg(1024)->Unit(benchmark::kMillisecond);
 
+void register_per_kernel_benchmarks() {
+  for (const KernelInfo& kern : kernel_registry()) {
+    if (!kern.supported()) continue;
+    benchmark::RegisterBenchmark(
+        ("BM_Microkernel/" + std::string(kern.name)).c_str(), BM_Microkernel,
+        &kern)
+        ->Arg(64)
+        ->Arg(256)
+        ->Arg(1024);
+    benchmark::RegisterBenchmark(
+        ("BM_Gemm/" + std::string(kern.name)).c_str(), BM_Gemm, &kern)
+        ->Args({512, 1})
+        ->Args({1024, 1})
+        ->Unit(benchmark::kMillisecond);
+  }
+  // The dispatch default (what plain users get), at larger sizes/threads.
+  benchmark::RegisterBenchmark("BM_Gemm/default", BM_Gemm, nullptr)
+      ->Args({2048, 1})
+      ->Args({1024, 0})
+      ->Args({2048, 0})
+      ->Unit(benchmark::kMillisecond);
+}
+
 }  // namespace
 }  // namespace fmm
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  fmm::register_per_kernel_benchmarks();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Merge CI smoke-bench outputs into one BENCH_smoke.json artifact.
+
+Inputs:
+  * the google-benchmark JSON emitted by bench_gemm_baseline
+    (--benchmark_out=... --benchmark_out_format=json), and
+  * the CSV table emitted by bench_fig2_speedup --smoke --csv <prefix>.
+
+Output: a single JSON document with run metadata (commit, timestamp,
+kernel override) so artifacts from successive CI runs can be concatenated
+into a perf trajectory.  Standard library only — runs anywhere python3
+exists, no pip installs.
+"""
+
+import argparse
+import csv
+import datetime
+import json
+import os
+import platform
+import sys
+
+
+def load_benchmark_json(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {
+        "context": doc.get("context", {}),
+        "benchmarks": doc.get("benchmarks", []),
+    }
+
+
+def load_table_csv(path):
+    with open(path, newline="") as f:
+        return list(csv.DictReader(f))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--out", required=True, help="output JSON path")
+    ap.add_argument("--gemm-baseline-json",
+                    help="google-benchmark JSON from bench_gemm_baseline")
+    ap.add_argument("--fig2-csv", help="CSV from bench_fig2_speedup --smoke")
+    args = ap.parse_args()
+
+    doc = {
+        "schema": 1,
+        "generated_utc": datetime.datetime.now(datetime.timezone.utc)
+        .isoformat(timespec="seconds"),
+        "commit": os.environ.get("GITHUB_SHA", ""),
+        "ref": os.environ.get("GITHUB_REF", ""),
+        "run_id": os.environ.get("GITHUB_RUN_ID", ""),
+        "machine": platform.machine(),
+        "fmm_kernel_env": os.environ.get("FMM_KERNEL", ""),
+    }
+    if args.gemm_baseline_json:
+        doc["gemm_baseline"] = load_benchmark_json(args.gemm_baseline_json)
+    if args.fig2_csv:
+        doc["fig2_speedup"] = load_table_csv(args.fig2_csv)
+
+    with open(args.out, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -158,6 +158,7 @@ std::vector<PeelPiece> peel_pieces(index_t m, index_t n, index_t k,
 void fmm_multiply(const Plan& plan, MatView c, ConstMatView a, ConstMatView b,
                   FmmContext& ctx) {
   assert(a.rows() == c.rows() && b.cols() == c.cols() && a.cols() == b.rows());
+  detail::ScopedPlanKernel kernel_guard(ctx.cfg, plan.kernel);
   const index_t m = c.rows(), n = c.cols(), k = a.cols();
   if (m == 0 || n == 0) return;
 

@@ -27,6 +27,29 @@
 
 namespace fmm {
 
+namespace detail {
+
+// RAII: installs a plan's kernel choice into a config for the duration of
+// one multiply (interior and peel GEMMs run with the same kernel),
+// restoring the caller's setting afterwards.  Shared by the data-parallel
+// and task-parallel drivers.
+class ScopedPlanKernel {
+ public:
+  ScopedPlanKernel(GemmConfig& cfg, const KernelInfo* plan_kernel)
+      : cfg_(cfg), saved_(cfg.kernel) {
+    if (plan_kernel != nullptr) cfg_.kernel = plan_kernel;
+  }
+  ~ScopedPlanKernel() { cfg_.kernel = saved_; }
+  ScopedPlanKernel(const ScopedPlanKernel&) = delete;
+  ScopedPlanKernel& operator=(const ScopedPlanKernel&) = delete;
+
+ private:
+  GemmConfig& cfg_;
+  const KernelInfo* saved_;
+};
+
+}  // namespace detail
+
 // Reusable buffers for a sequence of fmm_multiply calls.  Not thread-safe
 // across concurrent calls (parallelism lives inside the call).
 struct FmmContext {

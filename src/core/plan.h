@@ -18,6 +18,8 @@
 
 namespace fmm {
 
+struct KernelInfo;  // src/gemm/kernel.h
+
 enum class Variant { kNaive, kAB, kABC };
 
 const char* variant_name(Variant v);
@@ -26,6 +28,11 @@ struct Plan {
   std::vector<FmmAlgorithm> levels;  // outermost first
   FmmAlgorithm flat;                 // ⟦⊗U_l, ⊗V_l, ⊗W_l⟧
   Variant variant = Variant::kABC;
+
+  // Micro-kernel this plan should execute with (points into the registry);
+  // nullptr defers to the config / the cpuid-dispatched default.  The
+  // model-guided selector fills this per problem shape (selector.h).
+  const KernelInfo* kernel = nullptr;
 
   int Mt() const { return flat.mt; }  // Π m̃_l
   int Kt() const { return flat.kt; }  // Π k̃_l

@@ -107,6 +107,7 @@ void fmm_tasks_interior(const Plan& plan, MatView c, ConstMatView a,
 void fmm_multiply_tasks(const Plan& plan, MatView c, ConstMatView a,
                         ConstMatView b, TaskContext& ctx) {
   assert(a.rows() == c.rows() && b.cols() == c.cols() && a.cols() == b.rows());
+  detail::ScopedPlanKernel kernel_guard(ctx.cfg, plan.kernel);
   const index_t m = c.rows(), n = c.cols(), k = a.cols();
   if (m == 0 || n == 0) return;
   const int nth =

@@ -1,9 +1,9 @@
 #pragma once
 
 // Cache-blocking configuration for the GotoBLAS/BLIS loop structure (paper
-// Fig. 1, left).  Register block sizes mR x nR are compile-time constants
-// (the micro-kernel is generated for them); cache block sizes mC, kC, nC are
-// runtime parameters so benches can explore them.
+// Fig. 1, left).  Register block sizes mR x nR come from the *active
+// micro-kernel* (kernel.h) and are runtime values; cache block sizes mC,
+// kC, nC are runtime parameters so benches can explore them.
 //
 // Defaults follow the paper's Ivy Bridge configuration adapted to an 8x6
 // AVX2/FMA kernel: A-tile (mC x kC doubles) sized for L2, B-panel (kC x nC)
@@ -11,29 +11,54 @@
 
 #include <algorithm>
 
+#include "src/gemm/kernel.h"
 #include "src/linalg/mat_view.h"
 
 namespace fmm {
 
-// Register block: the micro-kernel computes an MR x NR block of C.
-inline constexpr int kMR = 8;
-inline constexpr int kNR = 6;
-
 struct GemmConfig {
-  int mc = 96;    // rows of the packed A-tile (multiple of kMR)
+  int mc = 96;    // rows of the packed A-tile (rounded up to a multiple of mR)
   int kc = 256;   // shared inner dimension of both packed buffers
-  int nc = 4092;  // cols of the packed B-panel (multiple of kNR)
+  int nc = 4092;  // cols of the packed B-panel (rounded up to a multiple of nR)
 
   // 0 means "use omp_get_max_threads()".
   int num_threads = 0;
 
+  // Micro-kernel for this configuration; nullptr means active_kernel()
+  // (cpuid-dispatched, FMM_KERNEL-overridable).  Plans carry their own
+  // choice (Plan::kernel) which the driver installs here per call.
+  const KernelInfo* kernel = nullptr;
+
   // Model parameters live in src/model; only the geometry lives here.
 
-  bool valid() const {
-    return mc > 0 && kc > 0 && nc > 0 && mc % kMR == 0 && nc % kNR == 0;
-  }
+  bool valid() const { return mc > 0 && kc > 0 && nc > 0; }
 };
 
 inline index_t ceil_div(index_t a, index_t b) { return (a + b - 1) / b; }
+inline index_t round_up(index_t a, index_t b) { return ceil_div(a, b) * b; }
+
+// The blocking actually used by one fused-multiply call: the resolved
+// kernel plus cache block sizes rounded to its register tile.  Everything
+// downstream of resolve_blocking() works in these derived values; the raw
+// GemmConfig is user intent.
+struct BlockingParams {
+  const KernelInfo* kernel = nullptr;
+  int mr = 0;
+  int nr = 0;
+  index_t mc = 0;  // multiple of mr
+  index_t kc = 0;
+  index_t nc = 0;  // multiple of nr
+};
+
+inline BlockingParams resolve_blocking(const GemmConfig& cfg) {
+  BlockingParams bp;
+  bp.kernel = cfg.kernel != nullptr ? cfg.kernel : &active_kernel();
+  bp.mr = bp.kernel->mr;
+  bp.nr = bp.kernel->nr;
+  bp.kc = std::max<index_t>(cfg.kc, 1);
+  bp.mc = round_up(std::max<index_t>(cfg.mc, bp.mr), bp.mr);
+  bp.nc = round_up(std::max<index_t>(cfg.nc, bp.nr), bp.nr);
+  return bp;
+}
 
 }  // namespace fmm

@@ -2,19 +2,19 @@
 
 #include <cassert>
 
-#include "src/gemm/microkernel.h"
+#include "src/gemm/kernel.h"
 #include "src/gemm/pack.h"
 #include "src/util/omp_compat.h"
 
 namespace fmm {
 
-void GemmWorkspace::ensure(const GemmConfig& cfg, int num_threads) {
-  b_packed_.resize(static_cast<std::size_t>(cfg.kc) * cfg.nc);
+void GemmWorkspace::ensure(const BlockingParams& bp, int num_threads) {
+  b_packed_.resize(static_cast<std::size_t>(bp.kc) * bp.nc);
   if (static_cast<int>(a_tiles_.size()) < num_threads) {
     a_tiles_.resize(num_threads);
   }
   for (auto& tile : a_tiles_) {
-    tile.resize(static_cast<std::size_t>(cfg.mc) * cfg.kc);
+    tile.resize(static_cast<std::size_t>(bp.mc) * bp.kc);
   }
 }
 
@@ -55,8 +55,12 @@ void fused_multiply(index_t m, index_t n, index_t k,
     return;
   }
 
+  const BlockingParams bp = resolve_blocking(cfg);
+  const int mr = bp.mr;
+  const int nr = bp.nr;
+  const MicrokernelFn ukr = bp.kernel->fn;
   const int nth = resolve_threads(cfg);
-  ws.ensure(cfg, nth);
+  ws.ensure(bp, nth);
   double* bpack = ws.b_packed();
 
   // Parallelization mode (paper §5.1 / Smith et al. IPDPS'14): by default
@@ -67,10 +71,10 @@ void fused_multiply(index_t m, index_t n, index_t k,
   // even mR-high tiles cannot feed half the threads fall back to
   // parallelizing the 2nd loop (j_r) with a cooperatively packed shared
   // A-tile, which costs two barriers per tile.
-  index_t mc_use = cfg.mc;
+  index_t mc_use = bp.mc;
   if (nth > 1 && ceil_div(m, mc_use) < nth) {
     mc_use = std::max<index_t>(
-        kMR, ceil_div(ceil_div(m, static_cast<index_t>(nth)), kMR) * kMR);
+        mr, ceil_div(ceil_div(m, static_cast<index_t>(nth)), mr) * mr);
   }
   const bool jr_parallel =
       nth > 1 && ceil_div(m, mc_use) < std::max<index_t>(2, nth / 2);
@@ -81,25 +85,25 @@ void fused_multiply(index_t m, index_t n, index_t k,
     double* apack = ws.a_tile(jr_parallel ? 0 : tid);
     std::vector<LinTerm> a_local(static_cast<std::size_t>(num_a));
     std::vector<LinTerm> b_local(static_cast<std::size_t>(num_b));
-    alignas(64) double acc[kMR * kNR];
+    alignas(64) double acc[kMaxAccElems];
     std::vector<OutTerm> c_local(static_cast<std::size_t>(num_c));
 
     // 5th loop: jc over column blocks of width nc.
-    for (index_t jc = 0; jc < n; jc += cfg.nc) {
-      const index_t nc_eff = std::min<index_t>(cfg.nc, n - jc);
+    for (index_t jc = 0; jc < n; jc += bp.nc) {
+      const index_t nc_eff = std::min<index_t>(bp.nc, n - jc);
       // 4th loop: pc over the shared dimension in steps of kc.
-      for (index_t pc = 0; pc < k; pc += cfg.kc) {
-        const index_t kc_eff = std::min<index_t>(cfg.kc, k - pc);
+      for (index_t pc = 0; pc < k; pc += bp.kc) {
+        const index_t kc_eff = std::min<index_t>(bp.kc, k - pc);
         const bool acc_this_block = accumulate || pc > 0;
 
-        // Cooperative pack of B~ = sum_j v_j B_j[pc:, jc:], one nR-wide
+        // Cooperative pack of B~ = sum_j v_j B_j[pc:, jc:], one nr-wide
         // panel per iteration.  Implicit barrier publishes the buffer.
         offset_terms(b_terms, num_b, ldb, pc, jc, b_local.data());
-        const index_t b_panels = ceil_div(nc_eff, kNR);
+        const index_t b_panels = ceil_div(nc_eff, nr);
         FMM_PRAGMA_OMP(for schedule(static))
         for (index_t q = 0; q < b_panels; ++q) {
-          pack_b_panel(b_local.data(), num_b, ldb, kc_eff, nc_eff, q,
-                       bpack + q * kNR * kc_eff);
+          pack_b_panel(b_local.data(), num_b, ldb, kc_eff, nc_eff, nr, q,
+                       bpack + q * nr * kc_eff);
         }
 
         const index_t ic_blocks = ceil_div(m, mc_use);
@@ -110,22 +114,22 @@ void fused_multiply(index_t m, index_t n, index_t k,
             const index_t ic = icb * mc_use;
             const index_t mc_eff = std::min<index_t>(mc_use, m - ic);
             offset_terms(a_terms, num_a, lda, ic, pc, a_local.data());
-            pack_a(a_local.data(), num_a, lda, mc_eff, kc_eff, apack);
+            pack_a(a_local.data(), num_a, lda, mc_eff, kc_eff, mr, apack);
 
-            for (index_t jr = 0; jr < nc_eff; jr += kNR) {
-              const index_t n_sub = std::min<index_t>(kNR, nc_eff - jr);
-              const double* bpanel = bpack + (jr / kNR) * kNR * kc_eff;
-              for (index_t ir = 0; ir < mc_eff; ir += kMR) {
-                const index_t m_sub = std::min<index_t>(kMR, mc_eff - ir);
-                const double* apanel = apack + (ir / kMR) * kMR * kc_eff;
-                microkernel(kc_eff, apanel, bpanel, acc);
+            for (index_t jr = 0; jr < nc_eff; jr += nr) {
+              const index_t n_sub = std::min<index_t>(nr, nc_eff - jr);
+              const double* bpanel = bpack + (jr / nr) * nr * kc_eff;
+              for (index_t ir = 0; ir < mc_eff; ir += mr) {
+                const index_t m_sub = std::min<index_t>(mr, mc_eff - ir);
+                const double* apanel = apack + (ir / mr) * mr * kc_eff;
+                ukr(kc_eff, apanel, bpanel, acc);
                 for (int t = 0; t < num_c; ++t) {
                   c_local[t].ptr =
                       c_terms[t].ptr + (ic + ir) * ldc + (jc + jr);
                   c_local[t].coeff = c_terms[t].coeff;
                 }
                 epilogue_update(c_local.data(), num_c, ldc, m_sub, n_sub, acc,
-                                acc_this_block);
+                                mr, nr, acc_this_block);
               }
             }
           }
@@ -139,29 +143,29 @@ void fused_multiply(index_t m, index_t n, index_t k,
             const index_t ic = icb * mc_use;
             const index_t mc_eff = std::min<index_t>(mc_use, m - ic);
             offset_terms(a_terms, num_a, lda, ic, pc, a_local.data());
-            const index_t a_panels = ceil_div(mc_eff, kMR);
+            const index_t a_panels = ceil_div(mc_eff, mr);
             FMM_PRAGMA_OMP(for schedule(static))
             for (index_t p = 0; p < a_panels; ++p) {
-              pack_a_panel(a_local.data(), num_a, lda, mc_eff, kc_eff, p,
-                           apack + p * kMR * kc_eff);
+              pack_a_panel(a_local.data(), num_a, lda, mc_eff, kc_eff, mr, p,
+                           apack + p * mr * kc_eff);
             }
             // Implicit barrier: the shared A-tile is complete.
             FMM_PRAGMA_OMP(for schedule(dynamic, 2))
-            for (index_t jrb = 0; jrb < ceil_div(nc_eff, kNR); ++jrb) {
-              const index_t jr = jrb * kNR;
-              const index_t n_sub = std::min<index_t>(kNR, nc_eff - jr);
-              const double* bpanel = bpack + jrb * kNR * kc_eff;
-              for (index_t ir = 0; ir < mc_eff; ir += kMR) {
-                const index_t m_sub = std::min<index_t>(kMR, mc_eff - ir);
-                const double* apanel = apack + (ir / kMR) * kMR * kc_eff;
-                microkernel(kc_eff, apanel, bpanel, acc);
+            for (index_t jrb = 0; jrb < ceil_div(nc_eff, nr); ++jrb) {
+              const index_t jr = jrb * nr;
+              const index_t n_sub = std::min<index_t>(nr, nc_eff - jr);
+              const double* bpanel = bpack + jrb * nr * kc_eff;
+              for (index_t ir = 0; ir < mc_eff; ir += mr) {
+                const index_t m_sub = std::min<index_t>(mr, mc_eff - ir);
+                const double* apanel = apack + (ir / mr) * mr * kc_eff;
+                ukr(kc_eff, apanel, bpanel, acc);
                 for (int t = 0; t < num_c; ++t) {
                   c_local[t].ptr =
                       c_terms[t].ptr + (ic + ir) * ldc + (jc + jr);
                   c_local[t].coeff = c_terms[t].coeff;
                 }
                 epilogue_update(c_local.data(), num_c, ldc, m_sub, n_sub, acc,
-                                acc_this_block);
+                                mr, nr, acc_this_block);
               }
             }
             // Implicit barrier before the shared tile is overwritten.

@@ -29,8 +29,8 @@ namespace fmm {
 // same thread; not safe to share one workspace between concurrent calls.
 class GemmWorkspace {
  public:
-  // Ensures capacity for the given blocking configuration and thread count.
-  void ensure(const GemmConfig& cfg, int num_threads);
+  // Ensures capacity for the given resolved blocking and thread count.
+  void ensure(const BlockingParams& bp, int num_threads);
 
   double* b_packed() { return b_packed_.data(); }
   double* a_tile(int thread) { return a_tiles_[thread].data(); }

@@ -1,0 +1,194 @@
+#include "src/gemm/kernel.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/gemm/kernels_arch.h"
+
+namespace fmm {
+namespace {
+
+// Compile-time-tiled portable kernel: the inner loops unroll fully, which
+// keeps the scalar fallback respectable and gives the generic tiles a
+// deterministic reference implementation.
+template <int MR, int NR>
+void portable_microkernel(index_t k, const double* a_panel,
+                          const double* b_panel, double* acc) {
+  double local[MR * NR] = {0.0};
+  for (index_t kk = 0; kk < k; ++kk) {
+    const double* a = a_panel + kk * MR;
+    const double* b = b_panel + kk * NR;
+    for (int j = 0; j < NR; ++j) {
+      const double bj = b[j];
+      double* out = local + j * MR;
+      for (int r = 0; r < MR; ++r) out[r] += a[r] * bj;
+    }
+  }
+  for (int i = 0; i < MR * NR; ++i) acc[i] = local[i];
+}
+
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+bool cpu_has_avx2_fma() {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+bool cpu_has_avx512f() { return __builtin_cpu_supports("avx512f"); }
+#else
+bool cpu_has_avx2_fma() { return false; }
+bool cpu_has_avx512f() { return false; }
+#endif
+
+std::vector<KernelInfo> build_registry() {
+  std::vector<KernelInfo> reg;
+  // Portable entries first: always supported, lowest throughput hints.
+  reg.push_back({"portable", "generic", 8, 6, &portable_microkernel<8, 6>,
+                 2.0, false, nullptr});
+  reg.push_back({"portable_4x12", "generic", 4, 12,
+                 &portable_microkernel<4, 12>, 1.8, false, nullptr});
+#if defined(FMM_HAVE_AVX2_TU)
+  reg.push_back({"avx2_8x6", "avx2", 8, 6, &detail::microkernel_avx2_8x6,
+                 16.0, true, &cpu_has_avx2_fma});
+  // Thinner tile: better edge utilization when the FMM submatrix rows are
+  // not close to a multiple of 8; slightly lower peak (more broadcasts per
+  // flop), hence the lower hint.
+  reg.push_back({"avx2_4x12", "avx2", 4, 12, &detail::microkernel_avx2_4x12,
+                 14.0, true, &cpu_has_avx2_fma});
+#endif
+#if defined(FMM_HAVE_AVX512_TU)
+  reg.push_back({"avx512_8x6", "avx512", 8, 6,
+                 &detail::microkernel_avx512_8x6, 32.0, true,
+                 &cpu_has_avx512f});
+#endif
+  (void)cpu_has_avx512f;  // non-x86 / no-TU builds
+  (void)cpu_has_avx2_fma;
+  return reg;
+}
+
+const KernelInfo& best_supported_kernel() {
+  const std::vector<KernelInfo>& reg = kernel_registry();
+  const KernelInfo* best = &reg.front();  // portable: always supported
+  for (const KernelInfo& k : reg) {
+    if (k.supported() && k.flops_per_cycle > best->flops_per_cycle) best = &k;
+  }
+  return *best;
+}
+
+// Pure resolution: `pinned` reports whether the request named a usable
+// kernel (as opposed to falling back to the default).
+const KernelInfo& resolve_impl(const char* request, std::string* diag,
+                               bool* pinned) {
+  if (pinned) *pinned = false;
+  if (request == nullptr || *request == '\0') return best_supported_kernel();
+  const KernelInfo* k = find_kernel(request);
+  if (k == nullptr) {
+    if (diag) {
+      *diag = std::string("FMM_KERNEL=") + request +
+              ": no such kernel, using default";
+    }
+    return best_supported_kernel();
+  }
+  if (!k->supported()) {
+    if (diag) {
+      *diag = std::string("FMM_KERNEL=") + request +
+              ": not supported by this CPU, using default";
+    }
+    return best_supported_kernel();
+  }
+  if (pinned) *pinned = true;
+  return *k;
+}
+
+// The process-wide default, resolved once on first use.
+struct ActiveState {
+  const KernelInfo* kernel;
+  bool pinned;
+};
+
+const ActiveState& active_state() {
+  static const ActiveState s = [] {
+    std::string diag;
+    bool pinned = false;
+    const KernelInfo& k = resolve_impl(std::getenv("FMM_KERNEL"), &diag,
+                                       &pinned);
+    if (!diag.empty()) std::fprintf(stderr, "fmm: %s\n", diag.c_str());
+    return ActiveState{&k, pinned};
+  }();
+  return s;
+}
+
+}  // namespace
+
+const std::vector<KernelInfo>& kernel_registry() {
+  static const std::vector<KernelInfo> reg = build_registry();
+  return reg;
+}
+
+const KernelInfo* find_kernel(const std::string& name) {
+  for (const KernelInfo& k : kernel_registry()) {
+    if (name == k.name) return &k;
+  }
+  return nullptr;
+}
+
+const KernelInfo& resolve_kernel(const char* request, std::string* diag) {
+  return resolve_impl(request, diag, nullptr);
+}
+
+const KernelInfo& resolve_active_kernel(std::string* diag) {
+  return resolve_impl(std::getenv("FMM_KERNEL"), diag, nullptr);
+}
+
+const KernelInfo& active_kernel() { return *active_state().kernel; }
+
+bool kernel_override_active() { return active_state().pinned; }
+
+void microkernel_generic(int mr, int nr, index_t k, const double* a_panel,
+                         const double* b_panel, double* acc) {
+  double local[kMaxAccElems] = {0.0};
+  for (index_t kk = 0; kk < k; ++kk) {
+    const double* a = a_panel + kk * mr;
+    const double* b = b_panel + kk * nr;
+    for (int j = 0; j < nr; ++j) {
+      const double bj = b[j];
+      double* out = local + j * mr;
+      for (int r = 0; r < mr; ++r) out[r] += a[r] * bj;
+    }
+  }
+  for (int i = 0; i < mr * nr; ++i) acc[i] = local[i];
+}
+
+void microkernel_portable(index_t k, const double* a_panel,
+                          const double* b_panel, double* acc) {
+  portable_microkernel<8, 6>(k, a_panel, b_panel, acc);
+}
+
+void epilogue_update(const OutTerm* targets, int num_targets, index_t ldc,
+                     index_t m_sub, index_t n_sub, const double* acc, int mr,
+                     int nr, bool accumulate) {
+  for (int t = 0; t < num_targets; ++t) {
+    double* c = targets[t].ptr;
+    const double w = targets[t].coeff;
+    if (accumulate) {
+      // The fast path requires a *full* tile of the active kernel; edge
+      // tiles of any kernel size take the masked loops.
+      if (m_sub == mr && n_sub == nr) {
+        for (int r = 0; r < mr; ++r) {
+          double* crow = c + r * ldc;
+          for (int j = 0; j < nr; ++j) crow[j] += w * acc[j * mr + r];
+        }
+      } else {
+        for (index_t r = 0; r < m_sub; ++r) {
+          double* crow = c + r * ldc;
+          for (index_t j = 0; j < n_sub; ++j) crow[j] += w * acc[j * mr + r];
+        }
+      }
+    } else {
+      for (index_t r = 0; r < m_sub; ++r) {
+        double* crow = c + r * ldc;
+        for (index_t j = 0; j < n_sub; ++j) crow[j] = w * acc[j * mr + r];
+      }
+    }
+  }
+}
+
+}  // namespace fmm

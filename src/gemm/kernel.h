@@ -1,0 +1,110 @@
+#pragma once
+
+// The runtime-dispatched micro-kernel family.
+//
+// The paper builds every generated algorithm on one near-peak BLIS-style
+// micro-kernel; Benson & Ballard (arXiv:1409.2908) observe that the winning
+// register tile shifts with problem shape and hardware.  This module turns
+// the single compile-time kernel into a queryable *registry* of kernels,
+// each described by a KernelInfo: register tile (mR x nR), ISA, function
+// pointer, and a static throughput hint the selector can rank with.
+//
+// Contract shared by every kernel (identical to the old single kernel, but
+// with per-kernel tile sizes):
+//
+//   acc[j * mr + r] = sum_{kk < k} a_panel[kk * mr + r] * b_panel[kk * nr + j]
+//
+// `a_panel` / `b_panel` point at one packed panel (see pack.h); `acc` is a
+// column-blocked mr x nr scratch block, always overwritten (k == 0 zeroes
+// it).  The epilogue then applies the block to one or many output
+// submatrices with per-target coefficients.
+//
+// Selection:
+//   * active_kernel() returns the process-wide *default*: the registered
+//     kernel with the highest throughput hint that this CPU supports
+//     (cpuid-based), overridable with the FMM_KERNEL environment variable
+//     (e.g. FMM_KERNEL=portable forces the scalar fallback).
+//   * Explicit programmatic choices travel in Plan::kernel (strongest) and
+//     GemmConfig::kernel, and beat the environment — unit tests and
+//     benches must be able to exercise any kernel regardless of FMM_KERNEL.
+//     The model-guided selector (selector.h) fills Plan::kernel per
+//     problem shape, deferring to an FMM_KERNEL override when one is set.
+
+#include <string>
+#include <vector>
+
+#include "src/gemm/term.h"
+#include "src/linalg/mat_view.h"
+
+namespace fmm {
+
+// Upper bounds over every registered kernel; size stack accumulators as
+// double acc[kMaxAccElems].
+inline constexpr int kMaxMR = 16;
+inline constexpr int kMaxNR = 16;
+inline constexpr int kMaxAccElems = kMaxMR * kMaxNR;
+
+using MicrokernelFn = void (*)(index_t k, const double* a_panel,
+                               const double* b_panel, double* acc);
+
+struct KernelInfo {
+  const char* name;  // registry key, e.g. "avx2_8x6"
+  const char* isa;   // "generic", "avx2", "avx512"
+  int mr;
+  int nr;
+  MicrokernelFn fn;
+  // Rough sustained double-precision flops/cycle, used only to *rank*
+  // kernels (portable ~2, AVX2 FMA ~16, AVX-512 ~32); never as a time
+  // estimate — the performance model calibrates real rates.
+  double flops_per_cycle;
+  bool vectorized;
+  bool (*supported_fn)();  // nullptr means "always supported"
+
+  bool supported() const { return supported_fn == nullptr || supported_fn(); }
+};
+
+// Every kernel compiled into this binary, portable first.  Entries whose
+// ISA the running CPU lacks are present but report supported() == false.
+const std::vector<KernelInfo>& kernel_registry();
+
+// Registry lookup by name; nullptr when absent.
+const KernelInfo* find_kernel(const std::string& name);
+
+// Resolution used by active_kernel(): an empty/null request (or one that
+// names a missing/unsupported kernel) falls back to the best supported
+// kernel; a valid request pins that kernel.  When `diag` is non-null it
+// receives a human-readable note about any fallback taken.
+const KernelInfo& resolve_kernel(const char* request,
+                                 std::string* diag = nullptr);
+
+// resolve_kernel(getenv("FMM_KERNEL")), re-read on every call (tests).
+const KernelInfo& resolve_active_kernel(std::string* diag = nullptr);
+
+// The process-wide default kernel: resolve_active_kernel() evaluated once,
+// with any fallback diagnostic printed to stderr on first use.
+const KernelInfo& active_kernel();
+
+// True when FMM_KERNEL successfully pinned a kernel; the selector then
+// must not second-guess the override.
+bool kernel_override_active();
+
+// Reference kernel for arbitrary tiles (1 <= mr <= kMaxMR, likewise nr):
+// the ground truth the equivalence tests compare every registry entry to.
+void microkernel_generic(int mr, int nr, index_t k, const double* a_panel,
+                         const double* b_panel, double* acc);
+
+// The portable 8x6 kernel (the registry's "portable" entry).
+void microkernel_portable(index_t k, const double* a_panel,
+                          const double* b_panel, double* acc);
+
+// Epilogue: for each target t, C_t[0:m_sub, 0:n_sub] += coeff_t * block
+// (accumulate == true) or = coeff_t * block (overwrite; used for the first
+// k-block when streaming into a fresh temporary).  `acc` is laid out with
+// leading dimension mr; m_sub <= mr and n_sub <= nr mask edge tiles — the
+// full-tile fast path is taken only when m_sub == mr && n_sub == nr, so a
+// non-8x6 kernel can never take the unmasked path on an edge tile.
+void epilogue_update(const OutTerm* targets, int num_targets, index_t ldc,
+                     index_t m_sub, index_t n_sub, const double* acc, int mr,
+                     int nr, bool accumulate = true);
+
+}  // namespace fmm

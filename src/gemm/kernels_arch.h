@@ -1,0 +1,28 @@
+#pragma once
+
+// Internal declarations of the ISA-specific micro-kernels.  Each family
+// lives in its own translation unit compiled with the matching target
+// flags (see CMakeLists: microkernel_avx2.cc gets -mavx2 -mfma, etc.), so
+// a baseline x86-64 build still ships the vector kernels and picks them at
+// runtime via cpuid.  The FMM_HAVE_*_TU macros are defined for the whole
+// fmm target when the compiler supports the flags.
+
+#include "src/linalg/mat_view.h"
+
+namespace fmm {
+namespace detail {
+
+#if defined(FMM_HAVE_AVX2_TU)
+void microkernel_avx2_8x6(index_t k, const double* a_panel,
+                          const double* b_panel, double* acc);
+void microkernel_avx2_4x12(index_t k, const double* a_panel,
+                           const double* b_panel, double* acc);
+#endif
+
+#if defined(FMM_HAVE_AVX512_TU)
+void microkernel_avx512_8x6(index_t k, const double* a_panel,
+                            const double* b_panel, double* acc);
+#endif
+
+}  // namespace detail
+}  // namespace fmm

@@ -1,0 +1,96 @@
+// AVX2/FMA micro-kernels.  This translation unit is compiled with
+// -mavx2 -mfma regardless of the global target (see CMakeLists); nothing
+// here may be called unless cpuid reports AVX2+FMA — the registry entries
+// guard with cpu_has_avx2_fma().
+
+#include "src/gemm/kernels_arch.h"
+
+#if defined(FMM_HAVE_AVX2_TU)
+
+#include <immintrin.h>
+
+namespace fmm {
+namespace detail {
+
+// 8x6 kernel: 12 accumulator registers (2 vectors of 4 rows x 6 columns),
+// 2 loads of A and 6 broadcasts of B per k iteration.  The classic
+// near-peak dgemm register layout for 16-register AVX2 targets.
+void microkernel_avx2_8x6(index_t k, const double* a_panel,
+                          const double* b_panel, double* acc) {
+  constexpr int MR = 8, NR = 6;
+  __m256d c00 = _mm256_setzero_pd(), c01 = _mm256_setzero_pd();
+  __m256d c10 = _mm256_setzero_pd(), c11 = _mm256_setzero_pd();
+  __m256d c20 = _mm256_setzero_pd(), c21 = _mm256_setzero_pd();
+  __m256d c30 = _mm256_setzero_pd(), c31 = _mm256_setzero_pd();
+  __m256d c40 = _mm256_setzero_pd(), c41 = _mm256_setzero_pd();
+  __m256d c50 = _mm256_setzero_pd(), c51 = _mm256_setzero_pd();
+
+  const double* a = a_panel;
+  const double* b = b_panel;
+  for (index_t kk = 0; kk < k; ++kk) {
+    const __m256d a0 = _mm256_loadu_pd(a);
+    const __m256d a1 = _mm256_loadu_pd(a + 4);
+    __m256d bj;
+    bj = _mm256_broadcast_sd(b + 0);
+    c00 = _mm256_fmadd_pd(a0, bj, c00);
+    c01 = _mm256_fmadd_pd(a1, bj, c01);
+    bj = _mm256_broadcast_sd(b + 1);
+    c10 = _mm256_fmadd_pd(a0, bj, c10);
+    c11 = _mm256_fmadd_pd(a1, bj, c11);
+    bj = _mm256_broadcast_sd(b + 2);
+    c20 = _mm256_fmadd_pd(a0, bj, c20);
+    c21 = _mm256_fmadd_pd(a1, bj, c21);
+    bj = _mm256_broadcast_sd(b + 3);
+    c30 = _mm256_fmadd_pd(a0, bj, c30);
+    c31 = _mm256_fmadd_pd(a1, bj, c31);
+    bj = _mm256_broadcast_sd(b + 4);
+    c40 = _mm256_fmadd_pd(a0, bj, c40);
+    c41 = _mm256_fmadd_pd(a1, bj, c41);
+    bj = _mm256_broadcast_sd(b + 5);
+    c50 = _mm256_fmadd_pd(a0, bj, c50);
+    c51 = _mm256_fmadd_pd(a1, bj, c51);
+    a += MR;
+    b += NR;
+  }
+  _mm256_storeu_pd(acc + 0 * MR + 0, c00);
+  _mm256_storeu_pd(acc + 0 * MR + 4, c01);
+  _mm256_storeu_pd(acc + 1 * MR + 0, c10);
+  _mm256_storeu_pd(acc + 1 * MR + 4, c11);
+  _mm256_storeu_pd(acc + 2 * MR + 0, c20);
+  _mm256_storeu_pd(acc + 2 * MR + 4, c21);
+  _mm256_storeu_pd(acc + 3 * MR + 0, c30);
+  _mm256_storeu_pd(acc + 3 * MR + 4, c31);
+  _mm256_storeu_pd(acc + 4 * MR + 0, c40);
+  _mm256_storeu_pd(acc + 4 * MR + 4, c41);
+  _mm256_storeu_pd(acc + 5 * MR + 0, c50);
+  _mm256_storeu_pd(acc + 5 * MR + 4, c51);
+}
+
+// 4x12 kernel: one 4-row vector per column, 12 accumulators + 1 A vector
+// leaves 3 registers for the B broadcasts.  Same 48-element register file
+// as 8x6 but a thinner tile: less row padding when the FMM submatrix
+// height is far from a multiple of 8, at the cost of one load amortized
+// over 6 instead of 12 FMAs.
+void microkernel_avx2_4x12(index_t k, const double* a_panel,
+                           const double* b_panel, double* acc) {
+  constexpr int MR = 4, NR = 12;
+  __m256d c[NR];
+  for (int j = 0; j < NR; ++j) c[j] = _mm256_setzero_pd();
+
+  const double* a = a_panel;
+  const double* b = b_panel;
+  for (index_t kk = 0; kk < k; ++kk) {
+    const __m256d a0 = _mm256_loadu_pd(a);
+    for (int j = 0; j < NR; ++j) {
+      c[j] = _mm256_fmadd_pd(a0, _mm256_broadcast_sd(b + j), c[j]);
+    }
+    a += MR;
+    b += NR;
+  }
+  for (int j = 0; j < NR; ++j) _mm256_storeu_pd(acc + j * MR, c[j]);
+}
+
+}  // namespace detail
+}  // namespace fmm
+
+#endif  // FMM_HAVE_AVX2_TU

@@ -1,0 +1,71 @@
+// AVX-512 micro-kernel.  Compiled with -mavx512f regardless of the global
+// target (see CMakeLists); only reachable through the registry when cpuid
+// reports AVX-512F.
+
+#include "src/gemm/kernels_arch.h"
+
+#if defined(FMM_HAVE_AVX512_TU)
+
+#include <immintrin.h>
+
+namespace fmm {
+namespace detail {
+
+// 8x6 AVX-512 kernel: one zmm covers the full 8-row column, so each column
+// needs a single FMA per k.  Two accumulator banks (k unrolled by 2) keep
+// twelve independent FMA chains in flight, hiding the FMA latency; the
+// scalar B values use set1 (the compiler lowers them to embedded
+// broadcasts).
+void microkernel_avx512_8x6(index_t k, const double* a_panel,
+                            const double* b_panel, double* acc) {
+  constexpr int MR = 8, NR = 6;
+  __m512d c0 = _mm512_setzero_pd(), c1 = _mm512_setzero_pd();
+  __m512d c2 = _mm512_setzero_pd(), c3 = _mm512_setzero_pd();
+  __m512d c4 = _mm512_setzero_pd(), c5 = _mm512_setzero_pd();
+  __m512d d0 = _mm512_setzero_pd(), d1 = _mm512_setzero_pd();
+  __m512d d2 = _mm512_setzero_pd(), d3 = _mm512_setzero_pd();
+  __m512d d4 = _mm512_setzero_pd(), d5 = _mm512_setzero_pd();
+  const double* a = a_panel;
+  const double* b = b_panel;
+  index_t kk = 0;
+  for (; kk + 2 <= k; kk += 2) {
+    const __m512d a0 = _mm512_loadu_pd(a);
+    const __m512d a1 = _mm512_loadu_pd(a + MR);
+    c0 = _mm512_fmadd_pd(a0, _mm512_set1_pd(b[0]), c0);
+    c1 = _mm512_fmadd_pd(a0, _mm512_set1_pd(b[1]), c1);
+    c2 = _mm512_fmadd_pd(a0, _mm512_set1_pd(b[2]), c2);
+    c3 = _mm512_fmadd_pd(a0, _mm512_set1_pd(b[3]), c3);
+    c4 = _mm512_fmadd_pd(a0, _mm512_set1_pd(b[4]), c4);
+    c5 = _mm512_fmadd_pd(a0, _mm512_set1_pd(b[5]), c5);
+    d0 = _mm512_fmadd_pd(a1, _mm512_set1_pd(b[6]), d0);
+    d1 = _mm512_fmadd_pd(a1, _mm512_set1_pd(b[7]), d1);
+    d2 = _mm512_fmadd_pd(a1, _mm512_set1_pd(b[8]), d2);
+    d3 = _mm512_fmadd_pd(a1, _mm512_set1_pd(b[9]), d3);
+    d4 = _mm512_fmadd_pd(a1, _mm512_set1_pd(b[10]), d4);
+    d5 = _mm512_fmadd_pd(a1, _mm512_set1_pd(b[11]), d5);
+    a += 2 * MR;
+    b += 2 * NR;
+  }
+  for (; kk < k; ++kk) {
+    const __m512d a0 = _mm512_loadu_pd(a);
+    c0 = _mm512_fmadd_pd(a0, _mm512_set1_pd(b[0]), c0);
+    c1 = _mm512_fmadd_pd(a0, _mm512_set1_pd(b[1]), c1);
+    c2 = _mm512_fmadd_pd(a0, _mm512_set1_pd(b[2]), c2);
+    c3 = _mm512_fmadd_pd(a0, _mm512_set1_pd(b[3]), c3);
+    c4 = _mm512_fmadd_pd(a0, _mm512_set1_pd(b[4]), c4);
+    c5 = _mm512_fmadd_pd(a0, _mm512_set1_pd(b[5]), c5);
+    a += MR;
+    b += NR;
+  }
+  _mm512_storeu_pd(acc + 0 * MR, _mm512_add_pd(c0, d0));
+  _mm512_storeu_pd(acc + 1 * MR, _mm512_add_pd(c1, d1));
+  _mm512_storeu_pd(acc + 2 * MR, _mm512_add_pd(c2, d2));
+  _mm512_storeu_pd(acc + 3 * MR, _mm512_add_pd(c3, d3));
+  _mm512_storeu_pd(acc + 4 * MR, _mm512_add_pd(c4, d4));
+  _mm512_storeu_pd(acc + 5 * MR, _mm512_add_pd(c5, d5));
+}
+
+}  // namespace detail
+}  // namespace fmm
+
+#endif  // FMM_HAVE_AVX512_TU

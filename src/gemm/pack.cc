@@ -7,23 +7,51 @@ namespace {
 
 // Specialized single-term A-pack: the plain-GEMM fast path (coeff almost
 // always 1.0) and the dominant case after common-subexpression collapse.
-void pack_a_one(const double* a, double coeff, index_t lda, index_t m,
-                index_t k, double* out) {
-  const index_t full_panels = m / kMR;
+// Templated on the panel height so the row loop fully unrolls for the
+// register tiles actually registered (see the switch in pack_a).
+template <int MR>
+void pack_a_one_t(const double* a, double coeff, index_t lda, index_t m,
+                  index_t k, double* out) {
+  const index_t full_panels = m / MR;
   for (index_t p = 0; p < full_panels; ++p) {
-    const double* src = a + p * kMR * lda;
-    double* dst = out + p * kMR * k;
+    const double* src = a + p * MR * lda;
+    double* dst = out + p * MR * k;
     for (index_t kk = 0; kk < k; ++kk) {
-      for (int r = 0; r < kMR; ++r) dst[kk * kMR + r] = coeff * src[r * lda + kk];
+      for (int r = 0; r < MR; ++r) dst[kk * MR + r] = coeff * src[r * lda + kk];
     }
   }
-  const index_t rem = m - full_panels * kMR;
+  const index_t rem = m - full_panels * MR;
   if (rem > 0) {
-    const double* src = a + full_panels * kMR * lda;
-    double* dst = out + full_panels * kMR * k;
+    const double* src = a + full_panels * MR * lda;
+    double* dst = out + full_panels * MR * k;
     for (index_t kk = 0; kk < k; ++kk) {
-      for (index_t r = 0; r < rem; ++r) dst[kk * kMR + r] = coeff * src[r * lda + kk];
-      for (index_t r = rem; r < kMR; ++r) dst[kk * kMR + r] = 0.0;
+      for (index_t r = 0; r < rem; ++r) dst[kk * MR + r] = coeff * src[r * lda + kk];
+      for (index_t r = rem; r < MR; ++r) dst[kk * MR + r] = 0.0;
+    }
+  }
+}
+
+void pack_a_one(const double* a, double coeff, index_t lda, index_t m,
+                index_t k, int mr, double* out) {
+  switch (mr) {
+    case 8:
+      pack_a_one_t<8>(a, coeff, lda, m, k, out);
+      return;
+    case 4:
+      pack_a_one_t<4>(a, coeff, lda, m, k, out);
+      return;
+    default:
+      break;
+  }
+  const index_t panels = ceil_div(m, mr);
+  for (index_t p = 0; p < panels; ++p) {
+    const index_t row0 = p * mr;
+    const index_t rows = std::min<index_t>(mr, m - row0);
+    const double* src = a + row0 * lda;
+    double* dst = out + p * mr * k;
+    for (index_t kk = 0; kk < k; ++kk) {
+      for (index_t r = 0; r < rows; ++r) dst[kk * mr + r] = coeff * src[r * lda + kk];
+      for (index_t r = rows; r < mr; ++r) dst[kk * mr + r] = 0.0;
     }
   }
 }
@@ -31,31 +59,31 @@ void pack_a_one(const double* a, double coeff, index_t lda, index_t m,
 }  // namespace
 
 void pack_a(const LinTerm* terms, int num_terms, index_t lda, index_t m,
-            index_t k, double* out) {
+            index_t k, int mr, double* out) {
   if (num_terms == 1) {
-    pack_a_one(terms[0].ptr, terms[0].coeff, lda, m, k, out);
+    pack_a_one(terms[0].ptr, terms[0].coeff, lda, m, k, mr, out);
     return;
   }
   // General case: accumulate the weighted sum while transposing into panels.
   // The first term writes, the rest add; this keeps a single pass per term
   // with unit-stride writes into the (cache-resident) packed buffer.
-  const index_t panels = ceil_div(m, kMR);
+  const index_t panels = ceil_div(m, mr);
   for (int t = 0; t < num_terms; ++t) {
     const double* a = terms[t].ptr;
     const double c = terms[t].coeff;
     for (index_t p = 0; p < panels; ++p) {
-      const index_t row0 = p * kMR;
-      const index_t rows = std::min<index_t>(kMR, m - row0);
+      const index_t row0 = p * mr;
+      const index_t rows = std::min<index_t>(mr, m - row0);
       const double* src = a + row0 * lda;
-      double* dst = out + p * kMR * k;
+      double* dst = out + p * mr * k;
       if (t == 0) {
         for (index_t kk = 0; kk < k; ++kk) {
-          for (index_t r = 0; r < rows; ++r) dst[kk * kMR + r] = c * src[r * lda + kk];
-          for (index_t r = rows; r < kMR; ++r) dst[kk * kMR + r] = 0.0;
+          for (index_t r = 0; r < rows; ++r) dst[kk * mr + r] = c * src[r * lda + kk];
+          for (index_t r = rows; r < mr; ++r) dst[kk * mr + r] = 0.0;
         }
       } else {
         for (index_t kk = 0; kk < k; ++kk) {
-          for (index_t r = 0; r < rows; ++r) dst[kk * kMR + r] += c * src[r * lda + kk];
+          for (index_t r = 0; r < rows; ++r) dst[kk * mr + r] += c * src[r * lda + kk];
         }
       }
     }
@@ -63,46 +91,46 @@ void pack_a(const LinTerm* terms, int num_terms, index_t lda, index_t m,
 }
 
 void pack_a_panel(const LinTerm* terms, int num_terms, index_t lda, index_t m,
-                  index_t k, index_t p, double* out_panel) {
-  const index_t row0 = p * kMR;
-  const index_t rows = std::min<index_t>(kMR, m - row0);
+                  index_t k, int mr, index_t p, double* out_panel) {
+  const index_t row0 = p * mr;
+  const index_t rows = std::min<index_t>(mr, m - row0);
   for (int t = 0; t < num_terms; ++t) {
     const double* src = terms[t].ptr + row0 * lda;
     const double c = terms[t].coeff;
     if (t == 0) {
       for (index_t kk = 0; kk < k; ++kk) {
         for (index_t r = 0; r < rows; ++r)
-          out_panel[kk * kMR + r] = c * src[r * lda + kk];
-        for (index_t r = rows; r < kMR; ++r) out_panel[kk * kMR + r] = 0.0;
+          out_panel[kk * mr + r] = c * src[r * lda + kk];
+        for (index_t r = rows; r < mr; ++r) out_panel[kk * mr + r] = 0.0;
       }
     } else {
       for (index_t kk = 0; kk < k; ++kk) {
         for (index_t r = 0; r < rows; ++r)
-          out_panel[kk * kMR + r] += c * src[r * lda + kk];
+          out_panel[kk * mr + r] += c * src[r * lda + kk];
       }
     }
   }
 }
 
 void pack_b_panel(const LinTerm* terms, int num_terms, index_t ldb, index_t k,
-                  index_t n, index_t q, double* out_panel) {
-  const index_t col0 = q * kNR;
-  const index_t cols = std::min<index_t>(kNR, n - col0);
+                  index_t n, int nr, index_t q, double* out_panel) {
+  const index_t col0 = q * nr;
+  const index_t cols = std::min<index_t>(nr, n - col0);
   if (num_terms == 1) {
     const double* b = terms[0].ptr + col0;
     const double c = terms[0].coeff;
-    if (cols == kNR) {
+    if (cols == nr) {
       for (index_t kk = 0; kk < k; ++kk) {
         const double* src = b + kk * ldb;
-        double* dst = out_panel + kk * kNR;
-        for (int j = 0; j < kNR; ++j) dst[j] = c * src[j];
+        double* dst = out_panel + kk * nr;
+        for (index_t j = 0; j < nr; ++j) dst[j] = c * src[j];
       }
     } else {
       for (index_t kk = 0; kk < k; ++kk) {
         const double* src = b + kk * ldb;
-        double* dst = out_panel + kk * kNR;
+        double* dst = out_panel + kk * nr;
         for (index_t j = 0; j < cols; ++j) dst[j] = c * src[j];
-        for (index_t j = cols; j < kNR; ++j) dst[j] = 0.0;
+        for (index_t j = cols; j < nr; ++j) dst[j] = 0.0;
       }
     }
     return;
@@ -113,14 +141,14 @@ void pack_b_panel(const LinTerm* terms, int num_terms, index_t ldb, index_t k,
     if (t == 0) {
       for (index_t kk = 0; kk < k; ++kk) {
         const double* src = b + kk * ldb;
-        double* dst = out_panel + kk * kNR;
+        double* dst = out_panel + kk * nr;
         for (index_t j = 0; j < cols; ++j) dst[j] = c * src[j];
-        for (index_t j = cols; j < kNR; ++j) dst[j] = 0.0;
+        for (index_t j = cols; j < nr; ++j) dst[j] = 0.0;
       }
     } else {
       for (index_t kk = 0; kk < k; ++kk) {
         const double* src = b + kk * ldb;
-        double* dst = out_panel + kk * kNR;
+        double* dst = out_panel + kk * nr;
         for (index_t j = 0; j < cols; ++j) dst[j] += c * src[j];
       }
     }
@@ -128,10 +156,10 @@ void pack_b_panel(const LinTerm* terms, int num_terms, index_t ldb, index_t k,
 }
 
 void pack_b(const LinTerm* terms, int num_terms, index_t ldb, index_t k,
-            index_t n, double* out) {
-  const index_t panels = ceil_div(n, kNR);
+            index_t n, int nr, double* out) {
+  const index_t panels = ceil_div(n, nr);
   for (index_t q = 0; q < panels; ++q) {
-    pack_b_panel(terms, num_terms, ldb, k, n, q, out + q * kNR * k);
+    pack_b_panel(terms, num_terms, ldb, k, n, nr, q, out + q * nr * k);
   }
 }
 

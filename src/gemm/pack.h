@@ -3,12 +3,13 @@
 // Packing routines with fused linear combinations (paper Fig. 1, right:
 // "Pack X + Y -> A~", "Pack V + W -> B~").
 //
-// Layouts match BLIS:
-//  * packed A: ceil(m/mR) row panels; panel p holds rows [p*mR, p*mR+mR)
-//    column-major within the panel, i.e. out[p*mR*k + kk*mR + r].
-//  * packed B: ceil(n/nR) column panels; panel q holds cols [q*nR, ...)
-//    row-major within the panel, i.e. out[q*nR*k + kk*nR + c].
-// Partial edge panels are zero-padded to full mR / nR so the micro-kernel
+// Layouts match BLIS, parameterized on the active kernel's register tile
+// (mr rows per A panel, nr columns per B panel):
+//  * packed A: ceil(m/mr) row panels; panel p holds rows [p*mr, p*mr+mr)
+//    column-major within the panel, i.e. out[p*mr*k + kk*mr + r].
+//  * packed B: ceil(n/nr) column panels; panel q holds cols [q*nr, ...)
+//    row-major within the panel, i.e. out[q*nr*k + kk*nr + c].
+// Partial edge panels are zero-padded to full mr / nr so the micro-kernel
 // never needs edge cases; the epilogue masks the stores instead.
 
 #include "src/gemm/blocking.h"
@@ -17,24 +18,24 @@
 namespace fmm {
 
 // Packs sum_i terms[i].coeff * terms[i].ptr[0:m, 0:k] (row stride `lda`)
-// into `out` in the packed-A layout described above.
+// into `out` in the packed-A layout described above, mr rows per panel.
 void pack_a(const LinTerm* terms, int num_terms, index_t lda, index_t m,
-            index_t k, double* out);
+            index_t k, int mr, double* out);
 
-// Packs one mR-row panel p of the sum (rows [p*mR, min(m, p*mR+mR))) into
-// out_panel (= base + p*mR*k).  Lets threads cooperate on a shared A-tile
+// Packs one mr-row panel p of the sum (rows [p*mr, min(m, p*mr+mr))) into
+// out_panel (= base + p*mr*k).  Lets threads cooperate on a shared A-tile
 // when the problem has too few row blocks to parallelize the i_c loop.
 void pack_a_panel(const LinTerm* terms, int num_terms, index_t lda, index_t m,
-                  index_t k, index_t p, double* out_panel);
+                  index_t k, int mr, index_t p, double* out_panel);
 
-// Packs one nR-wide column panel q of sum_j terms[j] (row stride `ldb`,
-// logical shape k x n) into out_panel (= base + q*nR*k of the full buffer).
+// Packs one nr-wide column panel q of sum_j terms[j] (row stride `ldb`,
+// logical shape k x n) into out_panel (= base + q*nr*k of the full buffer).
 // Splitting per panel lets threads cooperate on the B-pack.
 void pack_b_panel(const LinTerm* terms, int num_terms, index_t ldb, index_t k,
-                  index_t n, index_t q, double* out_panel);
+                  index_t n, int nr, index_t q, double* out_panel);
 
 // Convenience: packs all panels of B (single-threaded; tests and Naive path).
 void pack_b(const LinTerm* terms, int num_terms, index_t ldb, index_t k,
-            index_t n, double* out);
+            index_t n, int nr, double* out);
 
 }  // namespace fmm

@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "src/gemm/gemm.h"
-#include "src/gemm/microkernel.h"
+#include "src/gemm/kernel.h"
 #include "src/linalg/matrix.h"
 #include "src/util/timer.h"
 
@@ -29,9 +29,16 @@ ModelInput model_input(const Plan& plan, index_t m, index_t n, index_t k,
   in.nnz_v = plan.flat.nnz_v();
   in.nnz_w = plan.flat.nnz_w();
   in.variant = plan.variant;
-  in.mc = cfg.mc;
-  in.kc = cfg.kc;
-  in.nc = cfg.nc;
+  // Kernel precedence: the plan's recorded choice, then the config, then
+  // the cpuid-dispatched default; blocking is the rounded runtime blocking.
+  GemmConfig kcfg = cfg;
+  if (plan.kernel != nullptr) kcfg.kernel = plan.kernel;
+  const BlockingParams bp = resolve_blocking(kcfg);
+  in.mc = static_cast<double>(bp.mc);
+  in.kc = static_cast<double>(bp.kc);
+  in.nc = static_cast<double>(bp.nc);
+  in.mr = bp.mr;
+  in.nr = bp.nr;
   return in;
 }
 
@@ -45,8 +52,13 @@ ModelBreakdown predict_breakdown(const ModelInput& in, const ModelParams& p) {
   const double ks = in.k / in.Kt;
   const double ns = in.n / in.Nt;
 
+  // Register-tile padding: packed edge panels are zero-filled to full
+  // mr x nr tiles, so the micro-kernel arithmetic covers the padded dims.
+  const double ms_pad = ceil_ratio(ms, in.mr) * in.mr;
+  const double ns_pad = ceil_ratio(ns, in.nr) * in.nr;
+
   // --- Unit times (Fig. 5, middle table, "L-level" column). ---
-  const double Tx_a = 2.0 * ms * ns * ks * p.tau_a;        // one submatrix multiply
+  const double Tx_a = 2.0 * ms_pad * ns_pad * ks * p.tau_a;  // one submatrix multiply
   const double TAp_a = 2.0 * ms * ks * p.tau_a;            // one A-submatrix addition
   const double TBp_a = 2.0 * ks * ns * p.tau_a;            // one B-submatrix addition
   const double TCp_a = 2.0 * ms * ns * p.tau_a;            // one C-submatrix update
@@ -99,13 +111,18 @@ ModelBreakdown predict_breakdown(const ModelInput& in, const ModelParams& p) {
 double predict_gemm_time(index_t m, index_t n, index_t k,
                          const GemmConfig& cfg, const ModelParams& p) {
   // Fig. 5, "gemm" column: one multiply, no additions, single packing pass.
+  const BlockingParams bp = resolve_blocking(cfg);
   const double md = static_cast<double>(m);
   const double nd = static_cast<double>(n);
   const double kd = static_cast<double>(k);
-  const double ta = 2.0 * md * nd * kd * p.tau_a;
-  const double tm = md * kd * ceil_ratio(nd, cfg.nc) * p.tau_b +
-                    nd * kd * p.tau_b +
-                    2.0 * p.lambda * md * nd * ceil_ratio(kd, cfg.kc) * p.tau_b;
+  const double mp = ceil_ratio(md, bp.mr) * bp.mr;  // register-tile padding
+  const double np = ceil_ratio(nd, bp.nr) * bp.nr;
+  const double ta = 2.0 * mp * np * kd * p.tau_a;
+  const double tm =
+      md * kd * ceil_ratio(nd, static_cast<double>(bp.nc)) * p.tau_b +
+      nd * kd * p.tau_b +
+      2.0 * p.lambda * md * nd * ceil_ratio(kd, static_cast<double>(bp.kc)) *
+          p.tau_b;
   return ta + tm;
 }
 
@@ -115,22 +132,26 @@ double predict_effective_gflops(const ModelInput& in, const ModelParams& p) {
 
 ModelParams calibrate(const GemmConfig& cfg) {
   ModelParams p;
+  const BlockingParams bp = resolve_blocking(cfg);
 
-  // --- τ_a: sustained micro-kernel rate on L1-resident panels. ---
+  // --- τ_a: sustained rate of the *active* micro-kernel on L1-resident
+  // panels (each registry kernel has its own peak). ---
   {
-    const index_t kc = cfg.kc;
-    AlignedBuffer<double> a(static_cast<std::size_t>(kMR) * kc);
-    AlignedBuffer<double> b(static_cast<std::size_t>(kNR) * kc);
-    alignas(64) double acc[kMR * kNR];
+    const index_t kc = bp.kc;
+    AlignedBuffer<double> a(static_cast<std::size_t>(bp.mr) * kc);
+    AlignedBuffer<double> b(static_cast<std::size_t>(bp.nr) * kc);
+    alignas(64) double acc[kMaxAccElems];
     for (std::size_t i = 0; i < a.size(); ++i) a[i] = 1.0 + 1e-9 * i;
     for (std::size_t i = 0; i < b.size(); ++i) b[i] = 1.0 - 1e-9 * i;
     const int reps = 2000;
+    const MicrokernelFn ukr = bp.kernel->fn;
     double best = best_time_of(5, [&] {
-      for (int r = 0; r < reps; ++r) microkernel(kc, a.data(), b.data(), acc);
+      for (int r = 0; r < reps; ++r) ukr(kc, a.data(), b.data(), acc);
     });
     volatile double sink = acc[0];
     (void)sink;
-    const double flops = 2.0 * kMR * kNR * static_cast<double>(kc) * reps;
+    const double flops =
+        2.0 * bp.mr * bp.nr * static_cast<double>(kc) * reps;
     p.tau_a = best / flops;
   }
 

@@ -40,6 +40,12 @@ struct ModelInput {
   double nnz_u = 1, nnz_v = 1, nnz_w = 1;
   Variant variant = Variant::kABC;
   double mc = 96, kc = 256, nc = 4092;
+  // Register tile of the kernel the plan runs with (the plan's own choice,
+  // else cfg's, else the dispatched default).  Edge panels are zero-padded
+  // to full tiles, so the micro-kernel arithmetic runs over the *padded*
+  // submatrix dims; the model charges for that (fringe effect Benson &
+  // Ballard call out — invisible to the paper's fixed-tile model).
+  double mr = 8, nr = 6;
 };
 
 ModelInput model_input(const Plan& plan, index_t m, index_t n, index_t k,

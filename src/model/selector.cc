@@ -1,8 +1,10 @@
 #include "src/model/selector.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/core/catalog.h"
+#include "src/gemm/kernel.h"
 #include "src/util/timer.h"
 
 namespace fmm {
@@ -36,6 +38,29 @@ std::vector<Plan> default_plan_space(const std::vector<Variant>& variants,
   return plans;
 }
 
+const KernelInfo* best_kernel_for_shape(index_t ms, index_t ns, index_t ks) {
+  if (kernel_override_active()) return &active_kernel();
+  const double msd = static_cast<double>(std::max<index_t>(ms, 1));
+  const double nsd = static_cast<double>(std::max<index_t>(ns, 1));
+  const double ksd = static_cast<double>(std::max<index_t>(ks, 1));
+  const KernelInfo* best = nullptr;
+  double best_cost = 0.0;
+  for (const KernelInfo& kern : kernel_registry()) {
+    if (!kern.supported()) continue;
+    // Padded-tile multiply flops at the kernel's register tile, scaled by
+    // its throughput hint: the same trade the model charges in Tx_a, cheap
+    // enough to evaluate for every (plan, kernel) pair.
+    const double msp = std::ceil(msd / kern.mr) * kern.mr;
+    const double nsp = std::ceil(nsd / kern.nr) * kern.nr;
+    const double cost = msp * nsp * ksd / kern.flops_per_cycle;
+    if (best == nullptr || cost < best_cost) {
+      best = &kern;
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
 std::vector<Candidate> rank_by_model(index_t m, index_t n, index_t k,
                                      const std::vector<Plan>& plans,
                                      const ModelParams& params,
@@ -45,7 +70,13 @@ std::vector<Candidate> rank_by_model(index_t m, index_t n, index_t k,
   for (const auto& plan : plans) {
     Candidate c;
     c.plan = plan;
-    const ModelInput in = model_input(plan, m, n, k, cfg);
+    if (cfg.kernel != nullptr) {
+      c.plan.kernel = cfg.kernel;
+    } else {
+      c.plan.kernel = best_kernel_for_shape(m / plan.Mt(), n / plan.Nt(),
+                                            k / plan.Kt());
+    }
+    const ModelInput in = model_input(c.plan, m, n, k, cfg);
     c.predicted_seconds = predict_time(in, params);
     c.predicted_gflops = predict_effective_gflops(in, params);
     out.push_back(std::move(c));

@@ -29,7 +29,15 @@ struct Candidate {
 std::vector<Plan> default_plan_space(const std::vector<Variant>& variants,
                                      int max_levels = 2);
 
-// Ranks `plans` by predicted time for (m, n, k); ascending time.
+// Cheapest supported registry kernel for an interior sub-problem of shape
+// ms x ns (x ks): minimizes padded-tile flops over the kernel's throughput
+// hint.  Honors an FMM_KERNEL override (then the override wins outright);
+// when cfg pins a kernel the caller should skip scoring entirely.
+const KernelInfo* best_kernel_for_shape(index_t ms, index_t ns, index_t ks);
+
+// Ranks `plans` by predicted time for (m, n, k); ascending time.  For each
+// candidate the per-plan kernel is scored against the plan's submatrix
+// shape and recorded in Candidate::plan.kernel (unless cfg.kernel pins one).
 std::vector<Candidate> rank_by_model(index_t m, index_t n, index_t k,
                                      const std::vector<Plan>& plans,
                                      const ModelParams& params,

@@ -59,10 +59,24 @@ void TablePrinter::print(std::ostream& os) const {
 void TablePrinter::write_csv(const std::string& path) const {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("TablePrinter: cannot open " + path);
+  // RFC 4180 quoting: algorithm names like "<2,2,2>" contain commas and
+  // must not split into extra columns.
+  auto field = [&](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) {
+      out << s;
+      return;
+    }
+    out << '"';
+    for (char ch : s) {
+      if (ch == '"') out << '"';
+      out << ch;
+    }
+    out << '"';
+  };
   auto emit = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
       if (c) out << ',';
-      out << row[c];
+      field(row[c]);
     }
     out << '\n';
   };

@@ -1,0 +1,395 @@
+// Kernel-registry tests: every registered micro-kernel must agree with the
+// generic reference kernel at its own register tile (including k = 0 and
+// large k), dispatch must honor the FMM_KERNEL override and fall back
+// sanely, and the epilogue must implement the multi-target weighted
+// scatter with a kernel-size-aware full/masked-tile split.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/core/catalog.h"
+#include "src/core/driver.h"
+#include "src/core/task_driver.h"
+#include "src/gemm/gemm.h"
+#include "src/gemm/kernel.h"
+#include "src/linalg/matrix.h"
+#include "src/linalg/ops.h"
+#include "src/util/prng.h"
+
+namespace fmm {
+namespace {
+
+void random_panels(int mr, int nr, index_t k, std::vector<double>& a,
+                   std::vector<double>& b, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  a.resize(static_cast<std::size_t>(mr) * std::max<index_t>(k, 1));
+  b.resize(static_cast<std::size_t>(nr) * std::max<index_t>(k, 1));
+  for (auto& v : a) v = rng.uniform(-1, 1);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+}
+
+// --------------------------------------------------------------------------
+// Registry shape and contents.
+// --------------------------------------------------------------------------
+
+TEST(KernelRegistry, HasAtLeastThreeKernels) {
+  EXPECT_GE(kernel_registry().size(), 3u);
+}
+
+TEST(KernelRegistry, PortableIsFirstAndAlwaysSupported) {
+  const auto& reg = kernel_registry();
+  ASSERT_FALSE(reg.empty());
+  EXPECT_STREQ(reg.front().name, "portable");
+  EXPECT_TRUE(reg.front().supported());
+  EXPECT_FALSE(reg.front().vectorized);
+}
+
+TEST(KernelRegistry, EntriesAreWellFormed) {
+  for (const KernelInfo& k : kernel_registry()) {
+    EXPECT_NE(k.fn, nullptr) << k.name;
+    EXPECT_GE(k.mr, 1) << k.name;
+    EXPECT_LE(k.mr, kMaxMR) << k.name;
+    EXPECT_GE(k.nr, 1) << k.name;
+    EXPECT_LE(k.nr, kMaxNR) << k.name;
+    EXPECT_GT(k.flops_per_cycle, 0.0) << k.name;
+    EXPECT_NE(find_kernel(k.name), nullptr) << k.name;
+  }
+}
+
+TEST(KernelRegistry, ContainsMultipleRegisterTiles) {
+  // The family must offer at least two distinct (mR, nR) tiles, else
+  // plan-level kernel selection has nothing to choose between.
+  bool has_8x6 = false, has_other = false;
+  for (const KernelInfo& k : kernel_registry()) {
+    if (k.mr == 8 && k.nr == 6) has_8x6 = true;
+    if (k.mr != 8 || k.nr != 6) has_other = true;
+  }
+  EXPECT_TRUE(has_8x6);
+  EXPECT_TRUE(has_other);
+}
+
+// --------------------------------------------------------------------------
+// Equivalence: every registered kernel against the generic reference.
+// --------------------------------------------------------------------------
+
+class KernelEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(KernelEquivalence, MatchesGenericReference) {
+  const int kernel_idx = std::get<0>(GetParam());
+  const index_t k = std::get<1>(GetParam());
+  const auto& reg = kernel_registry();
+  if (kernel_idx >= static_cast<int>(reg.size())) {
+    GTEST_SKIP() << "fewer than " << kernel_idx + 1 << " kernels registered";
+  }
+  const KernelInfo& kern = reg[static_cast<std::size_t>(kernel_idx)];
+  if (!kern.supported()) {
+    GTEST_SKIP() << kern.name << " not supported by this CPU";
+  }
+  std::vector<double> a, b;
+  random_panels(kern.mr, kern.nr, k, a, b, 100 + 7 * kernel_idx + k);
+  alignas(64) double acc[kMaxAccElems];
+  alignas(64) double ref[kMaxAccElems];
+  for (auto& v : acc) v = 99.0;  // k = 0 must overwrite, not accumulate
+  kern.fn(k, a.data(), b.data(), acc);
+  microkernel_generic(kern.mr, kern.nr, k, a.data(), b.data(), ref);
+  for (int i = 0; i < kern.mr * kern.nr; ++i) {
+    EXPECT_NEAR(acc[i], ref[i], 1e-12 * std::max<double>(1.0, k))
+        << kern.name << " index " << i << " k " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernelsKSweep, KernelEquivalence,
+    ::testing::Combine(::testing::Range(0, 8),
+                       ::testing::Values(0, 1, 2, 3, 7, 8, 16, 17, 64, 255,
+                                         256, 1000)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return "kernel" + std::to_string(std::get<0>(info.param)) + "_k" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(KernelRegistry, PortableEntryIsMicrokernelPortable) {
+  const KernelInfo* p = find_kernel("portable");
+  ASSERT_NE(p, nullptr);
+  const index_t k = 33;
+  std::vector<double> a, b;
+  random_panels(p->mr, p->nr, k, a, b, 42);
+  alignas(64) double via_entry[kMaxAccElems];
+  alignas(64) double via_alias[kMaxAccElems];
+  p->fn(k, a.data(), b.data(), via_entry);
+  microkernel_portable(k, a.data(), b.data(), via_alias);
+  for (int i = 0; i < p->mr * p->nr; ++i) {
+    EXPECT_DOUBLE_EQ(via_entry[i], via_alias[i]);
+  }
+}
+
+TEST(Kernel, ComputesOuterProductAccumulation) {
+  // k=2 hand check on the portable 8x6 tile:
+  // acc[j*MR+r] = a0[r] b0[j] + a1[r] b1[j].
+  constexpr int MR = 8, NR = 6;
+  std::vector<double> a(2 * MR), b(2 * NR);
+  for (int r = 0; r < MR; ++r) {
+    a[r] = r + 1;
+    a[MR + r] = 10 * (r + 1);
+  }
+  for (int j = 0; j < NR; ++j) {
+    b[j] = j + 1;
+    b[NR + j] = -(j + 1);
+  }
+  alignas(64) double acc[MR * NR];
+  microkernel_portable(2, a.data(), b.data(), acc);
+  for (int r = 0; r < MR; ++r) {
+    for (int j = 0; j < NR; ++j) {
+      const double want = (r + 1.0) * (j + 1.0) + 10.0 * (r + 1) * -(j + 1.0);
+      EXPECT_DOUBLE_EQ(acc[j * MR + r], want);
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Dispatch: cpuid default, FMM_KERNEL override, fallback diagnostics.
+// --------------------------------------------------------------------------
+
+TEST(KernelDispatch, ActiveKernelIsSupported) {
+  const KernelInfo& k = active_kernel();
+  EXPECT_TRUE(k.supported());
+  EXPECT_NE(find_kernel(k.name), nullptr);
+}
+
+TEST(KernelDispatch, FindKernelByName) {
+  EXPECT_NE(find_kernel("portable"), nullptr);
+  EXPECT_EQ(find_kernel("no_such_kernel"), nullptr);
+}
+
+TEST(KernelDispatch, ResolvePinsNamedKernel) {
+  std::string diag;
+  const KernelInfo& k = resolve_kernel("portable", &diag);
+  EXPECT_STREQ(k.name, "portable");
+  EXPECT_TRUE(diag.empty());
+}
+
+TEST(KernelDispatch, ResolveUnknownNameFallsBackWithDiagnostic) {
+  std::string diag;
+  const KernelInfo& k = resolve_kernel("bogus_kernel", &diag);
+  EXPECT_TRUE(k.supported());
+  EXPECT_FALSE(diag.empty());
+  EXPECT_NE(diag.find("bogus_kernel"), std::string::npos);
+}
+
+TEST(KernelDispatch, ResolveEmptyPicksBestSupported) {
+  const KernelInfo& k = resolve_kernel(nullptr);
+  EXPECT_TRUE(k.supported());
+  // No supported registry entry may out-rank the default choice.
+  for (const KernelInfo& other : kernel_registry()) {
+    if (other.supported()) {
+      EXPECT_LE(other.flops_per_cycle, k.flops_per_cycle) << other.name;
+    }
+  }
+}
+
+TEST(KernelDispatch, EnvOverrideForcesPortable) {
+  // resolve_active_kernel re-reads FMM_KERNEL on every call, so the
+  // override path is testable without forking a process.
+  const char* saved = std::getenv("FMM_KERNEL");
+  const std::string saved_copy = saved ? saved : "";
+  ASSERT_EQ(setenv("FMM_KERNEL", "portable", 1), 0);
+  const KernelInfo& k = resolve_active_kernel();
+  EXPECT_STREQ(k.name, "portable");
+  EXPECT_FALSE(k.vectorized);
+  if (saved) {
+    setenv("FMM_KERNEL", saved_copy.c_str(), 1);
+  } else {
+    unsetenv("FMM_KERNEL");
+  }
+}
+
+TEST(KernelDispatch, EnvOverrideUnknownNameFallsBack) {
+  const char* saved = std::getenv("FMM_KERNEL");
+  const std::string saved_copy = saved ? saved : "";
+  ASSERT_EQ(setenv("FMM_KERNEL", "not_a_kernel", 1), 0);
+  std::string diag;
+  const KernelInfo& k = resolve_active_kernel(&diag);
+  EXPECT_TRUE(k.supported());
+  EXPECT_FALSE(diag.empty());
+  if (saved) {
+    setenv("FMM_KERNEL", saved_copy.c_str(), 1);
+  } else {
+    unsetenv("FMM_KERNEL");
+  }
+}
+
+// --------------------------------------------------------------------------
+// Epilogue: weighted scatter with the kernel-size-aware masked split.
+// --------------------------------------------------------------------------
+
+TEST(Epilogue, SingleTargetFullBlock) {
+  constexpr int MR = 8, NR = 6;
+  alignas(64) double acc[MR * NR];
+  for (int j = 0; j < NR; ++j)
+    for (int r = 0; r < MR; ++r) acc[j * MR + r] = 100.0 * r + j;
+  Matrix c(MR, NR);
+  c.fill(1.0);
+  OutTerm t{c.data(), 1.0};
+  epilogue_update(&t, 1, c.stride(), MR, NR, acc, MR, NR);
+  for (int r = 0; r < MR; ++r)
+    for (int j = 0; j < NR; ++j)
+      EXPECT_DOUBLE_EQ(c(r, j), 1.0 + 100.0 * r + j);
+}
+
+TEST(Epilogue, MaskedEdgeBlockLeavesOutsideUntouched) {
+  constexpr int MR = 8, NR = 6;
+  alignas(64) double acc[MR * NR];
+  for (auto& v : acc) v = 5.0;
+  Matrix c(MR, NR);
+  c.fill(0.0);
+  OutTerm t{c.data(), 1.0};
+  epilogue_update(&t, 1, c.stride(), 3, 2, acc, MR, NR);
+  for (int r = 0; r < MR; ++r) {
+    for (int j = 0; j < NR; ++j) {
+      EXPECT_DOUBLE_EQ(c(r, j), (r < 3 && j < 2) ? 5.0 : 0.0);
+    }
+  }
+}
+
+TEST(Epilogue, FullTileSplitIsKernelSizeAware) {
+  // Regression for the old hard-coded 8x6 fast path: with a 4x12 kernel, a
+  // tile with full rows but masked columns (m_sub == mr, n_sub < nr) must
+  // take the masked path and leave the out-of-range columns untouched.
+  constexpr int MR = 4, NR = 12;
+  alignas(64) double acc[MR * NR];
+  for (auto& v : acc) v = 7.0;
+  Matrix c(MR, NR);
+  c.fill(0.0);
+  OutTerm t{c.data(), 1.0};
+  epilogue_update(&t, 1, c.stride(), MR, 5, acc, MR, NR);
+  for (int r = 0; r < MR; ++r) {
+    for (int j = 0; j < NR; ++j) {
+      EXPECT_DOUBLE_EQ(c(r, j), j < 5 ? 7.0 : 0.0) << r << "," << j;
+    }
+  }
+}
+
+TEST(Epilogue, NonDefaultTileFullBlockAndMask) {
+  // The 4x12 tile end-to-end: full-tile fast path and row masking use the
+  // acc leading dimension mr = 4, not the historical 8.
+  constexpr int MR = 4, NR = 12;
+  alignas(64) double acc[MR * NR];
+  for (int j = 0; j < NR; ++j)
+    for (int r = 0; r < MR; ++r) acc[j * MR + r] = 10.0 * r + j;
+  Matrix full = Matrix::zero(MR, NR);
+  OutTerm tf{full.data(), 2.0};
+  epilogue_update(&tf, 1, full.stride(), MR, NR, acc, MR, NR);
+  for (int r = 0; r < MR; ++r)
+    for (int j = 0; j < NR; ++j)
+      EXPECT_DOUBLE_EQ(full(r, j), 2.0 * (10.0 * r + j));
+
+  Matrix masked = Matrix::zero(MR, NR);
+  OutTerm tm{masked.data(), 1.0};
+  epilogue_update(&tm, 1, masked.stride(), 3, NR, acc, MR, NR);
+  for (int r = 0; r < MR; ++r)
+    for (int j = 0; j < NR; ++j)
+      EXPECT_DOUBLE_EQ(masked(r, j), r < 3 ? 10.0 * r + j : 0.0);
+}
+
+TEST(Epilogue, MultiTargetWeightedScatter) {
+  // The ABC variant's core trick: one register block feeds several C_p
+  // with different coefficients.
+  constexpr int MR = 8, NR = 6;
+  alignas(64) double acc[MR * NR];
+  for (auto& v : acc) v = 2.0;
+  Matrix c0 = Matrix::zero(MR, NR);
+  Matrix c1 = Matrix::zero(MR, NR);
+  Matrix c2 = Matrix::zero(MR, NR);
+  OutTerm ts[3] = {{c0.data(), 1.0}, {c1.data(), -1.0}, {c2.data(), 0.5}};
+  epilogue_update(ts, 3, NR, MR, NR, acc, MR, NR);
+  EXPECT_DOUBLE_EQ(c0(4, 3), 2.0);
+  EXPECT_DOUBLE_EQ(c1(4, 3), -2.0);
+  EXPECT_DOUBLE_EQ(c2(4, 3), 1.0);
+}
+
+TEST(Epilogue, AccumulatesOnRepeat) {
+  constexpr int MR = 8, NR = 6;
+  alignas(64) double acc[MR * NR];
+  for (auto& v : acc) v = 1.0;
+  Matrix c = Matrix::zero(MR, NR);
+  OutTerm t{c.data(), 3.0};
+  epilogue_update(&t, 1, c.stride(), MR, NR, acc, MR, NR);
+  epilogue_update(&t, 1, c.stride(), MR, NR, acc, MR, NR);
+  EXPECT_DOUBLE_EQ(c(0, 0), 6.0);
+}
+
+TEST(Epilogue, OverwriteModeIgnoresPriorContents) {
+  constexpr int MR = 4, NR = 12;
+  alignas(64) double acc[MR * NR];
+  for (auto& v : acc) v = 3.0;
+  Matrix c(MR, NR);
+  c.fill(123.0);
+  OutTerm t{c.data(), 2.0};
+  epilogue_update(&t, 1, c.stride(), MR, NR, acc, MR, NR,
+                  /*accumulate=*/false);
+  for (int r = 0; r < MR; ++r)
+    for (int j = 0; j < NR; ++j) EXPECT_DOUBLE_EQ(c(r, j), 6.0);
+}
+
+// --------------------------------------------------------------------------
+// End-to-end: every registered+supported kernel drives a full gemm
+// correctly (packing, blocking round-up, and epilogue must hold for every
+// tile, not just the historical 8x6).
+// --------------------------------------------------------------------------
+
+TEST(KernelRegistry, EveryKernelProducesSameGemmResult) {
+  for (const KernelInfo& kern : kernel_registry()) {
+    if (!kern.supported()) continue;
+    GemmConfig cfg;
+    cfg.kernel = &kern;
+    cfg.num_threads = 1;
+    const index_t m = 37, n = 29, k = 41;  // prime-ish: edge tiles everywhere
+    Matrix a = Matrix::random(m, k, 7);
+    Matrix b = Matrix::random(k, n, 8);
+    Matrix c = Matrix::zero(m, n);
+    Matrix want = Matrix::zero(m, n);
+    gemm(c.view(), a.view(), b.view(), cfg);
+    ref_gemm(want.view(), a.view(), b.view());
+    EXPECT_LE(max_abs_diff(c.view(), want.view()), 1e-12 * k) << kern.name;
+  }
+}
+
+TEST(KernelRegistry, PlanKernelHonoredByBothDrivers) {
+  // Plan::kernel must reach the fused loops through the data-parallel AND
+  // the task-parallel driver (regression: the task driver used to ignore
+  // it and run the dispatch default).
+  const Plan base = make_plan({catalog::best(2, 2, 2)}, Variant::kABC);
+  const index_t m = 52, n = 44, k = 36;
+  Matrix a = Matrix::random(m, k, 17);
+  Matrix b = Matrix::random(k, n, 18);
+  Matrix want = Matrix::zero(m, n);
+  ref_gemm(want.view(), a.view(), b.view());
+  for (const KernelInfo& kern : kernel_registry()) {
+    if (!kern.supported()) continue;
+    Plan plan = base;
+    plan.kernel = &kern;
+    Matrix c_data = Matrix::zero(m, n);
+    FmmContext data_ctx;
+    fmm_multiply(plan, c_data.view(), a.view(), b.view(), data_ctx);
+    EXPECT_LE(max_abs_diff(c_data.view(), want.view()), 1e-11 * k)
+        << "data driver, " << kern.name;
+    EXPECT_EQ(data_ctx.cfg.kernel, nullptr)
+        << "driver must restore the caller's kernel setting";
+    Matrix c_task = Matrix::zero(m, n);
+    TaskContext task_ctx;
+    task_ctx.cfg.num_threads = 2;
+    fmm_multiply_tasks(plan, c_task.view(), a.view(), b.view(), task_ctx);
+    EXPECT_LE(max_abs_diff(c_task.view(), want.view()), 1e-10 * k)
+        << "task driver, " << kern.name;
+    EXPECT_EQ(task_ctx.cfg.kernel, nullptr)
+        << "task driver must restore the caller's kernel setting";
+  }
+}
+
+}  // namespace
+}  // namespace fmm

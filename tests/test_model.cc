@@ -22,13 +22,17 @@ ModelParams unit_params() {
 }
 
 TEST(Model, GemmTimeMatchesHandComputation) {
-  // Fig. 5 gemm column with τa=τb=λ=1:
-  //   T = 2mnk + mk*ceil(n/nc) + nk + 2mn*ceil(k/kc)
+  // Fig. 5 gemm column with τa=τb=λ=1, extended with register-tile padding
+  // on the arithmetic term (edge panels are zero-padded to full mR x nR):
+  //   T = 2*pad(m,mR)*pad(n,nR)*k + mk*ceil(n/nc) + nk + 2mn*ceil(k/kc)
   GemmConfig cfg;
   cfg.kc = 256;
   cfg.nc = 4092;
-  const double want = 2.0 * 100 * 200 * 300 + 100 * 300 * 1.0 + 200 * 300 +
-                      2.0 * 100 * 200 * 2.0;  // ceil(300/256) = 2
+  cfg.kernel = find_kernel("portable");  // pin the 8x6 tile: deterministic
+  ASSERT_NE(cfg.kernel, nullptr);
+  // pad(100, 8) = 104, pad(200, 6) = 204, ceil(300/256) = 2.
+  const double want = 2.0 * 104 * 204 * 300 + 100 * 300 * 1.0 + 200 * 300 +
+                      2.0 * 100 * 200 * 2.0;
   EXPECT_DOUBLE_EQ(predict_gemm_time(100, 200, 300, cfg, unit_params()), want);
 }
 
@@ -37,13 +41,17 @@ TEST(Model, OneLevelStrassenAbcCounts) {
   //   R=7, nnz(U)=nnz(V)=nnz(W)=12; submatrix dims m/2, n/2, k/2.
   const Plan plan = make_plan({make_strassen()}, Variant::kABC);
   GemmConfig cfg;
+  cfg.kernel = find_kernel("portable");  // pin the 8x6 tile: deterministic
+  ASSERT_NE(cfg.kernel, nullptr);
   const index_t m = 128, n = 256, k = 512;
   const ModelInput in = model_input(plan, m, n, k, cfg);
   EXPECT_EQ(in.RL, 7);
   EXPECT_EQ(in.nnz_u, 12);
   const ModelBreakdown b = predict_breakdown(in, unit_params());
   const double ms = m / 2.0, ns = n / 2.0, ks = k / 2.0;
-  EXPECT_DOUBLE_EQ(b.t_mul_a, 7 * 2 * ms * ns * ks);
+  // The multiplies run over register-tile-padded submatrices:
+  // pad(64, 8) = 64, pad(128, 6) = 132.
+  EXPECT_DOUBLE_EQ(b.t_mul_a, 7 * 2 * ms * 132 * ks);
   // (12-7) A-additions + (12-7) B-additions + 12 C-updates, 2 flops each.
   EXPECT_DOUBLE_EQ(b.t_add_a, 5 * 2 * ms * ks + 5 * 2 * ks * ns + 12 * 2 * ms * ns);
   // Packing: 12 A-reads with ceil(ns/nc)=1, 12 B-reads.

@@ -135,7 +135,7 @@ TEST(Parallel, OverwriteModeAcrossMultipleJcStripes) {
   // n > nc: every jc stripe sees its own pc == 0 block; the overwrite
   // logic must clear each stripe exactly once.
   GemmConfig cfg;
-  cfg.nc = 2 * kNR;  // force many jc stripes
+  cfg.nc = 12;  // tiny (rounded up to the tile width): force many jc stripes
   cfg.num_threads = 4;
   Matrix a = Matrix::random(32, 300, 21);
   Matrix b = Matrix::random(300, 96, 22);

@@ -7,6 +7,7 @@
 
 #include "src/core/catalog.h"
 #include "src/core/driver.h"
+#include "src/gemm/kernel.h"
 #include "src/linalg/ops.h"
 #include "src/util/prng.h"
 #include "tests/test_support.h"
@@ -24,12 +25,23 @@ struct FuzzCase {
   std::uint64_t data_seed;
   std::string describe() const {
     char buf[128];
-    std::snprintf(buf, sizeof(buf), "%s m=%lld n=%lld k=%lld seed=%llu",
-                  plan.name().c_str(), (long long)m, (long long)n,
-                  (long long)k, (unsigned long long)data_seed);
+    std::snprintf(buf, sizeof(buf), "%s [%s] m=%lld n=%lld k=%lld seed=%llu",
+                  plan.name().c_str(),
+                  plan.kernel ? plan.kernel->name : "default", (long long)m,
+                  (long long)n, (long long)k, (unsigned long long)data_seed);
     return buf;
   }
 };
+
+// A random supported registry kernel, or nullptr (dispatch default).
+const KernelInfo* random_kernel(Xoshiro256& rng) {
+  std::vector<const KernelInfo*> supported;
+  for (const KernelInfo& k : kernel_registry()) {
+    if (k.supported()) supported.push_back(&k);
+  }
+  const int pick = rng.uniform_int(0, static_cast<int>(supported.size()));
+  return pick == 0 ? nullptr : supported[static_cast<std::size_t>(pick - 1)];
+}
 
 FuzzCase random_case(Xoshiro256& rng) {
   const auto& dims = catalog::figure2_dims();
@@ -41,6 +53,7 @@ FuzzCase random_case(Xoshiro256& rng) {
   }
   const Variant variant = static_cast<Variant>(rng.uniform_int(0, 2));
   FuzzCase fc{make_plan(std::move(algs), variant), 0, 0, 0, rng.next_u64()};
+  fc.plan.kernel = random_kernel(rng);  // fuzz the whole kernel family
   // Sizes biased toward fringe-heavy values around small multiples of the
   // flattened partition.
   auto pick = [&](int t) {
@@ -121,9 +134,11 @@ TEST(FuzzBlocking, RandomBlockingConfigsStayCorrect) {
   const int iters = fuzz_iters(6);
   for (int i = 0; i < iters; ++i) {
     GemmConfig cfg;
-    cfg.mc = kMR * rng.uniform_int(1, 24);
+    cfg.kernel = random_kernel(rng);
+    const BlockingParams tile = resolve_blocking(cfg);
+    cfg.mc = tile.mr * rng.uniform_int(1, 24);
     cfg.kc = rng.uniform_int(16, 512);
-    cfg.nc = kNR * rng.uniform_int(2, 64);
+    cfg.nc = tile.nr * rng.uniform_int(2, 64);
     ASSERT_TRUE(cfg.valid());
     const index_t m = rng.uniform_int(1, 300);
     const index_t n = rng.uniform_int(1, 300);

@@ -5,6 +5,7 @@
 
 #include <set>
 
+#include "src/gemm/kernel.h"
 #include "src/model/selector.h"
 
 namespace fmm {
@@ -61,6 +62,44 @@ TEST(RankByModel, RankKShapePrefersLowOverheadPartitions) {
   EXPECT_LT(pos222, 8u);
   // And the heavyweight should be in the bottom half of the ranking.
   EXPECT_GT(pos363, ranked.size() / 2);
+}
+
+TEST(RankByModel, RecordsASupportedKernelInEveryCandidate) {
+  const auto plans = default_plan_space({Variant::kABC}, 1);
+  const ModelParams params;
+  const auto ranked =
+      rank_by_model(1024, 1024, 1024, plans, params, GemmConfig{});
+  for (const auto& c : ranked) {
+    ASSERT_NE(c.plan.kernel, nullptr) << c.plan.name();
+    EXPECT_TRUE(c.plan.kernel->supported()) << c.plan.name();
+    EXPECT_NE(find_kernel(c.plan.kernel->name), nullptr) << c.plan.name();
+  }
+}
+
+TEST(RankByModel, PinnedConfigKernelWinsOverScoring) {
+  const KernelInfo* portable = find_kernel("portable");
+  ASSERT_NE(portable, nullptr);
+  GemmConfig cfg;
+  cfg.kernel = portable;
+  const auto plans = default_plan_space({Variant::kABC}, 1);
+  const auto ranked = rank_by_model(512, 512, 512, plans, ModelParams{}, cfg);
+  for (const auto& c : ranked) EXPECT_EQ(c.plan.kernel, portable);
+}
+
+TEST(BestKernelForShape, ReturnsSupportedKernel) {
+  const KernelInfo* k = best_kernel_for_shape(1000, 1000, 1000);
+  ASSERT_NE(k, nullptr);
+  EXPECT_TRUE(k->supported());
+}
+
+TEST(BestKernelForShape, PadsAgainstAwkwardShapes) {
+  // A 4-row-tall problem wastes half of an 8-row tile; if a 4-row tile is
+  // registered and reasonably fast, scoring must not pick a kernel whose
+  // row padding doubles the flops while a same-ISA thinner tile exists.
+  const KernelInfo* k = best_kernel_for_shape(4, 4096, 4096);
+  ASSERT_NE(k, nullptr);
+  // Whatever wins must not pad rows by more than 2x.
+  EXPECT_LE(round_up(4, k->mr), 8);
 }
 
 TEST(SelectEmpirical, MeasuresTopKAndReturnsWinnerFirst) {
