@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_smoke.json artifacts and flag perf regressions.
+
+Compares a candidate artifact (this PR's bench-smoke run) against a
+baseline (usually the latest main-branch artifact):
+
+  * gemm_baseline: google-benchmark entries matched by name; regression =
+    candidate cpu_time more than --threshold percent slower.
+  * fig2_speedup: CSV rows matched by their first column; every numeric
+    column is treated as effective GFLOPS (higher is better); regression =
+    candidate more than --threshold percent lower.
+
+Exit status: 0 when no regression (or --report-only), 1 when at least one
+benchmark regressed beyond the threshold, 2 on usage/IO errors.  The CI
+step runs this non-blocking (continue-on-error) — shared-runner numbers
+are noisy, so the report is a signal for humans, not a merge gate.
+
+Standard library only; no pip installs.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def benchmark_times(doc):
+    """name -> cpu_time from a gemm_baseline section (lower is better)."""
+    out = {}
+    for b in doc.get("gemm_baseline", {}).get("benchmarks", []):
+        name = b.get("name")
+        t = b.get("cpu_time", b.get("real_time"))
+        if name and isinstance(t, (int, float)) and t > 0:
+            out[name] = float(t)
+    return out
+
+
+def fig2_rates(doc):
+    """(row-key, column) -> numeric cell from fig2_speedup (higher is better)."""
+    out = {}
+    for row in doc.get("fig2_speedup", []):
+        items = list(row.items())
+        if not items:
+            continue
+        key = items[0][1]
+        for col, cell in items[1:]:
+            try:
+                value = float(cell)
+            except (TypeError, ValueError):
+                continue
+            if value > 0:
+                out[(key, col)] = value
+    return out
+
+
+def compare(base, cand, threshold, higher_is_better):
+    """Yields (name, base, cand, delta_pct, regressed) for shared keys."""
+    for name in sorted(base.keys() & cand.keys()):
+        b, c = base[name], cand[name]
+        if higher_is_better:
+            delta = (c / b - 1.0) * 100.0  # negative = slower
+            regressed = delta < -threshold
+        else:
+            delta = (c / b - 1.0) * 100.0  # positive = slower
+            regressed = delta > threshold
+        yield name, b, c, delta, regressed
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True,
+                    help="baseline BENCH_smoke.json (e.g. from main)")
+    ap.add_argument("--candidate", required=True,
+                    help="candidate BENCH_smoke.json (this PR)")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="regression threshold in percent (default 10)")
+    ap.add_argument("--report-only", action="store_true",
+                    help="always exit 0, even on regressions")
+    args = ap.parse_args()
+
+    try:
+        base_doc = load(args.baseline)
+        cand_doc = load(args.candidate)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    regressions = []
+    compared = 0
+
+    print(f"baseline: {base_doc.get('commit', '?')[:12]}  "
+          f"candidate: {cand_doc.get('commit', '?')[:12]}  "
+          f"threshold: {args.threshold:.0f}%")
+
+    sections = [
+        ("gemm_baseline (cpu_time, lower is better)",
+         benchmark_times(base_doc), benchmark_times(cand_doc), False),
+        ("fig2_speedup (GFLOPS, higher is better)",
+         fig2_rates(base_doc), fig2_rates(cand_doc), True),
+    ]
+    for title, base, cand, higher in sections:
+        if not base or not cand:
+            continue
+        print(f"\n== {title} ==")
+        for name, b, c, delta, regressed in compare(
+                base, cand, args.threshold, higher):
+            compared += 1
+            mark = "  REGRESSION" if regressed else ""
+            print(f"  {name}: {b:.4g} -> {c:.4g}  ({delta:+.1f}%){mark}")
+            if regressed:
+                regressions.append((title, name, delta))
+
+    if compared == 0:
+        print("no comparable benchmarks found between the two artifacts")
+
+    print(f"\n{compared} benchmarks compared, {len(regressions)} "
+          f"regression(s) beyond {args.threshold:.0f}%")
+    if regressions and not args.report_only:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

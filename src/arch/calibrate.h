@@ -1,0 +1,57 @@
+#pragma once
+
+// Measured-throughput kernel calibration.
+//
+// PR 2 ranked kernels by a hand-written static hint (flops/cycle); the
+// paper's own methodology (§4.2) and Benson & Ballard both argue tuning
+// decisions must come from *measured* rates on the target machine.  This
+// module times each registered micro-kernel once per process on hot-L1
+// packed panels, caches the sustained GFLOP/s, and optionally persists the
+// result across processes in a small text file keyed by the CPU model
+// (FMM_CALIB_CACHE=<path>), so repeated short-lived processes skip even
+// the few-millisecond timing runs.
+//
+// Consumers:
+//   * best_kernel_for_shape (src/model/selector.cc) ranks kernels by
+//     kernel_gflops() instead of the static hint;
+//   * the performance model's calibrate() derives τ_a from the active
+//     kernel's measured rate and τ_b from measured_tau_b().
+//
+// The static hint survives only as the pre-calibration fallback: it is
+// returned when timing is disabled (FMM_CALIBRATE=0, e.g. under heavy
+// sanitizers where wall-clock rates are meaningless).
+
+#include "src/gemm/kernel.h"
+
+namespace fmm::arch {
+
+// Sustained double-precision GFLOP/s of `kern` on L1-resident panels.
+// First call per kernel performs an adaptive timing loop (~1-3 ms);
+// subsequent calls return the cached value.  Thread-safe.
+double kernel_gflops(const KernelInfo& kern);
+
+// The pre-calibration estimate: the registry's static flops/cycle hint at
+// a nominal clock.  Used when FMM_CALIBRATE=0 disables timing.
+double kernel_gflops_hint(const KernelInfo& kern);
+
+// True unless FMM_CALIBRATE is set to 0/off/false.
+bool calibration_enabled();
+
+// Amortized seconds per 8-byte element streamed from DRAM on one core
+// (the model's τ_b): a >LLC triad, measured once per process and cached.
+// With FMM_CALIBRATE=0 the triad is skipped and the nominal ~12 GB/s
+// default is returned, consistent with the hint-based τ_a.
+double measured_tau_b();
+
+// --- Testing hooks --------------------------------------------------------
+
+// Physical micro-kernel timing runs performed by this process; a cached or
+// file-loaded rate does not increment it.
+int calibration_timing_runs();
+
+// Clears the in-memory rate cache and forgets whether FMM_CALIB_CACHE was
+// loaded, so the next kernel_gflops() call re-reads the environment.  The
+// persisted file itself is untouched.
+void calibration_reset_for_testing();
+
+}  // namespace fmm::arch

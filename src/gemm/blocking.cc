@@ -1,0 +1,96 @@
+#include "src/gemm/blocking.h"
+
+#include <cstdlib>
+
+namespace fmm {
+namespace {
+
+// Largest multiple of `step` that is <= value, clamped to [lo, hi] (both
+// multiples of step).
+index_t floor_multiple_clamped(double value, index_t step, index_t lo,
+                               index_t hi) {
+  index_t v = static_cast<index_t>(value);
+  v = (v / step) * step;
+  return std::clamp(v, lo, hi);
+}
+
+// A positive FMM_MC/FMM_KC/FMM_NC value, or 0 when unset/invalid.
+index_t env_block(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return 0;
+  const long parsed = std::strtol(v, nullptr, 10);
+  return parsed > 0 ? static_cast<index_t>(parsed) : 0;
+}
+
+}  // namespace
+
+AutoBlocking derive_blocking(const KernelInfo& kernel,
+                             const arch::CacheTopology& topo,
+                             index_t kc_pinned) {
+  constexpr double kWord = sizeof(double);
+  AutoBlocking ab;
+
+  // k_C: A and B micro-panels (mR x k_C and nR x k_C) share L1d.  A caller
+  // that pinned k_C (explicit config or FMM_KC) still gets m_C/n_C sized
+  // for *that* k_C — the cache-fit invariants must hold for the blocking
+  // that actually runs, not for the k_C we would have chosen.
+  if (kc_pinned > 0) {
+    ab.kc = kc_pinned;
+  } else {
+    const double l1 = static_cast<double>(std::max(topo.l1d_bytes, 1L));
+    ab.kc = floor_multiple_clamped(l1 / ((kernel.mr + kernel.nr) * kWord),
+                                   /*step=*/64, /*lo=*/64, /*hi=*/1024);
+  }
+
+  // m_C: the packed A-tile (m_C x k_C) takes ~3/4 of L2, leaving room for
+  // the B micro-panels streaming through.
+  const double l2 = static_cast<double>(std::max(topo.l2_bytes, 1L));
+  ab.mc = floor_multiple_clamped(0.75 * l2 / (ab.kc * kWord), kernel.mr,
+                                 kernel.mr, round_up(1536, kernel.mr));
+
+  // n_C: the packed B-panel (k_C x n_C) is cooperatively packed and shared
+  // by every core on the L3 slice, so it budgets against the whole slice
+  // (one third) rather than a per-core share — a deliberate choice: even a
+  // single-threaded GEMM can productively fill an otherwise idle L3, and
+  // the paper's own n_C = 4092 claims a third of its 25 MiB slice.  Two
+  // guards: an 8 MiB cap (bounds the workspace footprint on huge-L3 server
+  // parts, where far-L3 hit latency stops paying for itself anyway), and
+  // at most four per-core shares when the slice is split among very many
+  // cores (concurrent work competes for it).  No (or unknown) L3: the cap.
+  constexpr double kBPanelCap = 8.0 * 1024 * 1024;
+  const double l3 = static_cast<double>(topo.l3_bytes);
+  const int sharing = std::max(topo.l3_sharing, 1);
+  const double budget =
+      l3 > 0 ? std::min({l3 / 3.0, kBPanelCap, 4.0 * l3 / sharing})
+             : kBPanelCap;
+  ab.nc = floor_multiple_clamped(budget / (ab.kc * kWord), kernel.nr,
+                                 kernel.nr, round_up(16384, kernel.nr));
+  return ab;
+}
+
+BlockingParams resolve_blocking(const GemmConfig& cfg) {
+  BlockingParams bp;
+  bp.kernel = cfg.kernel != nullptr ? cfg.kernel : &active_kernel();
+  bp.mr = bp.kernel->mr;
+  bp.nr = bp.kernel->nr;
+
+  // Per-field precedence: explicit config > environment > derived.
+  index_t mc = cfg.mc > 0 ? cfg.mc : env_block("FMM_MC");
+  index_t kc = cfg.kc > 0 ? cfg.kc : env_block("FMM_KC");
+  index_t nc = cfg.nc > 0 ? cfg.nc : env_block("FMM_NC");
+  if (mc == 0 || kc == 0 || nc == 0) {
+    // A pinned kc reshapes the derived mc/nc (the A-tile and B-panel must
+    // fit the caches at the kc that actually runs).
+    const AutoBlocking ab =
+        derive_blocking(*bp.kernel, arch::cache_topology(), kc);
+    if (mc == 0) mc = ab.mc;
+    if (kc == 0) kc = ab.kc;
+    if (nc == 0) nc = ab.nc;
+  }
+  bp.kc = std::max<index_t>(kc, 1);
+  bp.mc = round_up(std::max<index_t>(mc, bp.mr), bp.mr);
+  bp.nc = round_up(std::max<index_t>(nc, bp.nr), bp.nr);
+  return bp;
+}
+
+}  // namespace fmm

@@ -5,21 +5,28 @@
 // micro-kernel* (kernel.h) and are runtime values; cache block sizes mC,
 // kC, nC are runtime parameters so benches can explore them.
 //
-// Defaults follow the paper's Ivy Bridge configuration adapted to an 8x6
-// AVX2/FMA kernel: A-tile (mC x kC doubles) sized for L2, B-panel (kC x nC)
-// sized for L3.
+// Since PR 3 the defaults are *derived from the machine*: a GemmConfig
+// field of 0 means "auto", and resolve_blocking() fills it from the
+// detected cache topology (src/arch/cache_info.h) with a BLIS-style
+// analytic model (Low et al., "Analytical Modeling Is Enough for
+// High-Performance BLIS"), per micro-kernel.  On unknown CPUs the default
+// topology reproduces the paper's Ivy Bridge constants (96, 256, 4092).
 
 #include <algorithm>
 
+#include "src/arch/cache_info.h"
 #include "src/gemm/kernel.h"
 #include "src/linalg/mat_view.h"
 
 namespace fmm {
 
 struct GemmConfig {
-  int mc = 96;    // rows of the packed A-tile (rounded up to a multiple of mR)
-  int kc = 256;   // shared inner dimension of both packed buffers
-  int nc = 4092;  // cols of the packed B-panel (rounded up to a multiple of nR)
+  // Cache block sizes; 0 (the default) means "derive from the detected
+  // cache topology for the resolved kernel".  Precedence per field:
+  // explicit value here > FMM_MC/FMM_KC/FMM_NC environment > derived.
+  int mc = 0;  // rows of the packed A-tile (rounded up to a multiple of mR)
+  int kc = 0;  // shared inner dimension of both packed buffers
+  int nc = 0;  // cols of the packed B-panel (rounded up to a multiple of nR)
 
   // 0 means "use omp_get_max_threads()".
   int num_threads = 0;
@@ -31,7 +38,7 @@ struct GemmConfig {
 
   // Model parameters live in src/model; only the geometry lives here.
 
-  bool valid() const { return mc > 0 && kc > 0 && nc > 0; }
+  bool valid() const { return mc >= 0 && kc >= 0 && nc >= 0; }
 };
 
 inline index_t ceil_div(index_t a, index_t b) { return (a + b - 1) / b; }
@@ -50,15 +57,34 @@ struct BlockingParams {
   index_t nc = 0;  // multiple of nr
 };
 
-inline BlockingParams resolve_blocking(const GemmConfig& cfg) {
-  BlockingParams bp;
-  bp.kernel = cfg.kernel != nullptr ? cfg.kernel : &active_kernel();
-  bp.mr = bp.kernel->mr;
-  bp.nr = bp.kernel->nr;
-  bp.kc = std::max<index_t>(cfg.kc, 1);
-  bp.mc = round_up(std::max<index_t>(cfg.mc, bp.mr), bp.mr);
-  bp.nc = round_up(std::max<index_t>(cfg.nc, bp.nr), bp.nr);
-  return bp;
-}
+// Analytic cache blocking for one kernel on one topology (testable with
+// hand-built topologies):
+//   k_C: an mR x k_C A micro-panel plus an nR x k_C B micro-panel stream
+//        through L1 together — k_C = L1d / ((mR + nR) * 8), floored to a
+//        multiple of 64 and clamped to [64, 1024];
+//   m_C: the m_C x k_C packed A-tile occupies ~3/4 of L2 (the rest feeds
+//        the B micro-panels streaming past it), floored to a multiple of
+//        mR and clamped to [mR, 1536];
+//   n_C: the k_C x n_C packed B-panel is cooperatively shared by every
+//        core on the L3 slice, so it budgets one third of the *whole*
+//        slice (not a per-core share), capped at 8 MiB and at four
+//        per-core shares on heavily shared slices, floored to nR.
+// `kc_pinned` > 0 (an explicit config or FMM_KC value) replaces the k_C
+// derivation and reshapes m_C/n_C so the fit invariants hold for the k_C
+// that actually runs.
+struct AutoBlocking {
+  index_t mc = 0;
+  index_t kc = 0;
+  index_t nc = 0;
+};
+AutoBlocking derive_blocking(const KernelInfo& kernel,
+                             const arch::CacheTopology& topo,
+                             index_t kc_pinned = 0);
+
+// Resolves a GemmConfig against the running machine: picks the kernel
+// (cfg.kernel or the cpuid-dispatched default), then per cache-block field
+// applies the precedence explicit > FMM_MC/FMM_KC/FMM_NC env > derived,
+// rounding mc/nc to the kernel's register tile.
+BlockingParams resolve_blocking(const GemmConfig& cfg);
 
 }  // namespace fmm

@@ -8,13 +8,24 @@
 
 namespace fmm {
 
-void GemmWorkspace::ensure(const BlockingParams& bp, int num_threads) {
+void GemmWorkspace::ensure(const BlockingParams& bp, int num_threads,
+                           int num_a, int num_b, int num_c) {
   b_packed_.resize(static_cast<std::size_t>(bp.kc) * bp.nc);
   if (static_cast<int>(a_tiles_.size()) < num_threads) {
     a_tiles_.resize(num_threads);
   }
   for (auto& tile : a_tiles_) {
     tile.resize(static_cast<std::size_t>(bp.mc) * bp.kc);
+  }
+  if (static_cast<int>(term_scratch_.size()) < num_threads) {
+    term_scratch_.resize(num_threads);
+  }
+  for (auto& ts : term_scratch_) {
+    // Grow-only: shrinking a vector never releases capacity, so steady
+    // state does no allocation no matter how call shapes interleave.
+    if (static_cast<int>(ts.a.size()) < num_a) ts.a.resize(num_a);
+    if (static_cast<int>(ts.b.size()) < num_b) ts.b.resize(num_b);
+    if (static_cast<int>(ts.c.size()) < num_c) ts.c.resize(num_c);
   }
 }
 
@@ -60,7 +71,7 @@ void fused_multiply(index_t m, index_t n, index_t k,
   const int nr = bp.nr;
   const MicrokernelFn ukr = bp.kernel->fn;
   const int nth = resolve_threads(cfg);
-  ws.ensure(bp, nth);
+  ws.ensure(bp, nth, num_a, num_b, num_c);
   double* bpack = ws.b_packed();
 
   // Parallelization mode (paper §5.1 / Smith et al. IPDPS'14): by default
@@ -83,10 +94,12 @@ void fused_multiply(index_t m, index_t n, index_t k,
   {
     const int tid = omp_get_thread_num();
     double* apack = ws.a_tile(jr_parallel ? 0 : tid);
-    std::vector<LinTerm> a_local(static_cast<std::size_t>(num_a));
-    std::vector<LinTerm> b_local(static_cast<std::size_t>(num_b));
+    // Pre-sized per-thread scratch (ws.ensure above): no allocation here.
+    GemmWorkspace::TermScratch& scratch = ws.terms(tid);
+    LinTerm* a_local = scratch.a.data();
+    LinTerm* b_local = scratch.b.data();
+    OutTerm* c_local = scratch.c.data();
     alignas(64) double acc[kMaxAccElems];
-    std::vector<OutTerm> c_local(static_cast<std::size_t>(num_c));
 
     // 5th loop: jc over column blocks of width nc.
     for (index_t jc = 0; jc < n; jc += bp.nc) {
@@ -98,11 +111,11 @@ void fused_multiply(index_t m, index_t n, index_t k,
 
         // Cooperative pack of B~ = sum_j v_j B_j[pc:, jc:], one nr-wide
         // panel per iteration.  Implicit barrier publishes the buffer.
-        offset_terms(b_terms, num_b, ldb, pc, jc, b_local.data());
+        offset_terms(b_terms, num_b, ldb, pc, jc, b_local);
         const index_t b_panels = ceil_div(nc_eff, nr);
         FMM_PRAGMA_OMP(for schedule(static))
         for (index_t q = 0; q < b_panels; ++q) {
-          pack_b_panel(b_local.data(), num_b, ldb, kc_eff, nc_eff, nr, q,
+          pack_b_panel(b_local, num_b, ldb, kc_eff, nc_eff, nr, q,
                        bpack + q * nr * kc_eff);
         }
 
@@ -113,8 +126,8 @@ void fused_multiply(index_t m, index_t n, index_t k,
           for (index_t icb = 0; icb < ic_blocks; ++icb) {
             const index_t ic = icb * mc_use;
             const index_t mc_eff = std::min<index_t>(mc_use, m - ic);
-            offset_terms(a_terms, num_a, lda, ic, pc, a_local.data());
-            pack_a(a_local.data(), num_a, lda, mc_eff, kc_eff, mr, apack);
+            offset_terms(a_terms, num_a, lda, ic, pc, a_local);
+            pack_a(a_local, num_a, lda, mc_eff, kc_eff, mr, apack);
 
             for (index_t jr = 0; jr < nc_eff; jr += nr) {
               const index_t n_sub = std::min<index_t>(nr, nc_eff - jr);
@@ -128,7 +141,7 @@ void fused_multiply(index_t m, index_t n, index_t k,
                       c_terms[t].ptr + (ic + ir) * ldc + (jc + jr);
                   c_local[t].coeff = c_terms[t].coeff;
                 }
-                epilogue_update(c_local.data(), num_c, ldc, m_sub, n_sub, acc,
+                epilogue_update(c_local, num_c, ldc, m_sub, n_sub, acc,
                                 mr, nr, acc_this_block);
               }
             }
@@ -142,11 +155,11 @@ void fused_multiply(index_t m, index_t n, index_t k,
           for (index_t icb = 0; icb < ic_blocks; ++icb) {
             const index_t ic = icb * mc_use;
             const index_t mc_eff = std::min<index_t>(mc_use, m - ic);
-            offset_terms(a_terms, num_a, lda, ic, pc, a_local.data());
+            offset_terms(a_terms, num_a, lda, ic, pc, a_local);
             const index_t a_panels = ceil_div(mc_eff, mr);
             FMM_PRAGMA_OMP(for schedule(static))
             for (index_t p = 0; p < a_panels; ++p) {
-              pack_a_panel(a_local.data(), num_a, lda, mc_eff, kc_eff, mr, p,
+              pack_a_panel(a_local, num_a, lda, mc_eff, kc_eff, mr, p,
                            apack + p * mr * kc_eff);
             }
             // Implicit barrier: the shared A-tile is complete.
@@ -164,7 +177,7 @@ void fused_multiply(index_t m, index_t n, index_t k,
                       c_terms[t].ptr + (ic + ir) * ldc + (jc + jr);
                   c_local[t].coeff = c_terms[t].coeff;
                 }
-                epilogue_update(c_local.data(), num_c, ldc, m_sub, n_sub, acc,
+                epilogue_update(c_local, num_c, ldc, m_sub, n_sub, acc,
                                 mr, nr, acc_this_block);
               }
             }

@@ -29,16 +29,30 @@ namespace fmm {
 // same thread; not safe to share one workspace between concurrent calls.
 class GemmWorkspace {
  public:
-  // Ensures capacity for the given resolved blocking and thread count.
-  void ensure(const BlockingParams& bp, int num_threads);
+  // Per-thread offset copies of the operand/target term lists, so the
+  // parallel region of fused_multiply performs no heap allocation per
+  // call (small fused calls used to hit the allocator once per thread
+  // per call).  Grow-only, like the packing buffers.
+  struct TermScratch {
+    std::vector<LinTerm> a;
+    std::vector<LinTerm> b;
+    std::vector<OutTerm> c;
+  };
+
+  // Ensures capacity for the given resolved blocking, thread count, and
+  // term-list lengths.
+  void ensure(const BlockingParams& bp, int num_threads, int num_a,
+              int num_b, int num_c);
 
   double* b_packed() { return b_packed_.data(); }
   double* a_tile(int thread) { return a_tiles_[thread].data(); }
+  TermScratch& terms(int thread) { return term_scratch_[thread]; }
   int num_threads() const { return static_cast<int>(a_tiles_.size()); }
 
  private:
   AlignedBuffer<double> b_packed_;                 // kc x nc
   std::vector<AlignedBuffer<double>> a_tiles_;     // mc x kc per thread
+  std::vector<TermScratch> term_scratch_;          // one per thread
 };
 
 // Resolves cfg.num_threads (0 -> omp_get_max_threads()).

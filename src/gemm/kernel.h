@@ -53,9 +53,11 @@ struct KernelInfo {
   int mr;
   int nr;
   MicrokernelFn fn;
-  // Rough sustained double-precision flops/cycle, used only to *rank*
-  // kernels (portable ~2, AVX2 FMA ~16, AVX-512 ~32); never as a time
-  // estimate — the performance model calibrates real rates.
+  // Rough sustained double-precision flops/cycle (portable ~2, AVX2 FMA
+  // ~16, AVX-512 ~32).  Used to pick the process-wide default kernel and
+  // as the pre-calibration fallback (FMM_CALIBRATE=0); actual ranking and
+  // the performance model consume *measured* rates from
+  // src/arch/calibrate.h.
   double flops_per_cycle;
   bool vectorized;
   bool (*supported_fn)();  // nullptr means "always supported"

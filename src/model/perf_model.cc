@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/arch/calibrate.h"
 #include "src/gemm/gemm.h"
 #include "src/gemm/kernel.h"
 #include "src/linalg/matrix.h"
@@ -134,43 +135,14 @@ ModelParams calibrate(const GemmConfig& cfg) {
   ModelParams p;
   const BlockingParams bp = resolve_blocking(cfg);
 
-  // --- τ_a: sustained rate of the *active* micro-kernel on L1-resident
-  // panels (each registry kernel has its own peak). ---
-  {
-    const index_t kc = bp.kc;
-    AlignedBuffer<double> a(static_cast<std::size_t>(bp.mr) * kc);
-    AlignedBuffer<double> b(static_cast<std::size_t>(bp.nr) * kc);
-    alignas(64) double acc[kMaxAccElems];
-    for (std::size_t i = 0; i < a.size(); ++i) a[i] = 1.0 + 1e-9 * i;
-    for (std::size_t i = 0; i < b.size(); ++i) b[i] = 1.0 - 1e-9 * i;
-    const int reps = 2000;
-    const MicrokernelFn ukr = bp.kernel->fn;
-    double best = best_time_of(5, [&] {
-      for (int r = 0; r < reps; ++r) ukr(kc, a.data(), b.data(), acc);
-    });
-    volatile double sink = acc[0];
-    (void)sink;
-    const double flops =
-        2.0 * bp.mr * bp.nr * static_cast<double>(kc) * reps;
-    p.tau_a = best / flops;
-  }
+  // --- τ_a: the *measured* sustained rate of the resolved micro-kernel on
+  // L1-resident panels, from the per-process calibration cache (each
+  // registry kernel has its own peak; src/arch/calibrate.h). ---
+  p.tau_a = 1.0 / (arch::kernel_gflops(*bp.kernel) * 1e9);
 
-  // --- τ_b: single-thread streaming bandwidth (read-dominated triad). ---
-  {
-    const std::size_t words = 1u << 24;  // 128 MiB working set >> LLC
-    AlignedBuffer<double> x(words), y(words);
-    for (std::size_t i = 0; i < words; ++i) {
-      x[i] = static_cast<double>(i & 1023);
-      y[i] = 0.0;
-    }
-    double best = best_time_of(3, [&] {
-      for (std::size_t i = 0; i < words; ++i) y[i] = 2.0 * x[i] + y[i];
-    });
-    volatile double sink = y[123];
-    (void)sink;
-    // Three 8-byte streams per iteration (read x, read y, write y).
-    p.tau_b = best / (3.0 * static_cast<double>(words));
-  }
+  // --- τ_b: single-thread streaming bandwidth, measured once per process
+  // (read-dominated triad; src/arch/calibrate.h). ---
+  p.tau_b = arch::measured_tau_b();
 
   // --- τ_a refinement: sustained arithmetic rate inside the full loop
   // nest.  The paper sets τ_a to 1/peak because its BLIS substrate runs
@@ -181,6 +153,10 @@ ModelParams calibrate(const GemmConfig& cfg) {
   // micro-kernel bound.  λ is then fit exactly as in the paper. ---
   GemmConfig one = cfg;
   one.num_threads = 1;
+  // The fits below need the *resolved* blocking (cfg fields may be 0 =
+  // auto-derived), not the raw config values.
+  const double kc_res = static_cast<double>(bp.kc);
+  const double nc_res = static_cast<double>(bp.nc);
   GemmWorkspace ws;
   auto measure_gemm = [&](index_t s) {
     Matrix a = Matrix::random(s, s, 1);
@@ -193,9 +169,9 @@ ModelParams calibrate(const GemmConfig& cfg) {
   {
     const double s = 1152;
     const double measured = measure_gemm(static_cast<index_t>(s));
-    const double tm_mid = s * s * ceil_ratio(s, one.nc) * p.tau_b +
+    const double tm_mid = s * s * ceil_ratio(s, nc_res) * p.tau_b +
                           s * s * p.tau_b +
-                          2.0 * 0.75 * s * s * ceil_ratio(s, one.kc) * p.tau_b;
+                          2.0 * 0.75 * s * s * ceil_ratio(s, kc_res) * p.tau_b;
     const double ta_fit = (measured - tm_mid) / (2.0 * s * s * s);
     p.tau_a = std::max(p.tau_a, ta_fit);
   }
@@ -206,9 +182,9 @@ ModelParams calibrate(const GemmConfig& cfg) {
     const double measured = measure_gemm(m);
     const double md = m, nd = n, kd = k;
     const double ta = 2.0 * md * nd * kd * p.tau_a;
-    const double t_ab = md * kd * ceil_ratio(nd, one.nc) * p.tau_b +
+    const double t_ab = md * kd * ceil_ratio(nd, nc_res) * p.tau_b +
                         nd * kd * p.tau_b;
-    const double denom = 2.0 * md * nd * ceil_ratio(kd, one.kc) * p.tau_b;
+    const double denom = 2.0 * md * nd * ceil_ratio(kd, kc_res) * p.tau_b;
     double lam = (measured - ta - t_ab) / denom;
     p.lambda = std::clamp(lam, 0.5, 1.0);
   }

@@ -74,9 +74,12 @@ struct ModelBreakdown {
 };
 ModelBreakdown predict_breakdown(const ModelInput& in, const ModelParams& p);
 
-// Measures τ_a (micro-kernel peak), τ_b (single-thread stream bandwidth)
-// and fits λ so that the modeled GEMM time matches a measured GEMM at a
-// reference size.  Deterministic given the machine; takes ~1 s.
+// Measures τ_a (the resolved kernel's peak, from the per-process
+// calibration cache in src/arch/calibrate.h), τ_b (single-thread stream
+// bandwidth, likewise cached) and fits λ so that the modeled GEMM time
+// matches a measured GEMM at a reference size.  Deterministic given the
+// machine; the first call per process pays the measurement cost, later
+// calls only re-run the two GEMM fits.
 ModelParams calibrate(const GemmConfig& cfg = GemmConfig{});
 
 }  // namespace fmm

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/arch/calibrate.h"
 #include "src/core/catalog.h"
 #include "src/gemm/kernel.h"
 #include "src/util/timer.h"
@@ -47,12 +48,14 @@ const KernelInfo* best_kernel_for_shape(index_t ms, index_t ns, index_t ks) {
   double best_cost = 0.0;
   for (const KernelInfo& kern : kernel_registry()) {
     if (!kern.supported()) continue;
-    // Padded-tile multiply flops at the kernel's register tile, scaled by
-    // its throughput hint: the same trade the model charges in Tx_a, cheap
-    // enough to evaluate for every (plan, kernel) pair.
+    // Padded-tile multiply flops at the kernel's register tile, over the
+    // kernel's *measured* sustained rate (lazily calibrated once per
+    // process and cached — src/arch/calibrate.h; the static hint is only
+    // the FMM_CALIBRATE=0 fallback).  The same trade the model charges in
+    // Tx_a, cheap enough to evaluate for every (plan, kernel) pair.
     const double msp = std::ceil(msd / kern.mr) * kern.mr;
     const double nsp = std::ceil(nsd / kern.nr) * kern.nr;
-    const double cost = msp * nsp * ksd / kern.flops_per_cycle;
+    const double cost = msp * nsp * ksd / arch::kernel_gflops(kern);
     if (best == nullptr || cost < best_cost) {
       best = &kern;
       best_cost = cost;

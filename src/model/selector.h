@@ -30,9 +30,12 @@ std::vector<Plan> default_plan_space(const std::vector<Variant>& variants,
                                      int max_levels = 2);
 
 // Cheapest supported registry kernel for an interior sub-problem of shape
-// ms x ns (x ks): minimizes padded-tile flops over the kernel's throughput
-// hint.  Honors an FMM_KERNEL override (then the override wins outright);
-// when cfg pins a kernel the caller should skip scoring entirely.
+// ms x ns (x ks): minimizes padded-tile flops over the kernel's
+// *calibrated* throughput (measured once per process and cached,
+// src/arch/calibrate.h; the static registry hint is only the
+// FMM_CALIBRATE=0 fallback).  Honors an FMM_KERNEL override (then the
+// override wins outright); when cfg pins a kernel the caller should skip
+// scoring entirely.
 const KernelInfo* best_kernel_for_shape(index_t ms, index_t ns, index_t ks);
 
 // Ranks `plans` by predicted time for (m, n, k); ascending time.  For each

@@ -48,11 +48,16 @@ TEST(RankByModel, SortsAscendingPredictedTime) {
 
 TEST(RankByModel, RankKShapePrefersLowOverheadPartitions) {
   // §4.3 / Fig. 7: for rank-k updates, <2,2,2> ABC should rank near the
-  // top; high-nnz monsters like <3,6,3> should rank poorly.
+  // top; high-nnz monsters like <3,6,3> should rank poorly.  Pin the
+  // paper's blocking: the auto-derived values vary by host and this
+  // ordering is a statement about the model at the paper's configuration.
+  GemmConfig cfg;
+  cfg.mc = 96;
+  cfg.kc = 256;
+  cfg.nc = 4092;
   const auto plans = default_plan_space({Variant::kABC}, 1);
   const ModelParams params;
-  const auto ranked =
-      rank_by_model(8192, 8192, 1024, plans, params, GemmConfig{});
+  const auto ranked = rank_by_model(8192, 8192, 1024, plans, params, cfg);
   std::size_t pos222 = 0, pos363 = 0;
   for (std::size_t i = 0; i < ranked.size(); ++i) {
     if (ranked[i].plan.name() == "<2,2,2> ABC") pos222 = i;
