@@ -51,11 +51,9 @@ int main(int argc, char** argv) {
     cfg.kc = c.kc;
     cfg.nc = c.nc;
     GemmWorkspace ws;
-    FmmContext ctx;
-    ctx.cfg = cfg;
     const double tg = time_gemm(s, s, s, ws, cfg, opts.reps);
     const Plan plan = make_plan({catalog::best(2, 2, 2)}, Variant::kABC);
-    const double tf = time_plan(plan, s, s, s, ctx, opts.reps);
+    const double tf = time_plan(plan, s, s, s, cfg, opts.reps);
     table.add_row({c.label.c_str(),
                    TablePrinter::fmt(effective_gflops(s, s, s, tg), 2),
                    TablePrinter::fmt(effective_gflops(s, s, s, tf), 2),

@@ -44,11 +44,10 @@ int main(int argc, char** argv) {
     const double tg = time_gemm(s.m, s.n, s.k, ws, cfg, opts.reps);
     for (const auto& name : algs) {
       const FmmAlgorithm alg = catalog::get(name);
-      FmmContext dctx;
       const double t_abc = time_plan(make_plan({alg}, Variant::kABC), s.m, s.n,
-                                     s.k, dctx, opts.reps);
+                                     s.k, cfg, opts.reps);
       const double t_naive = time_plan(make_plan({alg}, Variant::kNaive), s.m,
-                                       s.n, s.k, dctx, opts.reps);
+                                       s.n, s.k, cfg, opts.reps);
       // Task-parallel timing.
       Matrix a = Matrix::random(s.m, s.k, 1);
       Matrix b = Matrix::random(s.k, s.n, 2);

@@ -52,17 +52,17 @@ inline std::vector<std::string> algorithm_names(bool full) {
           "<4,2,4>", "<2,5,2>", "<3,6,3>", "<4,3,3>", "<6,3,3>"};
 }
 
-// Times one plan on operands of the given size: one warm-up run, then the
-// best of `reps` timed runs.  Returns seconds.
+// Times one plan on operands of the given size through a compiled
+// executor (compile outside the timed region, as a serving loop would):
+// one warm-up run, then the best of `reps` timed runs.  Returns seconds.
 inline double time_plan(const Plan& plan, index_t m, index_t n, index_t k,
-                        FmmContext& ctx, int reps) {
+                        const GemmConfig& cfg, int reps) {
   Matrix a = Matrix::random(m, k, 1);
   Matrix b = Matrix::random(k, n, 2);
   Matrix c = Matrix::zero(m, n);
-  fmm_multiply(plan, c.view(), a.view(), b.view(), ctx);
-  return best_time_of(reps, [&] {
-    fmm_multiply(plan, c.view(), a.view(), b.view(), ctx);
-  });
+  FmmExecutor exec(plan, m, n, k, cfg, /*slots=*/1);
+  exec.run(c.view(), a.view(), b.view());
+  return best_time_of(reps, [&] { exec.run(c.view(), a.view(), b.view()); });
 }
 
 // Times the GEMM baseline (same packing/micro-kernel code path).

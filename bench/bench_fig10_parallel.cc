@@ -22,8 +22,6 @@ void run_sweep(const char* title, const char* tag,
                const Options& opts, const GemmConfig& cfg,
                const ModelParams& params) {
   GemmWorkspace ws;
-  FmmContext ctx;
-  ctx.cfg = cfg;
 
   std::vector<std::string> headers = {"algorithm"};
   for (const auto& s : sizes) {
@@ -58,9 +56,9 @@ void run_sweep(const char* title, const char* tag,
         }
       }
       const double t_ours = time_plan(make_plan({alg}, best), s[0], s[2], s[1],
-                                      ctx, opts.reps);
+                                      cfg, opts.reps);
       const double t_ref = time_plan(make_plan({alg}, Variant::kNaive), s[0],
-                                     s[2], s[1], ctx, opts.reps);
+                                     s[2], s[1], cfg, opts.reps);
       row.push_back(
           TablePrinter::fmt(effective_gflops(s[0], s[2], s[1], t_ours), 1));
       row.push_back(

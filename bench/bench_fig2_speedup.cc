@@ -43,8 +43,6 @@ int main(int argc, char** argv) {
 
   TablePrinter table({"<m~,k~,n~>", "m~k~n~", "R", "theory%", "rank-k%",
                       "square%", "variant(rank-k)"});
-  FmmContext ctx;
-  ctx.cfg = cfg;
   // Smoke runs cover the representative subset so the CI job stays fast.
   for (const auto& name : algorithm_names(/*full=*/!opts.smoke)) {
     const FmmAlgorithm alg = catalog::get(name);
@@ -65,9 +63,9 @@ int main(int argc, char** argv) {
     const Variant v_rank = pick(N, N, k_rank);
     const Variant v_sq = pick(N_sq, N_sq, k_sq);
     const double t_rank =
-        time_plan(make_plan({alg}, v_rank), N, N, k_rank, ctx, opts.reps);
+        time_plan(make_plan({alg}, v_rank), N, N, k_rank, cfg, opts.reps);
     const double t_sq =
-        time_plan(make_plan({alg}, v_sq), N_sq, N_sq, k_sq, ctx, opts.reps);
+        time_plan(make_plan({alg}, v_sq), N_sq, N_sq, k_sq, cfg, opts.reps);
     table.add_row({name, TablePrinter::fmt((long long)alg.classical_mults()),
                    TablePrinter::fmt((long long)alg.R),
                    TablePrinter::fmt(alg.theoretical_speedup() * 100, 1),

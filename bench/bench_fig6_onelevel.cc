@@ -28,8 +28,6 @@ int main(int argc, char** argv) {
   cfg.num_threads = 1;
   const ModelParams params = calibrate(cfg);
   GemmWorkspace ws;
-  FmmContext ctx;
-  ctx.cfg = cfg;
 
   std::printf("Fig. 6 reproduction: one-level FMM, m=n=%lld, k sweep, 1 core\n",
               (long long)mn);
@@ -58,7 +56,7 @@ int main(int argc, char** argv) {
       const Plan plan = make_plan({catalog::get(name)}, variant);
       std::vector<std::string> row = {name};
       for (index_t k : ks) {
-        const double t = time_plan(plan, mn, mn, k, ctx, opts.reps);
+        const double t = time_plan(plan, mn, mn, k, cfg, opts.reps);
         row.push_back(TablePrinter::fmt(effective_gflops(mn, mn, k, t), 1));
         row.push_back(
             TablePrinter::fmt(modeled_gflops(plan, mn, mn, k, cfg, params), 1));

@@ -19,8 +19,6 @@ void run_sweep(const char* title, const char* csv_tag,
                const Options& opts, const GemmConfig& cfg,
                const ModelParams& params) {
   GemmWorkspace ws;
-  FmmContext ctx;
-  ctx.cfg = cfg;
 
   std::vector<std::string> headers = {"algorithm"};
   for (const auto& s : sizes) {
@@ -46,7 +44,7 @@ void run_sweep(const char* title, const char* csv_tag,
         make_uniform_plan(catalog::get(name), 2, Variant::kABC);
     std::vector<std::string> row = {name + " 2L"};
     for (const auto& s : sizes) {
-      const double t = time_plan(plan, s[0], s[2], s[1], ctx, opts.reps);
+      const double t = time_plan(plan, s[0], s[2], s[1], cfg, opts.reps);
       row.push_back(TablePrinter::fmt(effective_gflops(s[0], s[2], s[1], t), 1));
       row.push_back(TablePrinter::fmt(
           modeled_gflops(plan, s[0], s[2], s[1], cfg, params), 1));

@@ -57,8 +57,6 @@ int main(int argc, char** argv) {
               plans.size());
 
   GemmWorkspace ws;
-  FmmContext ctx;
-  ctx.cfg = cfg;
   TablePrinter table({"sweep", "m", "k", "n", "BLIS", "BestFMM", "SelectedFMM",
                       "selected plan", "sel=best"});
   for (const auto& p : points) {

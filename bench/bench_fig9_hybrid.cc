@@ -47,8 +47,6 @@ int main(int argc, char** argv) {
     GemmConfig cfg;
     cfg.num_threads = threads;
     GemmWorkspace ws;
-    FmmContext ctx;
-    ctx.cfg = cfg;
 
     std::vector<std::string> headers = {"plan"};
     for (index_t mn : mns) headers.push_back("m=n=" + std::to_string(mn));
@@ -64,7 +62,7 @@ int main(int argc, char** argv) {
     for (const auto& e : entries) {
       std::vector<std::string> row = {e.label};
       for (index_t mn : mns) {
-        const double t = time_plan(e.plan, mn, mn, k, ctx, opts.reps);
+        const double t = time_plan(e.plan, mn, mn, k, cfg, opts.reps);
         row.push_back(TablePrinter::fmt(effective_gflops(mn, mn, k, t), 1));
       }
       table.add_row(row);

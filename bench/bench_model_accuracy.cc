@@ -48,8 +48,6 @@ int main(int argc, char** argv) {
   GemmConfig cfg;
   cfg.num_threads = 1;
   const ModelParams params = calibrate(cfg);
-  FmmContext ctx;
-  ctx.cfg = cfg;
 
   const std::vector<std::array<index_t, 3>> shapes = {
       {1440, 480, 1440},   // rank-k
@@ -74,7 +72,7 @@ int main(int argc, char** argv) {
     for (const auto& name : algs) {
       for (Variant v : variants) {
         const Plan plan = make_plan({catalog::get(name)}, v);
-        const double t = time_plan(plan, s[0], s[2], s[1], ctx, opts.reps);
+        const double t = time_plan(plan, s[0], s[2], s[1], cfg, opts.reps);
         actual.push_back(effective_gflops(s[0], s[2], s[1], t));
         modeled.push_back(modeled_gflops(plan, s[0], s[2], s[1], cfg, params));
         names.push_back(plan.name());

@@ -9,6 +9,12 @@ baseline (usually the latest main-branch artifact):
   * fig2_speedup: CSV rows matched by their first column; every numeric
     column is treated as effective GFLOPS (higher is better); regression =
     candidate more than --threshold percent lower.
+  * bench_batch: CSV rows matched by (n, K); numeric columns are aggregate
+    GFLOPS / speedup ratios (higher is better).
+
+Rows or whole sections present in only one artifact are *skipped* (listed
+as "only in baseline/candidate"), never treated as regressions — adding,
+removing, or renaming a bench must not fail the diff.
 
 Exit status: 0 when no regression (or --report-only), 1 when at least one
 benchmark regressed beyond the threshold, 2 on usage/IO errors.  The CI
@@ -39,15 +45,19 @@ def benchmark_times(doc):
     return out
 
 
-def fig2_rates(doc):
-    """(row-key, column) -> numeric cell from fig2_speedup (higher is better)."""
+def table_rates(doc, section, key_fields):
+    """(row-key, column) -> numeric cell from a CSV-table section (higher
+    is better).  `key_fields` name the columns forming the row key (the
+    JSON artifact sorts row keys, so positions are meaningless); rows
+    missing a key field are skipped."""
     out = {}
-    for row in doc.get("fig2_speedup", []):
-        items = list(row.items())
-        if not items:
+    for row in doc.get(section, []):
+        if any(f not in row for f in key_fields):
             continue
-        key = items[0][1]
-        for col, cell in items[1:]:
+        key = "/".join(str(row[f]) for f in key_fields)
+        for col, cell in row.items():
+            if col in key_fields:
+                continue
             try:
                 value = float(cell)
             except (TypeError, ValueError):
@@ -100,12 +110,21 @@ def main():
         ("gemm_baseline (cpu_time, lower is better)",
          benchmark_times(base_doc), benchmark_times(cand_doc), False),
         ("fig2_speedup (GFLOPS, higher is better)",
-         fig2_rates(base_doc), fig2_rates(cand_doc), True),
+         table_rates(base_doc, "fig2_speedup", ("<m~,k~,n~>",)),
+         table_rates(cand_doc, "fig2_speedup", ("<m~,k~,n~>",)), True),
+        ("bench_batch (GFLOPS/ratio, higher is better)",
+         table_rates(base_doc, "bench_batch", ("n", "K")),
+         table_rates(cand_doc, "bench_batch", ("n", "K")), True),
     ]
     for title, base, cand, higher in sections:
-        if not base or not cand:
+        if not base and not cand:
             continue
         print(f"\n== {title} ==")
+        if not base or not cand:
+            which = "candidate" if cand else "baseline"
+            print(f"  section only in {which}; skipped "
+                  f"(bench added/removed/renamed)")
+            continue
         for name, b, c, delta, regressed in compare(
                 base, cand, args.threshold, higher):
             compared += 1
@@ -113,6 +132,12 @@ def main():
             print(f"  {name}: {b:.4g} -> {c:.4g}  ({delta:+.1f}%){mark}")
             if regressed:
                 regressions.append((title, name, delta))
+        only_base = sorted(base.keys() - cand.keys())
+        only_cand = sorted(cand.keys() - base.keys())
+        for name in only_base:
+            print(f"  {name}: only in baseline; skipped")
+        for name in only_cand:
+            print(f"  {name}: only in candidate; skipped")
 
     if compared == 0:
         print("no comparable benchmarks found between the two artifacts")

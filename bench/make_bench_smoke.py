@@ -41,6 +41,7 @@ def main():
     ap.add_argument("--gemm-baseline-json",
                     help="google-benchmark JSON from bench_gemm_baseline")
     ap.add_argument("--fig2-csv", help="CSV from bench_fig2_speedup --smoke")
+    ap.add_argument("--batch-csv", help="CSV from bench_batch --smoke")
     args = ap.parse_args()
 
     doc = {
@@ -57,6 +58,8 @@ def main():
         doc["gemm_baseline"] = load_benchmark_json(args.gemm_baseline_json)
     if args.fig2_csv:
         doc["fig2_speedup"] = load_table_csv(args.fig2_csv)
+    if args.batch_csv:
+        doc["bench_batch"] = load_table_csv(args.batch_csv)
 
     with open(args.out, "w") as f:
         json.dump(doc, f, indent=2, sort_keys=True)

@@ -2,192 +2,45 @@
 
 #include <cassert>
 
-#include "src/util/omp_compat.h"
-
 namespace fmm {
 namespace {
 
-// Parallel C_view += w * M over rows (the scatter of AB/Naive variants).
-void scaled_add(double w, ConstMatView src, MatView dst) {
-  const index_t rows = src.rows(), cols = src.cols();
-  FMM_PRAGMA_OMP(parallel for schedule(static))
-  for (index_t i = 0; i < rows; ++i) {
-    const double* s = src.row(i);
-    double* d = dst.row(i);
-    for (index_t j = 0; j < cols; ++j) d[j] += w * s[j];
-  }
-}
-
-// Parallel dst = Σ terms (the explicit operand sums of the Naive variant).
-void lin_comb(const std::vector<LinTerm>& terms, index_t lds, index_t rows,
-              index_t cols, MatView dst) {
-  FMM_PRAGMA_OMP(parallel for schedule(static))
-  for (index_t i = 0; i < rows; ++i) {
-    double* d = dst.row(i);
-    {
-      const double* s = terms[0].ptr + i * lds;
-      const double c = terms[0].coeff;
-      for (index_t j = 0; j < cols; ++j) d[j] = c * s[j];
-    }
-    for (std::size_t t = 1; t < terms.size(); ++t) {
-      const double* s = terms[t].ptr + i * lds;
-      const double c = terms[t].coeff;
-      for (index_t j = 0; j < cols; ++j) d[j] += c * s[j];
-    }
-  }
-}
-
-// Runs the flat algorithm on the divisible interior.
-void fmm_interior(const Plan& plan, MatView c, ConstMatView a, ConstMatView b,
-                  FmmContext& ctx) {
-  const FmmAlgorithm& alg = plan.flat;
-  const index_t ms = c.rows() / alg.mt;
-  const index_t ks = a.cols() / alg.kt;
-  const index_t ns = c.cols() / alg.nt;
-  assert(c.rows() % alg.mt == 0 && a.cols() % alg.kt == 0 &&
-         c.cols() % alg.nt == 0);
-
-  // Base pointers of every submatrix view.  Flattened coefficients use the
-  // flat row-major block convention (see transforms.cc: kron_grid), so the
-  // block of flat index i sits at grid position (i / cols, i % cols).
-  std::vector<const double*> a_base(static_cast<std::size_t>(alg.rows_u()));
-  std::vector<const double*> b_base(static_cast<std::size_t>(alg.rows_v()));
-  std::vector<double*> c_base(static_cast<std::size_t>(alg.rows_w()));
-  for (int i = 0; i < alg.rows_u(); ++i) {
-    a_base[i] = a.data() + (i / alg.kt) * ms * a.stride() + (i % alg.kt) * ks;
-  }
-  for (int j = 0; j < alg.rows_v(); ++j) {
-    b_base[j] = b.data() + (j / alg.nt) * ks * b.stride() + (j % alg.nt) * ns;
-  }
-  for (int p = 0; p < alg.rows_w(); ++p) {
-    c_base[p] = c.data() + (p / alg.nt) * ms * c.stride() + (p % alg.nt) * ns;
-  }
-
-  std::vector<LinTerm> a_terms, b_terms;
-  std::vector<OutTerm> c_terms;
-  a_terms.reserve(static_cast<std::size_t>(alg.rows_u()));
-  b_terms.reserve(static_cast<std::size_t>(alg.rows_v()));
-  c_terms.reserve(static_cast<std::size_t>(alg.rows_w()));
-
-  if (plan.variant != Variant::kABC) {
-    ctx.m_buf = Matrix(ms, ns);
-  }
-  if (plan.variant == Variant::kNaive) {
-    ctx.ta_buf = Matrix(ms, ks);
-    ctx.tb_buf = Matrix(ks, ns);
-  }
-
-  for (int r = 0; r < alg.R; ++r) {
-    a_terms.clear();
-    b_terms.clear();
-    c_terms.clear();
-    for (int i = 0; i < alg.rows_u(); ++i) {
-      const double coef = alg.u(i, r);
-      if (coef != 0.0) a_terms.push_back({a_base[i], coef});
-    }
-    for (int j = 0; j < alg.rows_v(); ++j) {
-      const double coef = alg.v(j, r);
-      if (coef != 0.0) b_terms.push_back({b_base[j], coef});
-    }
-    for (int p = 0; p < alg.rows_w(); ++p) {
-      const double coef = alg.w(p, r);
-      if (coef != 0.0) c_terms.push_back({c_base[p], coef});
-    }
-    assert(!a_terms.empty() && !b_terms.empty() && !c_terms.empty());
-
-    switch (plan.variant) {
-      case Variant::kABC: {
-        fused_multiply(ms, ns, ks, a_terms.data(),
-                       static_cast<int>(a_terms.size()), a.stride(),
-                       b_terms.data(), static_cast<int>(b_terms.size()),
-                       b.stride(), c_terms.data(),
-                       static_cast<int>(c_terms.size()), c.stride(),
-                       ctx.gemm_ws, ctx.cfg);
-        break;
-      }
-      case Variant::kAB: {
-        // Packing still absorbs the A/B sums; M_r is an explicit buffer
-        // (overwritten by the first k-block — no zero-fill pass).
-        OutTerm m_out{ctx.m_buf.data(), 1.0};
-        fused_multiply(ms, ns, ks, a_terms.data(),
-                       static_cast<int>(a_terms.size()), a.stride(),
-                       b_terms.data(), static_cast<int>(b_terms.size()),
-                       b.stride(), &m_out, 1, ctx.m_buf.stride(), ctx.gemm_ws,
-                       ctx.cfg, /*accumulate=*/false);
-        for (const auto& t : c_terms) {
-          scaled_add(t.coeff, ctx.m_buf.view(),
-                     MatView(t.ptr, ms, ns, c.stride()));
-        }
-        break;
-      }
-      case Variant::kNaive: {
-        // Explicit temporaries for the operand sums, then a plain GEMM
-        // overwriting M_r.
-        lin_comb(a_terms, a.stride(), ms, ks, ctx.ta_buf.view());
-        lin_comb(b_terms, b.stride(), ks, ns, ctx.tb_buf.view());
-        LinTerm ta{ctx.ta_buf.data(), 1.0};
-        LinTerm tb{ctx.tb_buf.data(), 1.0};
-        OutTerm m_out{ctx.m_buf.data(), 1.0};
-        fused_multiply(ms, ns, ks, &ta, 1, ctx.ta_buf.stride(), &tb, 1,
-                       ctx.tb_buf.stride(), &m_out, 1, ctx.m_buf.stride(),
-                       ctx.gemm_ws, ctx.cfg, /*accumulate=*/false);
-        for (const auto& t : c_terms) {
-          scaled_add(t.coeff, ctx.m_buf.view(),
-                     MatView(t.ptr, ms, ns, c.stride()));
-        }
-        break;
-      }
-    }
-  }
+// Exact match on everything a compiled executor's arithmetic depends on:
+// the flat algorithm (dims + coefficients), variant, and requested kernel.
+// Comparing the coefficient vectors outright costs the same order of work
+// as the per-call U/V/W term gather the executor cache replaced, with no
+// fingerprint-collision risk.
+bool same_execution(const Plan& a, const Plan& b) {
+  const FmmAlgorithm& x = a.flat;
+  const FmmAlgorithm& y = b.flat;
+  return a.variant == b.variant && a.kernel == b.kernel && x.mt == y.mt &&
+         x.kt == y.kt && x.nt == y.nt && x.R == y.R && x.U == y.U &&
+         x.V == y.V && x.W == y.W;
 }
 
 }  // namespace
 
-std::vector<PeelPiece> peel_pieces(index_t m, index_t n, index_t k,
-                                   index_t m1, index_t n1, index_t k1) {
-  std::vector<PeelPiece> out;
-  // C[0:m1, 0:n1] += A[0:m1, k1:k] B[k1:k, 0:n1]   (k fringe)
-  if (k > k1 && m1 > 0 && n1 > 0) out.push_back({0, m1, k1, k, 0, n1});
-  // C[0:m1, n1:n] += A[0:m1, 0:k] B[0:k, n1:n]     (n fringe, full k)
-  if (n > n1 && m1 > 0) out.push_back({0, m1, 0, k, n1, n});
-  // C[m1:m, 0:n] += A[m1:m, 0:k] B[0:k, 0:n]       (m fringe, full k, n)
-  if (m > m1) out.push_back({m1, m, 0, k, 0, n});
-  return out;
-}
-
 void fmm_multiply(const Plan& plan, MatView c, ConstMatView a, ConstMatView b,
                   FmmContext& ctx) {
   assert(a.rows() == c.rows() && b.cols() == c.cols() && a.cols() == b.rows());
-  detail::ScopedPlanKernel kernel_guard(ctx.cfg, plan.kernel);
   const index_t m = c.rows(), n = c.cols(), k = a.cols();
-  if (m == 0 || n == 0) return;
-
-  const index_t m1 = m - m % plan.Mt();
-  const index_t k1 = k - k % plan.Kt();
-  const index_t n1 = n - n % plan.Nt();
-
-  if (m1 > 0 && k1 > 0 && n1 > 0) {
-    fmm_interior(plan, c.block(0, 0, m1, n1), a.block(0, 0, m1, k1),
-                 b.block(0, 0, k1, n1), ctx);
+  if (ctx.exec == nullptr || ctx.exec->m() != m || ctx.exec->n() != n ||
+      ctx.exec->k() != k || !same_execution(ctx.exec_plan, plan) ||
+      ctx.exec_cfg != ctx.cfg) {
+    ctx.exec = std::make_unique<FmmExecutor>(plan, m, n, k, ctx.cfg,
+                                             /*slots=*/1);
+    // The executor's own plan() records the *resolved* kernel; keep the
+    // plan as requested for the next cache comparison.
+    ctx.exec_plan = plan;
+    ctx.exec_cfg = ctx.cfg;
   }
-  // When any interior dimension collapses to zero the interior is skipped
-  // and the peel covers the entire problem.
-  const index_t em1 = (m1 > 0 && k1 > 0 && n1 > 0) ? m1 : 0;
-  const index_t ek1 = (m1 > 0 && k1 > 0 && n1 > 0) ? k1 : 0;
-  const index_t en1 = (m1 > 0 && k1 > 0 && n1 > 0) ? n1 : 0;
-  for (const auto& p : peel_pieces(m, n, k, em1, en1, ek1)) {
-    if (p.m1 <= p.m0 || p.n1 <= p.n0 || p.k1 <= p.k0) continue;
-    gemm(c.block(p.m0, p.n0, p.m1 - p.m0, p.n1 - p.n0),
-         a.block(p.m0, p.k0, p.m1 - p.m0, p.k1 - p.k0),
-         b.block(p.k0, p.n0, p.k1 - p.k0, p.n1 - p.n0), ctx.gemm_ws, ctx.cfg);
-  }
+  ctx.exec->run(c, a, b);
 }
 
 void fmm_multiply(const Plan& plan, MatView c, ConstMatView a, ConstMatView b,
                   const GemmConfig& cfg) {
-  FmmContext ctx;
-  ctx.cfg = cfg;
-  fmm_multiply(plan, c, a, b, ctx);
+  FmmExecutor exec(plan, c.rows(), c.cols(), a.cols(), cfg, /*slots=*/1);
+  exec.run(c, a, b);
 }
 
 }  // namespace fmm

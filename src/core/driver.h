@@ -1,63 +1,43 @@
 #pragma once
 
-// The FMM execution engine: runs a Plan against concrete operands.
+// The legacy one-call FMM entry point: runs a Plan against concrete
+// operands.
 //
 //   fmm_multiply(plan, C, A, B, ctx)   computes C += A * B
 //
-// The engine executes the flat (Kronecker-composed) algorithm iteratively:
-// for each r, it gathers the non-zero coefficient terms of column r of U, V
-// and W into operand lists for the fused GEMM driver.  Per variant:
-//
-//   ABC   : one fused_multiply per r — A and B sums fused into packing,
-//           all C_p updates fused into the micro-kernel epilogue.
-//   AB    : fused_multiply into a temporary M_r, then C_p += w_{p,r} M_r.
-//   Naive : explicit temporaries T_A = Σ u A_i and T_B = Σ v B_j, one plain
-//           GEMM into M_r, then the C updates — the classical formulation.
-//
-// Problem sizes that are not multiples of Π m̃_l etc. are handled with
-// dynamic peeling (paper §4.1, citing Thottethodi et al.): the FMM runs on
-// the largest divisible interior and three slab GEMMs finish the fringes,
-// with no extra workspace.
+// Since the compiled-executor refactor the execution engine itself lives in
+// src/core/executor.h (FmmExecutor): per-r U/V/W term gathering, the three
+// execution variants (ABC / AB / Naive, paper §4.1), and dynamic peeling
+// (paper §4.1, citing Thottethodi et al.) are compiled once per
+// (plan, shape, config) and then run with zero allocation.  fmm_multiply is
+// a thin wrapper that keeps a single-entry executor cache inside the
+// FmmContext, so a loop of same-shaped calls through the legacy API pays
+// the compilation once and the plan's kernel choice is threaded by value —
+// the caller's GemmConfig is never mutated (the old ScopedPlanKernel
+// mutate-and-restore pattern is gone).
 
-#include <vector>
+#include <memory>
 
+#include "src/core/executor.h"
 #include "src/core/plan.h"
 #include "src/gemm/gemm.h"
 #include "src/linalg/matrix.h"
 
 namespace fmm {
 
-namespace detail {
-
-// RAII: installs a plan's kernel choice into a config for the duration of
-// one multiply (interior and peel GEMMs run with the same kernel),
-// restoring the caller's setting afterwards.  Shared by the data-parallel
-// and task-parallel drivers.
-class ScopedPlanKernel {
- public:
-  ScopedPlanKernel(GemmConfig& cfg, const KernelInfo* plan_kernel)
-      : cfg_(cfg), saved_(cfg.kernel) {
-    if (plan_kernel != nullptr) cfg_.kernel = plan_kernel;
-  }
-  ~ScopedPlanKernel() { cfg_.kernel = saved_; }
-  ScopedPlanKernel(const ScopedPlanKernel&) = delete;
-  ScopedPlanKernel& operator=(const ScopedPlanKernel&) = delete;
-
- private:
-  GemmConfig& cfg_;
-  const KernelInfo* saved_;
-};
-
-}  // namespace detail
-
-// Reusable buffers for a sequence of fmm_multiply calls.  Not thread-safe
-// across concurrent calls (parallelism lives inside the call).
+// Reusable state for a sequence of fmm_multiply calls from one thread.
+// Calls that repeat the same (plan, shape, cfg) reuse the cached compiled
+// executor; any change recompiles.  Not safe to share between concurrent
+// callers — for that, build an FmmExecutor directly and call run().
 struct FmmContext {
   GemmConfig cfg;
-  GemmWorkspace gemm_ws;
-  Matrix m_buf;   // M_r        (AB, Naive)
-  Matrix ta_buf;  // Σ u_i A_i  (Naive)
-  Matrix tb_buf;  // Σ v_j B_j  (Naive)
+
+  // Single-entry compiled-executor cache (internal; managed by
+  // fmm_multiply).  `exec_plan`/`exec_cfg` are the plan and config the
+  // executor was compiled against, compared exactly on every call.
+  std::unique_ptr<FmmExecutor> exec;
+  Plan exec_plan;
+  GemmConfig exec_cfg;
 };
 
 // C += A * B using the plan.  Any m, n, k >= 0 (fringes peeled off).
@@ -67,18 +47,5 @@ void fmm_multiply(const Plan& plan, MatView c, ConstMatView a, ConstMatView b,
 // Convenience overload with a throwaway context.
 void fmm_multiply(const Plan& plan, MatView c, ConstMatView a, ConstMatView b,
                   const GemmConfig& cfg = GemmConfig{});
-
-// One sub-multiplication of the dynamic-peeling decomposition.
-struct PeelPiece {
-  // Half-open element ranges into C, A, B for a plain GEMM
-  // C[mr0:mr1, nc0:nc1] += A[mr0:mr1, kr0:kr1] * B[kr0:kr1, nc0:nc1].
-  index_t m0, m1, k0, k1, n0, n1;
-};
-
-// The dynamic-peeling decomposition for a problem of size (m, n, k) with an
-// FMM interior of (m1, n1, k1) = (m - m%Mt, ...): the list of fringe GEMMs
-// that complete the product (in order).  Exposed for unit testing.
-std::vector<PeelPiece> peel_pieces(index_t m, index_t n, index_t k,
-                                   index_t m1, index_t n1, index_t k1);
 
 }  // namespace fmm

@@ -1,0 +1,467 @@
+#include "src/core/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+#include "src/gemm/kernel.h"
+#include "src/gemm/pack.h"
+#include "src/util/omp_compat.h"
+
+namespace fmm {
+namespace {
+
+// Parallel C_view += w * M over rows (the scatter of AB/Naive variants).
+void scaled_add(double w, ConstMatView src, MatView dst) {
+  const index_t rows = src.rows(), cols = src.cols();
+  FMM_PRAGMA_OMP(parallel for schedule(static))
+  for (index_t i = 0; i < rows; ++i) {
+    const double* s = src.row(i);
+    double* d = dst.row(i);
+    for (index_t j = 0; j < cols; ++j) d[j] += w * s[j];
+  }
+}
+
+// Parallel dst = Σ terms (the explicit operand sums of the Naive variant).
+void lin_comb(const LinTerm* terms, int num_terms, index_t lds, index_t rows,
+              index_t cols, MatView dst) {
+  FMM_PRAGMA_OMP(parallel for schedule(static))
+  for (index_t i = 0; i < rows; ++i) {
+    double* d = dst.row(i);
+    {
+      const double* s = terms[0].ptr + i * lds;
+      const double c = terms[0].coeff;
+      for (index_t j = 0; j < cols; ++j) d[j] = c * s[j];
+    }
+    for (int t = 1; t < num_terms; ++t) {
+      const double* s = terms[t].ptr + i * lds;
+      const double c = terms[t].coeff;
+      for (index_t j = 0; j < cols; ++j) d[j] += c * s[j];
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<PeelPiece> peel_pieces(index_t m, index_t n, index_t k,
+                                   index_t m1, index_t n1, index_t k1) {
+  std::vector<PeelPiece> out;
+  // C[0:m1, 0:n1] += A[0:m1, k1:k] B[k1:k, 0:n1]   (k fringe)
+  if (k > k1 && m1 > 0 && n1 > 0) out.push_back({0, m1, k1, k, 0, n1});
+  // C[0:m1, n1:n] += A[0:m1, 0:k] B[0:k, n1:n]     (n fringe, full k)
+  if (n > n1 && m1 > 0) out.push_back({0, m1, 0, k, n1, n});
+  // C[m1:m, 0:n] += A[m1:m, 0:k] B[0:k, 0:n]       (m fringe, full k, n)
+  if (m > m1) out.push_back({m1, m, 0, k, 0, n});
+  return out;
+}
+
+// Per-lease workspace: everything one in-flight multiply mutates.
+struct FmmExecutor::Slot {
+  GemmWorkspace ws;
+  Matrix m_buf;  // M_r        (AB, Naive)
+  Matrix ta;     // Σ u_i A_i  (Naive)
+  Matrix tb;     // Σ v_j B_j  (Naive)
+  // Pre-sized pointer/coefficient staging for one product r.
+  std::vector<LinTerm> a_terms, b_terms;
+  std::vector<OutTerm> c_terms;
+};
+
+FmmExecutor::FmmExecutor(const Plan& plan, index_t m, index_t n, index_t k,
+                         const GemmConfig& cfg, int slots)
+    : plan_(plan), m_(m), n_(n), k_(k) {
+  assert(m >= 0 && n >= 0 && k >= 0);
+
+  // Resolve the blocking once, with the plan's kernel threaded by value —
+  // no GemmConfig is ever mutated after this constructor returns.
+  GemmConfig resolve_cfg = cfg;
+  if (plan_.kernel != nullptr) resolve_cfg.kernel = plan_.kernel;
+  bp_ = resolve_blocking(resolve_cfg);
+  // Clamp the cache blocks to the problem so a small-shape executor carries
+  // small workspaces.  The clamps never change the loop geometry (each
+  // clamped block still covers its dimension in one step whenever the
+  // unclamped one did), so arithmetic stays bitwise identical to the
+  // unclamped blocking.
+  bp_.mc = std::min<index_t>(bp_.mc, round_up(std::max<index_t>(m_, 1), bp_.mr));
+  bp_.kc = std::min<index_t>(bp_.kc, std::max<index_t>(k_, 1));
+  bp_.nc = std::min<index_t>(bp_.nc, round_up(std::max<index_t>(n_, 1), bp_.nr));
+  plan_.kernel = bp_.kernel;  // record what actually runs (name(), plan())
+
+  frozen_cfg_ = cfg;
+  frozen_cfg_.kernel = bp_.kernel;
+  frozen_cfg_.mc = static_cast<int>(bp_.mc);
+  frozen_cfg_.kc = static_cast<int>(bp_.kc);
+  frozen_cfg_.nc = static_cast<int>(bp_.nc);
+  nth_ = resolve_threads(cfg);
+  frozen_cfg_.num_threads = nth_;
+  serial_cfg_ = frozen_cfg_;
+  serial_cfg_.num_threads = 1;
+
+  // The divisible interior and the fringe GEMMs completing the product.
+  m1_ = m_ - m_ % plan_.Mt();
+  k1_ = k_ - k_ % plan_.Kt();
+  n1_ = n_ - n_ % plan_.Nt();
+  if (m1_ <= 0 || k1_ <= 0 || n1_ <= 0) m1_ = k1_ = n1_ = 0;
+  for (const PeelPiece& p : peel_pieces(m_, n_, k_, m1_, n1_, k1_)) {
+    if (p.m1 > p.m0 && p.n1 > p.n0 && p.k1 > p.k0) peel_.push_back(p);
+  }
+
+  // Compile the per-r non-zero term lists of U, V, W into element offsets
+  // (block row/col times submatrix size; strides are applied at run time,
+  // so operands with different strides can share one executor).
+  const FmmAlgorithm& alg = plan_.flat;
+  const int R = alg.R;
+  a_ofs_.assign(static_cast<std::size_t>(R) + 1, 0);
+  b_ofs_.assign(static_cast<std::size_t>(R) + 1, 0);
+  c_ofs_.assign(static_cast<std::size_t>(R) + 1, 0);
+  if (m1_ > 0) {
+    ms_ = m1_ / alg.mt;
+    ks_ = k1_ / alg.kt;
+    ns_ = n1_ / alg.nt;
+    for (int r = 0; r < R; ++r) {
+      for (int i = 0; i < alg.rows_u(); ++i) {
+        const double coef = alg.u(i, r);
+        if (coef != 0.0) {
+          a_refs_.push_back({(i / alg.kt) * ms_, (i % alg.kt) * ks_, coef});
+        }
+      }
+      for (int j = 0; j < alg.rows_v(); ++j) {
+        const double coef = alg.v(j, r);
+        if (coef != 0.0) {
+          b_refs_.push_back({(j / alg.nt) * ks_, (j % alg.nt) * ns_, coef});
+        }
+      }
+      for (int p = 0; p < alg.rows_w(); ++p) {
+        const double coef = alg.w(p, r);
+        if (coef != 0.0) {
+          c_refs_.push_back({(p / alg.nt) * ms_, (p % alg.nt) * ns_, coef});
+        }
+      }
+      a_ofs_[r + 1] = static_cast<int>(a_refs_.size());
+      b_ofs_[r + 1] = static_cast<int>(b_refs_.size());
+      c_ofs_[r + 1] = static_cast<int>(c_refs_.size());
+      max_a_ = std::max(max_a_, a_ofs_[r + 1] - a_ofs_[r]);
+      max_b_ = std::max(max_b_, b_ofs_[r + 1] - b_ofs_[r]);
+      max_c_ = std::max(max_c_, c_ofs_[r + 1] - c_ofs_[r]);
+      assert(max_a_ > 0 && max_b_ > 0 && max_c_ > 0);
+    }
+  }
+
+  // Shared-B batch fast path: viable when the interior covers the whole
+  // problem, the ABC variant runs (no M_r scatter), and each per-r packed
+  // B~ panel is a single cache block, within a fixed memory budget.
+  shared_b_possible_ = plan_.variant == Variant::kABC && m1_ == m_ &&
+                       n1_ == n_ && k1_ == k_ && m1_ > 0 && ks_ <= bp_.kc &&
+                       ns_ <= bp_.nc;
+  if (shared_b_possible_) {
+    shared_b_panel_elems_ = round_up(ns_, bp_.nr) * ks_;
+    constexpr index_t kSharedBBudgetElems = (32ll << 20) / sizeof(double);
+    if (shared_b_panel_elems_ * R > kSharedBBudgetElems) {
+      shared_b_possible_ = false;
+      shared_b_panel_elems_ = 0;
+    } else {
+      shared_b_.resize(static_cast<std::size_t>(shared_b_panel_elems_) * R);
+    }
+  }
+
+  // The slot pool: `slots` leases for concurrent host callers (default:
+  // the thread count, which also serves run_batch's item-parallel mode).
+  // Every buffer a run can touch is sized here; run() allocates nothing.
+  const int pool = slots > 0 ? slots : nth_;
+  slots_.reserve(static_cast<std::size_t>(pool));
+  for (int s = 0; s < pool; ++s) {
+    auto slot = std::make_unique<Slot>();
+    slot->ws.ensure(bp_, nth_, std::max(max_a_, 1), std::max(max_b_, 1),
+                    std::max(max_c_, 1));
+    if (m1_ > 0 && plan_.variant != Variant::kABC) {
+      slot->m_buf = Matrix(ms_, ns_);
+    }
+    if (m1_ > 0 && plan_.variant == Variant::kNaive) {
+      slot->ta = Matrix(ms_, ks_);
+      slot->tb = Matrix(ks_, ns_);
+    }
+    slot->a_terms.resize(static_cast<std::size_t>(std::max(max_a_, 1)));
+    slot->b_terms.resize(static_cast<std::size_t>(std::max(max_b_, 1)));
+    slot->c_terms.resize(static_cast<std::size_t>(std::max(max_c_, 1)));
+    slots_.push_back(std::move(slot));
+    free_.push_back(slots_.back().get());
+  }
+}
+
+FmmExecutor::~FmmExecutor() = default;
+
+std::string FmmExecutor::name() const { return plan_.name(); }
+
+FmmExecutor::Slot* FmmExecutor::acquire_slot() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return !free_.empty(); });
+  Slot* s = free_.back();
+  free_.pop_back();
+  return s;
+}
+
+FmmExecutor::Slot* FmmExecutor::try_acquire_slot() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (free_.empty()) return nullptr;
+  Slot* s = free_.back();
+  free_.pop_back();
+  return s;
+}
+
+void FmmExecutor::release_slot(Slot* slot) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    free_.push_back(slot);
+  }
+  cv_.notify_one();
+}
+
+void FmmExecutor::run(MatView c, ConstMatView a, ConstMatView b) {
+  Slot* s = acquire_slot();
+  struct Release {
+    FmmExecutor* e;
+    Slot* s;
+    ~Release() { e->release_slot(s); }
+  } rel{this, s};
+  run_on_slot(*s, c, a, b, frozen_cfg_);
+}
+
+void FmmExecutor::run_on_slot(Slot& slot, MatView c, ConstMatView a,
+                              ConstMatView b, const GemmConfig& cfg) {
+  assert(c.rows() == m_ && c.cols() == n_ && a.rows() == m_ && a.cols() == k_ &&
+         b.rows() == k_ && b.cols() == n_);
+  if (m_ == 0 || n_ == 0) return;
+
+  if (m1_ > 0) {
+    const index_t lda = a.stride(), ldb = b.stride(), ldc = c.stride();
+    const int R = plan_.R();
+    LinTerm* a_terms = slot.a_terms.data();
+    LinTerm* b_terms = slot.b_terms.data();
+    OutTerm* c_terms = slot.c_terms.data();
+    for (int r = 0; r < R; ++r) {
+      const int na = a_ofs_[r + 1] - a_ofs_[r];
+      const int nb = b_ofs_[r + 1] - b_ofs_[r];
+      const int nc = c_ofs_[r + 1] - c_ofs_[r];
+      for (int i = 0; i < na; ++i) {
+        const TermRef& t = a_refs_[static_cast<std::size_t>(a_ofs_[r] + i)];
+        a_terms[i] = {a.data() + t.row * lda + t.col, t.coeff};
+      }
+      for (int j = 0; j < nb; ++j) {
+        const TermRef& t = b_refs_[static_cast<std::size_t>(b_ofs_[r] + j)];
+        b_terms[j] = {b.data() + t.row * ldb + t.col, t.coeff};
+      }
+      for (int p = 0; p < nc; ++p) {
+        const TermRef& t = c_refs_[static_cast<std::size_t>(c_ofs_[r] + p)];
+        c_terms[p] = {c.data() + t.row * ldc + t.col, t.coeff};
+      }
+
+      switch (plan_.variant) {
+        case Variant::kABC: {
+          fused_multiply(ms_, ns_, ks_, a_terms, na, lda, b_terms, nb, ldb,
+                         c_terms, nc, ldc, slot.ws, cfg);
+          break;
+        }
+        case Variant::kAB: {
+          // Packing still absorbs the A/B sums; M_r is an explicit buffer
+          // (overwritten by the first k-block — no zero-fill pass).
+          OutTerm m_out{slot.m_buf.data(), 1.0};
+          fused_multiply(ms_, ns_, ks_, a_terms, na, lda, b_terms, nb, ldb,
+                         &m_out, 1, slot.m_buf.stride(), slot.ws, cfg,
+                         /*accumulate=*/false);
+          for (int p = 0; p < nc; ++p) {
+            scaled_add(c_terms[p].coeff, slot.m_buf.view(),
+                       MatView(c_terms[p].ptr, ms_, ns_, ldc));
+          }
+          break;
+        }
+        case Variant::kNaive: {
+          // Explicit temporaries for the operand sums, then a plain GEMM
+          // overwriting M_r.
+          lin_comb(a_terms, na, lda, ms_, ks_, slot.ta.view());
+          lin_comb(b_terms, nb, ldb, ks_, ns_, slot.tb.view());
+          LinTerm ta{slot.ta.data(), 1.0};
+          LinTerm tb{slot.tb.data(), 1.0};
+          OutTerm m_out{slot.m_buf.data(), 1.0};
+          fused_multiply(ms_, ns_, ks_, &ta, 1, slot.ta.stride(), &tb, 1,
+                         slot.tb.stride(), &m_out, 1, slot.m_buf.stride(),
+                         slot.ws, cfg, /*accumulate=*/false);
+          for (int p = 0; p < nc; ++p) {
+            scaled_add(c_terms[p].coeff, slot.m_buf.view(),
+                       MatView(c_terms[p].ptr, ms_, ns_, ldc));
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  for (const PeelPiece& p : peel_) {
+    gemm(c.block(p.m0, p.n0, p.m1 - p.m0, p.n1 - p.n0),
+         a.block(p.m0, p.k0, p.m1 - p.m0, p.k1 - p.k0),
+         b.block(p.k0, p.n0, p.k1 - p.k0, p.n1 - p.n0), slot.ws, cfg);
+  }
+}
+
+void FmmExecutor::run_batch(const BatchItem* items, std::size_t count) {
+  if (count == 0) return;
+  if (count == 1) {
+    run(items[0].c, items[0].a, items[0].b);
+    return;
+  }
+  // Shared-B fast path first: packing every B~_r once pays on any thread
+  // count (it removes (count - 1) * R panel packs), and the path
+  // parallelizes across r and items on its own.  One batch at a time may
+  // own the shared panels; a concurrent caller falls through to the
+  // generic paths below.
+  bool shared_b = shared_b_possible_;
+  for (std::size_t i = 1; shared_b && i < count; ++i) {
+    shared_b = items[i].b.data() == items[0].b.data() &&
+               items[i].b.stride() == items[0].b.stride();
+  }
+  if (shared_b) {
+    std::unique_lock<std::mutex> lk(batch_mu_, std::try_to_lock);
+    if (lk.owns_lock()) {
+      run_batch_shared_b(items, count);
+      return;
+    }
+  }
+
+  // Small-shape criterion, shared with the fused driver's mode switch:
+  // when one multiply yields fewer i_c blocks than threads, internal data
+  // parallelism runs in the barrier-heavy fallback — make the independent
+  // items the parallel dimension instead, each executed serially.  The
+  // fused driver sees the interior *submatrix* rows (ms_), not m_; shapes
+  // with no interior are all peel, which sees m_.
+  const index_t rows_seen = m1_ > 0 ? ms_ : std::max<index_t>(m_, 1);
+  const bool item_parallel = nth_ > 1 && ceil_div(rows_seen, bp_.mc) < nth_;
+  if (!item_parallel) {
+    for (std::size_t i = 0; i < count; ++i) {
+      run(items[i].c, items[i].a, items[i].b);
+    }
+    return;
+  }
+
+  // Generic item-parallel path: a manual work queue instead of an OMP for,
+  // so a worker that cannot lease a slot (concurrent callers hold them)
+  // idles instead of deadlocking a worksharing barrier.  The encountering
+  // thread leases its slot *blocking*, which guarantees progress.
+  Slot* mine = acquire_slot();
+  std::atomic<std::int64_t> next{0};
+  const std::int64_t total = static_cast<std::int64_t>(count);
+  FMM_PRAGMA_OMP(parallel num_threads(nth_))
+  {
+    Slot* s = omp_get_thread_num() == 0 ? mine : try_acquire_slot();
+    if (s != nullptr) {
+      for (std::int64_t i = next.fetch_add(1); i < total;
+           i = next.fetch_add(1)) {
+        run_on_slot(*s, items[i].c, items[i].a, items[i].b, serial_cfg_);
+      }
+      if (s != mine) release_slot(s);
+    }
+  }
+  release_slot(mine);
+}
+
+void FmmExecutor::run_batch_shared_b(const BatchItem* items,
+                                     std::size_t count) {
+  const ConstMatView b = items[0].b;
+  const index_t ldb = b.stride();
+  const int R = plan_.R();
+  const int nr = bp_.nr;
+  double* bpack = shared_b_.data();
+
+  Slot* mine = acquire_slot();
+  std::atomic<int> next_r{0};
+  std::atomic<std::int64_t> next_item{0};
+  const std::int64_t total = static_cast<std::int64_t>(count);
+  FMM_PRAGMA_OMP(parallel num_threads(nth_))
+  {
+    Slot* s = omp_get_thread_num() == 0 ? mine : try_acquire_slot();
+    // Phase 1: pack B~_r = Σ_j v_{j,r} B_j once per r, shared by all items.
+    if (s != nullptr) {
+      for (int r = next_r.fetch_add(1); r < R; r = next_r.fetch_add(1)) {
+        const int nb = b_ofs_[r + 1] - b_ofs_[r];
+        for (int j = 0; j < nb; ++j) {
+          const TermRef& t = b_refs_[static_cast<std::size_t>(b_ofs_[r] + j)];
+          s->b_terms[static_cast<std::size_t>(j)] = {
+              b.data() + t.row * ldb + t.col, t.coeff};
+        }
+        pack_b(s->b_terms.data(), nb, ldb, ks_, ns_, nr,
+               bpack + r * shared_b_panel_elems_);
+      }
+    }
+    // Every team thread reaches the barrier (the leases don't), publishing
+    // the packed panels to the item phase.
+    FMM_PRAGMA_OMP(barrier)
+    // Phase 2: items, each serial against the prepacked panels.
+    if (s != nullptr) {
+      for (std::int64_t i = next_item.fetch_add(1); i < total;
+           i = next_item.fetch_add(1)) {
+        run_item_prepacked(*s, items[i]);
+      }
+      if (s != mine) release_slot(s);
+    }
+  }
+  release_slot(mine);
+}
+
+// One item of a shared-B batch: the serial ABC interior with the per-r B~
+// panels already packed.  Loop structure and arithmetic order match the
+// serial fused driver exactly (single jc/pc block), so results are bitwise
+// identical to run().
+void FmmExecutor::run_item_prepacked(Slot& slot, const BatchItem& item) {
+  assert(item.c.rows() == m_ && item.c.cols() == n_ && item.a.cols() == k_);
+  const index_t lda = item.a.stride(), ldc = item.c.stride();
+  const int mr = bp_.mr, nr = bp_.nr;
+  const MicrokernelFn ukr = bp_.kernel->fn;
+  double* apack = slot.ws.a_tile(0);
+  GemmWorkspace::TermScratch& scratch = slot.ws.terms(0);
+  LinTerm* a_local = scratch.a.data();
+  OutTerm* c_local = scratch.c.data();
+  alignas(64) double acc[kMaxAccElems];
+
+  const int R = plan_.R();
+  for (int r = 0; r < R; ++r) {
+    const int na = a_ofs_[r + 1] - a_ofs_[r];
+    const int nc = c_ofs_[r + 1] - c_ofs_[r];
+    for (int i = 0; i < na; ++i) {
+      const TermRef& t = a_refs_[static_cast<std::size_t>(a_ofs_[r] + i)];
+      slot.a_terms[static_cast<std::size_t>(i)] = {
+          item.a.data() + t.row * lda + t.col, t.coeff};
+    }
+    for (int p = 0; p < nc; ++p) {
+      const TermRef& t = c_refs_[static_cast<std::size_t>(c_ofs_[r] + p)];
+      slot.c_terms[static_cast<std::size_t>(p)] = {
+          item.c.data() + t.row * ldc + t.col, t.coeff};
+    }
+    const double* bpack_r = shared_b_.data() + r * shared_b_panel_elems_;
+
+    for (index_t ic = 0; ic < ms_; ic += bp_.mc) {
+      const index_t mc_eff = std::min<index_t>(bp_.mc, ms_ - ic);
+      for (int i = 0; i < na; ++i) {
+        a_local[i] = {slot.a_terms[static_cast<std::size_t>(i)].ptr + ic * lda,
+                      slot.a_terms[static_cast<std::size_t>(i)].coeff};
+      }
+      pack_a(a_local, na, lda, mc_eff, ks_, mr, apack);
+
+      for (index_t jr = 0; jr < ns_; jr += nr) {
+        const index_t n_sub = std::min<index_t>(nr, ns_ - jr);
+        const double* bpanel = bpack_r + (jr / nr) * nr * ks_;
+        for (index_t ir = 0; ir < mc_eff; ir += mr) {
+          const index_t m_sub = std::min<index_t>(mr, mc_eff - ir);
+          const double* apanel = apack + (ir / mr) * mr * ks_;
+          ukr(ks_, apanel, bpanel, acc);
+          for (int t = 0; t < nc; ++t) {
+            c_local[t].ptr = slot.c_terms[static_cast<std::size_t>(t)].ptr +
+                             (ic + ir) * ldc + jr;
+            c_local[t].coeff = slot.c_terms[static_cast<std::size_t>(t)].coeff;
+          }
+          epilogue_update(c_local, nc, ldc, m_sub, n_sub, acc, mr, nr,
+                          /*accumulate=*/true);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace fmm

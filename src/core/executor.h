@@ -1,0 +1,161 @@
+#pragma once
+
+// Compile-once / run-many FMM execution — the serving path.
+//
+// fmm_multiply (driver.h) re-derives everything shape-dependent on every
+// call: it resolves blocking against the machine, installs the plan's
+// kernel, gathers the non-zero coefficient terms of U, V, W per product r,
+// regrows workspaces, and computes the peeling decomposition.  For one big
+// multiply that setup is noise; for millions of small-to-medium calls it
+// dominates (Benson & Ballard, SC'14: fast-matmul wins at modest sizes
+// exactly when framework overheads are amortized).
+//
+// FmmExecutor performs that derivation once, at construction, for one
+// (plan, m, n, k, config) tuple:
+//
+//   * blocking resolved and frozen (explicit values beat env re-reads),
+//     clamped to the problem so small-shape executors stay small;
+//   * the plan's kernel threaded by value — no caller state is mutated;
+//   * per-r U/V/W term lists compiled to (row, col, coeff) offsets;
+//   * the dynamic-peeling decomposition precomputed;
+//   * per-slot workspaces fully sized.
+//
+// run() then does zero allocation and zero re-derivation, and is safe to
+// call from multiple host threads concurrently: each call leases a
+// workspace slot from a fixed pool (blocking briefly when more host
+// threads than slots arrive).  Arithmetic is bitwise identical to
+// fmm_multiply with the same plan and config.
+//
+// run_batch() executes many operand triples against the one compiled plan.
+// For small shapes (too few i_c blocks to feed the threads — the same
+// criterion the fused driver uses to switch parallel modes) the items
+// themselves become the parallel dimension, each executed serially; when
+// every item also shares one B operand, the per-r packed B~ panels are
+// built once and reused across all items.
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/plan.h"
+#include "src/gemm/gemm.h"
+#include "src/linalg/matrix.h"
+#include "src/util/aligned_buffer.h"
+
+namespace fmm {
+
+// One sub-multiplication of the dynamic-peeling decomposition.
+struct PeelPiece {
+  // Half-open element ranges into C, A, B for a plain GEMM
+  // C[mr0:mr1, nc0:nc1] += A[mr0:mr1, kr0:kr1] * B[kr0:kr1, nc0:nc1].
+  index_t m0, m1, k0, k1, n0, n1;
+};
+
+// The dynamic-peeling decomposition for a problem of size (m, n, k) with an
+// FMM interior of (m1, n1, k1) = (m - m%Mt, ...): the list of fringe GEMMs
+// that complete the product (in order).  Exposed for unit testing.
+std::vector<PeelPiece> peel_pieces(index_t m, index_t n, index_t k,
+                                   index_t m1, index_t n1, index_t k1);
+
+// One operand triple of a batch.  Every item must match the executor's
+// compiled shape; strides may differ per item.
+struct BatchItem {
+  MatView c;
+  ConstMatView a;
+  ConstMatView b;
+};
+
+class FmmExecutor {
+ public:
+  // Compiles `plan` for problems of exactly C (m x n) += A (m x k) *
+  // B (k x n) under `cfg`.  `slots` is how many host threads can run()
+  // concurrently without waiting; 0 sizes the pool to the resolved thread
+  // count (which run_batch's item-parallel mode needs anyway).  All
+  // allocation happens here.
+  explicit FmmExecutor(const Plan& plan, index_t m, index_t n, index_t k,
+                       const GemmConfig& cfg = GemmConfig{}, int slots = 0);
+  ~FmmExecutor();
+
+  FmmExecutor(const FmmExecutor&) = delete;
+  FmmExecutor& operator=(const FmmExecutor&) = delete;
+
+  // C += A * B.  Operands must match the compiled shape.  Thread-safe;
+  // zero allocation, zero re-derivation.
+  void run(MatView c, ConstMatView a, ConstMatView b);
+
+  // Executes every item (C_i += A_i * B_i) against the compiled plan.
+  // Items run in parallel (one per thread, serial inside) when the shape
+  // is too small to feed the threads from within one multiply; otherwise
+  // sequentially with full internal parallelism.  Results are bitwise
+  // identical to calling run() per item.
+  void run_batch(const BatchItem* items, std::size_t count);
+  void run_batch(const std::vector<BatchItem>& items) {
+    run_batch(items.data(), items.size());
+  }
+
+  const Plan& plan() const { return plan_; }
+  index_t m() const { return m_; }
+  index_t n() const { return n_; }
+  index_t k() const { return k_; }
+  // The frozen configuration: resolved blocking (clamped to the problem)
+  // and the kernel carried by value.
+  const GemmConfig& config() const { return frozen_cfg_; }
+  const BlockingParams& blocking() const { return bp_; }
+  int threads() const { return nth_; }
+  int num_slots() const { return static_cast<int>(slots_.size()); }
+  // Plan name including the frozen kernel, e.g. "<2,2,2> ABC [avx2_8x6]".
+  std::string name() const;
+
+ private:
+  struct Slot;
+
+  // One non-zero coefficient of column r of U/V/W, compiled to the element
+  // offset of its operand block: ptr = base + row * stride + col.
+  struct TermRef {
+    index_t row;
+    index_t col;
+    double coeff;
+  };
+
+  Slot* acquire_slot();
+  Slot* try_acquire_slot();
+  void release_slot(Slot* slot);
+  // The full multiply (interior + peel) on one slot.  `cfg` is either the
+  // frozen config or its serial twin (batch item-parallel mode).
+  void run_on_slot(Slot& slot, MatView c, ConstMatView a, ConstMatView b,
+                   const GemmConfig& cfg);
+  void run_batch_shared_b(const BatchItem* items, std::size_t count);
+  void run_item_prepacked(Slot& slot, const BatchItem& item);
+
+  Plan plan_;
+  index_t m_ = 0, n_ = 0, k_ = 0;
+  index_t m1_ = 0, n1_ = 0, k1_ = 0;  // divisible interior (0 if none)
+  index_t ms_ = 0, ns_ = 0, ks_ = 0;  // interior submatrix sizes
+  GemmConfig frozen_cfg_;   // resolved blocking + kernel, by value
+  GemmConfig serial_cfg_;   // frozen_cfg_ with num_threads = 1
+  BlockingParams bp_;       // the blocking every run() uses
+  int nth_ = 1;             // resolved internal thread count
+  std::vector<PeelPiece> peel_;
+
+  // Flattened per-r term lists; terms of product r occupy [ofs[r], ofs[r+1]).
+  std::vector<TermRef> a_refs_, b_refs_, c_refs_;
+  std::vector<int> a_ofs_, b_ofs_, c_ofs_;
+  int max_a_ = 0, max_b_ = 0, max_c_ = 0;  // longest per-r list
+
+  // Workspace slot pool (mutex + condvar lease; run() blocks when empty).
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::vector<Slot*> free_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+
+  // Shared-B batch fast path: all R packed B~ panels prepacked once.
+  bool shared_b_possible_ = false;
+  index_t shared_b_panel_elems_ = 0;  // elements per r
+  AlignedBuffer<double> shared_b_;
+  std::mutex batch_mu_;  // guards shared_b_ across concurrent run_batch
+};
+
+}  // namespace fmm

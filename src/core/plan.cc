@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "src/core/transforms.h"
+#include "src/gemm/kernel.h"
 
 namespace fmm {
 
@@ -44,6 +45,13 @@ std::string Plan::name() const {
   }
   s += " ";
   s += variant_name(variant);
+  // The selected kernel, when one is pinned, so bench CSVs and logs
+  // identify what actually ran: "<2,2,2>+<2,3,2> ABC [avx2_8x6]".
+  if (kernel != nullptr) {
+    s += " [";
+    s += kernel->name;
+    s += "]";
+  }
   return s;
 }
 

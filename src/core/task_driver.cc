@@ -26,7 +26,8 @@ void lin_comb_serial(const std::vector<LinTerm>& terms, index_t lds,
 }
 
 void fmm_tasks_interior(const Plan& plan, MatView c, ConstMatView a,
-                        ConstMatView b, TaskContext& ctx, int nth) {
+                        ConstMatView b, TaskContext& ctx,
+                        const GemmConfig& run_cfg, int nth) {
   const FmmAlgorithm& alg = plan.flat;
   const index_t ms = c.rows() / alg.mt;
   const index_t ks = a.cols() / alg.kt;
@@ -56,7 +57,7 @@ void fmm_tasks_interior(const Plan& plan, MatView c, ConstMatView a,
     w.m = Matrix(ms, ns);
   }
 
-  GemmConfig serial_cfg = ctx.cfg;
+  GemmConfig serial_cfg = run_cfg;
   serial_cfg.num_threads = 1;
 
   FMM_PRAGMA_OMP(parallel num_threads(nth))
@@ -107,11 +108,14 @@ void fmm_tasks_interior(const Plan& plan, MatView c, ConstMatView a,
 void fmm_multiply_tasks(const Plan& plan, MatView c, ConstMatView a,
                         ConstMatView b, TaskContext& ctx) {
   assert(a.rows() == c.rows() && b.cols() == c.cols() && a.cols() == b.rows());
-  detail::ScopedPlanKernel kernel_guard(ctx.cfg, plan.kernel);
+  // The plan's kernel choice travels by value: the caller's config is
+  // never mutated (concurrent callers may share it).
+  GemmConfig run_cfg = ctx.cfg;
+  if (plan.kernel != nullptr) run_cfg.kernel = plan.kernel;
   const index_t m = c.rows(), n = c.cols(), k = a.cols();
   if (m == 0 || n == 0) return;
   const int nth =
-      ctx.cfg.num_threads > 0 ? ctx.cfg.num_threads : omp_get_max_threads();
+      run_cfg.num_threads > 0 ? run_cfg.num_threads : omp_get_max_threads();
 
   const index_t m1 = m - m % plan.Mt();
   const index_t k1 = k - k % plan.Kt();
@@ -119,7 +123,7 @@ void fmm_multiply_tasks(const Plan& plan, MatView c, ConstMatView a,
   const bool has_interior = m1 > 0 && k1 > 0 && n1 > 0;
   if (has_interior) {
     fmm_tasks_interior(plan, c.block(0, 0, m1, n1), a.block(0, 0, m1, k1),
-                       b.block(0, 0, k1, n1), ctx, nth);
+                       b.block(0, 0, k1, n1), ctx, run_cfg, nth);
   }
   GemmWorkspace peel_ws;
   for (const auto& piece :
@@ -128,7 +132,7 @@ void fmm_multiply_tasks(const Plan& plan, MatView c, ConstMatView a,
     gemm(c.block(piece.m0, piece.n0, piece.m1 - piece.m0, piece.n1 - piece.n0),
          a.block(piece.m0, piece.k0, piece.m1 - piece.m0, piece.k1 - piece.k0),
          b.block(piece.k0, piece.n0, piece.k1 - piece.k0, piece.n1 - piece.n0),
-         peel_ws, ctx.cfg);
+         peel_ws, run_cfg);
   }
 }
 

@@ -39,6 +39,16 @@ struct GemmConfig {
   // Model parameters live in src/model; only the geometry lives here.
 
   bool valid() const { return mc >= 0 && kc >= 0 && nc >= 0; }
+
+  // Whole-value equality (the executor cache keys on it); keep in sync
+  // with the fields above when extending the struct.
+  friend bool operator==(const GemmConfig& a, const GemmConfig& b) {
+    return a.mc == b.mc && a.kc == b.kc && a.nc == b.nc &&
+           a.num_threads == b.num_threads && a.kernel == b.kernel;
+  }
+  friend bool operator!=(const GemmConfig& a, const GemmConfig& b) {
+    return !(a == b);
+  }
 };
 
 inline index_t ceil_div(index_t a, index_t b) { return (a + b - 1) / b; }

@@ -6,7 +6,6 @@ AutoMultiplier::AutoMultiplier(const GemmConfig& cfg, bool calibrate_now)
     : cfg_(cfg) {
   space_ = default_plan_space(
       {Variant::kABC, Variant::kAB, Variant::kNaive}, /*max_levels=*/2);
-  ctx_.cfg = cfg_;
   if (calibrate_now) calibrate();
 }
 
@@ -34,13 +33,23 @@ const AutoChoice& AutoMultiplier::choice_for(index_t m, index_t n, index_t k) {
 }
 
 void AutoMultiplier::multiply(MatView c, ConstMatView a, ConstMatView b) {
-  const AutoChoice& choice = choice_for(c.rows(), c.cols(), a.cols());
+  const index_t m = c.rows(), n = c.cols(), k = a.cols();
+  const AutoChoice& choice = choice_for(m, n, k);
   last_ = choice;
   if (choice.use_gemm) {
     gemm(c, a, b, gemm_ws_, cfg_);
-  } else {
-    fmm_multiply(*choice.plan, c, a, b, ctx_);
+    return;
   }
+  const std::array<index_t, 3> key{m, n, k};
+  auto it = execs_.find(key);
+  if (it == execs_.end()) {
+    // Single-caller class: one workspace slot per compiled shape.
+    it = execs_
+             .emplace(key, std::make_unique<FmmExecutor>(*choice.plan, m, n, k,
+                                                         cfg_, /*slots=*/1))
+             .first;
+  }
+  it->second->run(c, a, b);
 }
 
 }  // namespace fmm

@@ -4,7 +4,9 @@
 // AutoMultiplier calibrates the performance model once, and per problem
 // shape selects among conventional GEMM and every plan in the default
 // space (23 one-level algorithms x 3 variants, two-level and hybrid
-// plans), caching the decision per shape.
+// plans), caching the decision per shape.  When a plan wins, a compiled
+// FmmExecutor is built once per shape and reused, so steady-state calls
+// pay no plan setup, selector scoring, or workspace growth.
 //
 //   AutoMultiplier mult;
 //   mult.multiply(C, A, B);          // C += A * B, best-known algorithm
@@ -12,10 +14,11 @@
 
 #include <array>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 
-#include "src/core/driver.h"
+#include "src/core/executor.h"
 #include "src/model/selector.h"
 
 namespace fmm {
@@ -52,8 +55,9 @@ class AutoMultiplier {
   ModelParams params_;
   std::vector<Plan> space_;
   std::map<std::array<index_t, 3>, AutoChoice> cache_;
+  // Compiled executor per shape (only shapes where an FMM plan won).
+  std::map<std::array<index_t, 3>, std::unique_ptr<FmmExecutor>> execs_;
   AutoChoice last_;
-  FmmContext ctx_;
   GemmWorkspace gemm_ws_;
 };
 

@@ -6,6 +6,7 @@
 #include "src/core/catalog.h"
 #include "src/core/plan.h"
 #include "src/core/transforms.h"
+#include "src/gemm/kernel.h"
 
 namespace fmm {
 namespace {
@@ -62,6 +63,14 @@ TEST(Plan, NameEncodesLevelsAndVariant) {
   const Plan p = make_plan(
       {catalog::best(2, 2, 2), catalog::best(3, 3, 3)}, Variant::kNaive);
   EXPECT_EQ(p.name(), "<2,2,2>+<3,3,3> Naive");
+}
+
+TEST(Plan, NameAppendsSelectedKernel) {
+  Plan p = make_plan({catalog::best(2, 2, 2)}, Variant::kABC);
+  EXPECT_EQ(p.name(), "<2,2,2> ABC");  // no kernel pinned: no suffix
+  p.kernel = &kernel_registry().front();
+  EXPECT_EQ(p.name(), std::string("<2,2,2> ABC [") +
+                          kernel_registry().front().name + "]");
 }
 
 TEST(Plan, VariantNames) {
