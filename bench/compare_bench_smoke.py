@@ -11,6 +11,8 @@ baseline (usually the latest main-branch artifact):
     candidate more than --threshold percent lower.
   * bench_batch: CSV rows matched by (n, K); numeric columns are aggregate
     GFLOPS / speedup ratios (higher is better).
+  * bench_batch_engine: CSV rows matched by (scenario, n, K); the Engine
+    serving paths (same / sharedB / strided / mix), same semantics.
 
 Rows or whole sections present in only one artifact are *skipped* (listed
 as "only in baseline/candidate"), never treated as regressions — adding,
@@ -115,6 +117,10 @@ def main():
         ("bench_batch (GFLOPS/ratio, higher is better)",
          table_rates(base_doc, "bench_batch", ("n", "K")),
          table_rates(cand_doc, "bench_batch", ("n", "K")), True),
+        ("bench_batch_engine (GFLOPS/ratio, higher is better)",
+         table_rates(base_doc, "bench_batch_engine", ("scenario", "n", "K")),
+         table_rates(cand_doc, "bench_batch_engine", ("scenario", "n", "K")),
+         True),
     ]
     for title, base, cand, higher in sections:
         if not base and not cand:

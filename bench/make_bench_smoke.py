@@ -42,6 +42,10 @@ def main():
                     help="google-benchmark JSON from bench_gemm_baseline")
     ap.add_argument("--fig2-csv", help="CSV from bench_fig2_speedup --smoke")
     ap.add_argument("--batch-csv", help="CSV from bench_batch --smoke")
+    ap.add_argument("--engine-csv",
+                    help="Engine-path CSV from bench_batch --smoke "
+                         "(the batch_engine table: same/sharedB/strided/mix "
+                         "scenarios through fmm::Engine)")
     args = ap.parse_args()
 
     doc = {
@@ -60,6 +64,8 @@ def main():
         doc["fig2_speedup"] = load_table_csv(args.fig2_csv)
     if args.batch_csv:
         doc["bench_batch"] = load_table_csv(args.batch_csv)
+    if args.engine_csv:
+        doc["bench_batch_engine"] = load_table_csv(args.engine_csv)
 
     with open(args.out, "w") as f:
         json.dump(doc, f, indent=2, sort_keys=True)

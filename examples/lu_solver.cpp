@@ -104,14 +104,14 @@ int main(int argc, char** argv) {
         fused_multiply(rest, rest, b, &at, 1, a21.stride(), &bt, 1,
                        a12.stride(), &ct, 1, a22.stride(), ws, GemmConfig{});
       } else {
-        // Negate via a temporary view trick: fmm_multiply computes
-        // C += A*B, so scale A21 in place, multiply, restore.
+        // Negate via a temporary view trick: the engine computes
+        // C += A*B, so scale A21 in place, multiply, restore.  The
+        // wrapper's engine caches one executor per trailing shape.
         for (index_t i = 0; i < rest; ++i) {
           double* row = a21.row(i);
           for (index_t p = 0; p < b; ++p) row[p] = -row[p];
         }
-        FmmContext ctx;
-        fmm_multiply(*choice.plan, a22, a21, a12, ctx);
+        mult.engine().multiply(*choice.plan, a22, a21, a12);
         for (index_t i = 0; i < rest; ++i) {
           double* row = a21.row(i);
           for (index_t p = 0; p < b; ++p) row[p] = -row[p];

@@ -6,12 +6,15 @@
 // Demonstrates the three concepts a new user needs:
 //   1. pick an algorithm from the catalog (here: one-level Strassen),
 //   2. build a Plan (levels x variant),
-//   3. call fmm_multiply on ordinary row-major views.
+//   3. hand it to an fmm::Engine with ordinary row-major views — the one
+//      front door for executing multiplies (repeat calls at one shape hit
+//      its executor cache; engine.multiply(C, A, B) without a plan picks
+//      the algorithm for you).
 
 #include <cstdio>
 
 #include "src/core/catalog.h"
-#include "src/core/driver.h"
+#include "src/core/engine.h"
 #include "src/linalg/ops.h"
 #include "src/util/cli.h"
 #include "src/util/timer.h"
@@ -33,16 +36,20 @@ int main(int argc, char** argv) {
   // fused into packing, C updates fused into the micro-kernel epilogue.
   const Plan plan = make_plan({catalog::best(2, 2, 2)}, Variant::kABC);
 
-  FmmContext ctx;  // reusable packing buffers
+  Engine engine;  // session handle: executor cache + workspaces
   Timer t;
-  fmm_multiply(plan, c.view(), a.view(), b.view(), ctx);
+  const Status st = engine.multiply(plan, c.view(), a.view(), b.view());
   const double fmm_s = t.seconds();
+  if (!st.ok()) {
+    std::printf("request rejected: %s\n", st.to_string().c_str());
+    return 1;
+  }
 
   // Compare against the library's own high-performance GEMM.
   Matrix d = Matrix::zero(m, n);
   GemmWorkspace ws;
   t.reset();
-  gemm(d.view(), a.view(), b.view(), ws, ctx.cfg);
+  gemm(d.view(), a.view(), b.view(), ws, engine.config());
   const double gemm_s = t.seconds();
 
   const double err = max_abs_diff(c.view(), d.view());

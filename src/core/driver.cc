@@ -3,44 +3,19 @@
 #include <cassert>
 
 namespace fmm {
-namespace {
-
-// Exact match on everything a compiled executor's arithmetic depends on:
-// the flat algorithm (dims + coefficients), variant, and requested kernel.
-// Comparing the coefficient vectors outright costs the same order of work
-// as the per-call U/V/W term gather the executor cache replaced, with no
-// fingerprint-collision risk.
-bool same_execution(const Plan& a, const Plan& b) {
-  const FmmAlgorithm& x = a.flat;
-  const FmmAlgorithm& y = b.flat;
-  return a.variant == b.variant && a.kernel == b.kernel && x.mt == y.mt &&
-         x.kt == y.kt && x.nt == y.nt && x.R == y.R && x.U == y.U &&
-         x.V == y.V && x.W == y.W;
-}
-
-}  // namespace
 
 void fmm_multiply(const Plan& plan, MatView c, ConstMatView a, ConstMatView b,
                   FmmContext& ctx) {
-  assert(a.rows() == c.rows() && b.cols() == c.cols() && a.cols() == b.rows());
-  const index_t m = c.rows(), n = c.cols(), k = a.cols();
-  if (ctx.exec == nullptr || ctx.exec->m() != m || ctx.exec->n() != n ||
-      ctx.exec->k() != k || !same_execution(ctx.exec_plan, plan) ||
-      ctx.exec_cfg != ctx.cfg) {
-    ctx.exec = std::make_unique<FmmExecutor>(plan, m, n, k, ctx.cfg,
-                                             /*slots=*/1);
-    // The executor's own plan() records the *resolved* kernel; keep the
-    // plan as requested for the next cache comparison.
-    ctx.exec_plan = plan;
-    ctx.exec_cfg = ctx.cfg;
-  }
-  ctx.exec->run(c, a, b);
+  const Status st = default_engine().multiply(plan, c, a, b, ctx.cfg);
+  assert(st.ok() && "fmm_multiply: malformed request (see Status message)");
+  (void)st;
 }
 
 void fmm_multiply(const Plan& plan, MatView c, ConstMatView a, ConstMatView b,
                   const GemmConfig& cfg) {
-  FmmExecutor exec(plan, c.rows(), c.cols(), a.cols(), cfg, /*slots=*/1);
-  exec.run(c, a, b);
+  const Status st = default_engine().multiply(plan, c, a, b, cfg);
+  assert(st.ok() && "fmm_multiply: malformed request (see Status message)");
+  (void)st;
 }
 
 }  // namespace fmm

@@ -1,23 +1,19 @@
 #pragma once
 
-// The legacy one-call FMM entry point: runs a Plan against concrete
-// operands.
+// DEPRECATED legacy one-call FMM entry point, kept as a thin shim over the
+// process-default fmm::Engine (src/core/engine.h).
 //
 //   fmm_multiply(plan, C, A, B, ctx)   computes C += A * B
 //
-// Since the compiled-executor refactor the execution engine itself lives in
-// src/core/executor.h (FmmExecutor): per-r U/V/W term gathering, the three
-// execution variants (ABC / AB / Naive, paper §4.1), and dynamic peeling
-// (paper §4.1, citing Thottethodi et al.) are compiled once per
-// (plan, shape, config) and then run with zero allocation.  fmm_multiply is
-// a thin wrapper that keeps a single-entry executor cache inside the
-// FmmContext, so a loop of same-shaped calls through the legacy API pays
-// the compilation once and the plan's kernel choice is threaded by value —
-// the caller's GemmConfig is never mutated (the old ScopedPlanKernel
-// mutate-and-restore pattern is gone).
+// Since the Engine consolidation the executor caching that used to live
+// here (FmmContext's single-entry cache) is the Engine's bounded,
+// mutex-sharded, LRU multi-entry cache: same-shape call loops still
+// compile once, and — new — loops alternating between several shapes or
+// plans no longer thrash a single entry, and calls from several host
+// threads are safe.  New code should call default_engine().multiply(...)
+// or hold its own Engine; this header survives for source compatibility.
 
-#include <memory>
-
+#include "src/core/engine.h"
 #include "src/core/executor.h"
 #include "src/core/plan.h"
 #include "src/gemm/gemm.h"
@@ -25,26 +21,22 @@
 
 namespace fmm {
 
-// Reusable state for a sequence of fmm_multiply calls from one thread.
-// Calls that repeat the same (plan, shape, cfg) reuse the cached compiled
-// executor; any change recompiles.  Not safe to share between concurrent
-// callers — for that, build an FmmExecutor directly and call run().
+// DEPRECATED: configuration carrier for the legacy fmm_multiply calls.
+// The executor cache it used to own moved into the process-default Engine;
+// only the per-call-sequence GemmConfig remains.
 struct FmmContext {
   GemmConfig cfg;
-
-  // Single-entry compiled-executor cache (internal; managed by
-  // fmm_multiply).  `exec_plan`/`exec_cfg` are the plan and config the
-  // executor was compiled against, compared exactly on every call.
-  std::unique_ptr<FmmExecutor> exec;
-  Plan exec_plan;
-  GemmConfig exec_cfg;
 };
 
-// C += A * B using the plan.  Any m, n, k >= 0 (fringes peeled off).
+// DEPRECATED: C += A * B using the plan, through the process-default
+// Engine's executor cache.  Any m, n, k >= 0 (fringes peeled off).
+// Malformed operands (the Engine would return an error Status) assert in
+// debug builds and are a no-op in release — new code should call
+// Engine::multiply and inspect the Status.
 void fmm_multiply(const Plan& plan, MatView c, ConstMatView a, ConstMatView b,
                   FmmContext& ctx);
 
-// Convenience overload with a throwaway context.
+// DEPRECATED: convenience overload (default-configured call).
 void fmm_multiply(const Plan& plan, MatView c, ConstMatView a, ConstMatView b,
                   const GemmConfig& cfg = GemmConfig{});
 

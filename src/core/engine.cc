@@ -1,0 +1,611 @@
+#include "src/core/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+
+#include "src/gemm/gemm.h"
+
+namespace fmm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Key hashing.  Equality is exact (same_execution + field compares); the
+// hash only routes lookups to a shard and prunes the scan, so collisions
+// are harmless.
+// ---------------------------------------------------------------------------
+
+std::size_t hash_combine(std::size_t h, std::size_t v) {
+  return h ^ (v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2));
+}
+
+std::size_t hash_doubles(std::size_t h, const std::vector<double>& v) {
+  for (double d : v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    h = hash_combine(h, static_cast<std::size_t>(bits));
+  }
+  return h;
+}
+
+std::size_t key_hash(const Plan& plan, index_t m, index_t n, index_t k,
+                     const GemmConfig& cfg) {
+  std::size_t h = 0xfeedface;
+  h = hash_combine(h, static_cast<std::size_t>(plan.variant));
+  h = hash_combine(h, std::hash<const void*>{}(plan.kernel));
+  const FmmAlgorithm& f = plan.flat;
+  h = hash_combine(h, static_cast<std::size_t>(f.mt));
+  h = hash_combine(h, static_cast<std::size_t>(f.kt));
+  h = hash_combine(h, static_cast<std::size_t>(f.nt));
+  h = hash_combine(h, static_cast<std::size_t>(f.R));
+  h = hash_doubles(h, f.U);
+  h = hash_doubles(h, f.V);
+  h = hash_doubles(h, f.W);
+  h = hash_combine(h, static_cast<std::size_t>(m));
+  h = hash_combine(h, static_cast<std::size_t>(n));
+  h = hash_combine(h, static_cast<std::size_t>(k));
+  h = hash_combine(h, static_cast<std::size_t>(cfg.mc));
+  h = hash_combine(h, static_cast<std::size_t>(cfg.kc));
+  h = hash_combine(h, static_cast<std::size_t>(cfg.nc));
+  h = hash_combine(h, static_cast<std::size_t>(cfg.num_threads));
+  h = hash_combine(h, std::hash<const void*>{}(cfg.kernel));
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Request validation.  Cheap exact checks only: base-pointer aliasing is
+// detected, partial overlaps of distinct blocks remain the caller's
+// responsibility (blocks of one parent matrix are legitimate operands).
+// ---------------------------------------------------------------------------
+
+std::string shape_str(index_t m, index_t n, index_t k) {
+  return "m=" + std::to_string(m) + " n=" + std::to_string(n) +
+         " k=" + std::to_string(k);
+}
+
+Status validate_triple(MatView c, ConstMatView a, ConstMatView b) {
+  if (c.rows() < 0 || c.cols() < 0 || a.rows() < 0 || a.cols() < 0 ||
+      b.rows() < 0 || b.cols() < 0) {
+    return Status::error(StatusCode::kInvalidShape,
+                         "negative operand dimension");
+  }
+  if (a.rows() != c.rows() || b.cols() != c.cols() || a.cols() != b.rows()) {
+    return Status::error(
+        StatusCode::kInvalidShape,
+        "operands do not conform: C " + std::to_string(c.rows()) + "x" +
+            std::to_string(c.cols()) + ", A " + std::to_string(a.rows()) +
+            "x" + std::to_string(a.cols()) + ", B " +
+            std::to_string(b.rows()) + "x" + std::to_string(b.cols()));
+  }
+  if (c.stride() < c.cols() || a.stride() < a.cols() ||
+      b.stride() < b.cols()) {
+    return Status::error(StatusCode::kInvalidStride,
+                         "row stride smaller than the row length");
+  }
+  if (!c.empty() && c.data() == nullptr) {
+    return Status::error(StatusCode::kInvalidArgument, "null C data");
+  }
+  if (!a.empty() && a.data() == nullptr) {
+    return Status::error(StatusCode::kInvalidArgument, "null A data");
+  }
+  if (!b.empty() && b.data() == nullptr) {
+    return Status::error(StatusCode::kInvalidArgument, "null B data");
+  }
+  if (!c.empty() && (static_cast<const double*>(c.data()) == a.data() ||
+                     static_cast<const double*>(c.data()) == b.data())) {
+    return Status::error(StatusCode::kAliasing,
+                         "C aliases an input operand");
+  }
+  return Status{};
+}
+
+// Normalizes the dense-default row strides in place, then validates.
+Status validate_strided(StridedBatch& sb) {
+  if (sb.m < 0 || sb.n < 0 || sb.k < 0) {
+    return Status::error(StatusCode::kInvalidShape,
+                         "negative batch dimension: " +
+                             shape_str(sb.m, sb.n, sb.k));
+  }
+  if (sb.ldc == 0) sb.ldc = sb.n;
+  if (sb.lda == 0) sb.lda = sb.k;
+  if (sb.ldb == 0) sb.ldb = sb.n;
+  if (sb.ldc < sb.n || sb.lda < sb.k || sb.ldb < sb.n) {
+    return Status::error(StatusCode::kInvalidStride,
+                         "row stride smaller than the row length");
+  }
+  if (sb.stride_c < 0 || sb.stride_a < 0 || sb.stride_b < 0) {
+    return Status::error(StatusCode::kInvalidStride,
+                         "negative batch stride");
+  }
+  if (sb.count == 0) return Status{};
+  const bool c_nonempty = sb.m > 0 && sb.n > 0;
+  if (c_nonempty && sb.c == nullptr) {
+    return Status::error(StatusCode::kInvalidArgument, "null C base pointer");
+  }
+  if (sb.m > 0 && sb.k > 0 && sb.a == nullptr) {
+    return Status::error(StatusCode::kInvalidArgument, "null A base pointer");
+  }
+  if (sb.k > 0 && sb.n > 0 && sb.b == nullptr) {
+    return Status::error(StatusCode::kInvalidArgument, "null B base pointer");
+  }
+  if (c_nonempty && sb.count > 1) {
+    if (sb.stride_c == 0) {
+      return Status::error(StatusCode::kAliasing,
+                           "stride_c == 0: every item writes the same C");
+    }
+    // The C items must be provably disjoint.  Two layouts are: stacked
+    // (each item's whole m-row footprint precedes the next base) and
+    // interleaved (items side by side within one row span — consecutive
+    // row segments disjoint, and all of them inside the parent row, so
+    // row r of every item lives in row r of the parent).  Anything in
+    // between — e.g. stride_c == n with a dense ldc and m > 1, where item
+    // 1 starts inside item 0's second row — overlaps and would race.
+    const bool stacked = sb.stride_c >= (sb.m - 1) * sb.ldc + sb.n;
+    const bool interleaved =
+        sb.stride_c >= sb.n &&
+        static_cast<index_t>(sb.count - 1) * sb.stride_c + sb.n <= sb.ldc;
+    if (!stacked && !interleaved) {
+      return Status::error(
+          StatusCode::kInvalidStride,
+          "stride_c describes overlapping C items (want stacked: stride_c >= "
+          "(m-1)*ldc + n, or interleaved: (count-1)*stride_c + n <= ldc)");
+    }
+  }
+  if (c_nonempty && (static_cast<const double*>(sb.c) == sb.a ||
+                     static_cast<const double*>(sb.c) == sb.b)) {
+    return Status::error(StatusCode::kAliasing,
+                         "C base aliases an input base");
+  }
+  return Status{};
+}
+
+// Duplicate-C detection across a per-item batch (exact base pointers).
+Status check_distinct_outputs(const BatchItem* items, std::size_t count) {
+  if (count < 2) return Status{};
+  std::vector<const double*> ptrs;
+  ptrs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!items[i].c.empty()) ptrs.push_back(items[i].c.data());
+  }
+  std::sort(ptrs.begin(), ptrs.end());
+  if (std::adjacent_find(ptrs.begin(), ptrs.end()) != ptrs.end()) {
+    return Status::error(StatusCode::kAliasing,
+                         "two batch items write the same C");
+  }
+  return Status{};
+}
+
+// The auto path's GEMM fallback workspace: grow-only packing buffers,
+// reusable across engines but never across concurrent callers — exactly
+// what thread_local provides.
+GemmWorkspace& gemm_workspace() {
+  static thread_local GemmWorkspace ws;
+  return ws;
+}
+
+// Evicts the least-recently-used entry (smallest tick) by copying the back
+// entry over it.  Shared by the executor and choice caches; entry types
+// need a `tick` member.  Callers hold the cache's mutex and bump their own
+// eviction counter.
+template <typename Entry>
+void evict_lru(std::vector<Entry>& entries) {
+  auto lru = std::min_element(
+      entries.begin(), entries.end(),
+      [](const Entry& x, const Entry& y) { return x.tick < y.tick; });
+  *lru = entries.back();
+  entries.pop_back();
+}
+
+std::size_t env_cache_capacity() {
+  if (const char* env = std::getenv("FMM_ENGINE_CACHE")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      return static_cast<std::size_t>(v);
+    }
+    std::fprintf(stderr,
+                 "fmm: ignoring invalid FMM_ENGINE_CACHE='%s' "
+                 "(want a positive integer)\n",
+                 env);
+  }
+  return Engine::kDefaultCacheCapacity;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Cache structures.
+// ---------------------------------------------------------------------------
+
+// One cached compiled executor.  `plan` and `cfg` are the *requested* key
+// values (the executor itself records the resolved kernel/blocking).
+struct Engine::Entry {
+  std::size_t hash = 0;
+  Plan plan;
+  index_t m = 0, n = 0, k = 0;
+  GemmConfig cfg;
+  std::shared_ptr<FmmExecutor> exec;
+  std::uint64_t tick = 0;
+};
+
+struct Engine::Shard {
+  std::mutex mu;
+  std::vector<Entry> entries;
+};
+
+struct Engine::ChoiceEntry {
+  std::array<index_t, 3> key{};
+  std::shared_ptr<const AutoChoice> choice;
+  std::uint64_t tick = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Construction.
+// ---------------------------------------------------------------------------
+
+Engine::Engine() : Engine(Options{}) {}
+
+Engine::Engine(const Options& opts) : cfg_(opts.config), slots_(opts.slots) {
+  cap_total_ =
+      opts.cache_capacity > 0 ? opts.cache_capacity : env_cache_capacity();
+  int shards = opts.shards > 0 ? opts.shards : kDefaultShards;
+  shards = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(shards), cap_total_));
+  shards = std::max(shards, 1);
+  cap_per_shard_ = (cap_total_ + static_cast<std::size_t>(shards) - 1) /
+                   static_cast<std::size_t>(shards);
+  cap_total_ = cap_per_shard_ * static_cast<std::size_t>(shards);
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  choice_cap_ =
+      opts.choice_capacity > 0 ? opts.choice_capacity : 8 * cap_total_;
+  if (opts.calibrate_now) calibrate();
+}
+
+Engine::~Engine() = default;
+
+Engine& default_engine() {
+  static Engine* engine = new Engine();  // never destroyed: executors may
+  return *engine;                        // be running at static teardown
+}
+
+// ---------------------------------------------------------------------------
+// Executor cache.
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<FmmExecutor> Engine::executor_for(const Plan& plan, index_t m,
+                                                  index_t n, index_t k,
+                                                  const GemmConfig& cfg) {
+  const std::size_t hash = key_hash(plan, m, n, k, cfg);
+  Shard& shard = *shards_[hash % shards_.size()];
+  {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    for (Entry& e : shard.entries) {
+      if (e.hash == hash && e.m == m && e.n == n && e.k == k &&
+          e.cfg == cfg && same_execution(e.plan, plan)) {
+        e.tick = tick_.fetch_add(1, std::memory_order_relaxed);
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return e.exec;  // shared_ptr copy: no allocation
+      }
+    }
+  }
+
+  // Miss: compile outside the shard lock (compilation allocates and can
+  // take a while; concurrent misses on other keys must not serialize).
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  auto exec = std::make_shared<FmmExecutor>(plan, m, n, k, cfg, slots_);
+
+  std::lock_guard<std::mutex> lk(shard.mu);
+  // A racing thread may have compiled the same key; keep the incumbent so
+  // every caller shares one executor (ours is dropped).
+  for (Entry& e : shard.entries) {
+    if (e.hash == hash && e.m == m && e.n == n && e.k == k && e.cfg == cfg &&
+        same_execution(e.plan, plan)) {
+      e.tick = tick_.fetch_add(1, std::memory_order_relaxed);
+      return e.exec;
+    }
+  }
+  if (shard.entries.size() >= cap_per_shard_) {
+    evict_lru(shard.entries);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  Entry e;
+  e.hash = hash;
+  e.plan = plan;
+  e.m = m;
+  e.n = n;
+  e.k = k;
+  e.cfg = cfg;
+  e.exec = exec;
+  e.tick = tick_.fetch_add(1, std::memory_order_relaxed);
+  shard.entries.push_back(std::move(e));
+  return exec;
+}
+
+// ---------------------------------------------------------------------------
+// Auto path: plan space, choice cache, calibration.
+// ---------------------------------------------------------------------------
+
+void Engine::ensure_plan_space_locked() {
+  if (space_built_) return;
+  space_ = default_plan_space({Variant::kABC, Variant::kAB, Variant::kNaive},
+                              /*max_levels=*/2);
+  space_built_ = true;
+}
+
+std::shared_ptr<const AutoChoice> Engine::choice_handle(index_t m, index_t n,
+                                                     index_t k) {
+  const std::array<index_t, 3> key{m, n, k};
+  ModelParams params;
+  std::uint64_t gen = 0;
+  {
+    std::lock_guard<std::mutex> lk(choice_mu_);
+    for (ChoiceEntry& e : choices_) {
+      if (e.key == key) {
+        e.tick = tick_.fetch_add(1, std::memory_order_relaxed);
+        choice_hits_.fetch_add(1, std::memory_order_relaxed);
+        return e.choice;
+      }
+    }
+    ensure_plan_space_locked();
+    params = params_;
+    gen = params_gen_;
+  }
+
+  // Rank outside the lock: the model evaluation over the whole space is
+  // the expensive part, and space_ is immutable once built.
+  choice_misses_.fetch_add(1, std::memory_order_relaxed);
+  auto choice = std::make_shared<AutoChoice>();
+  choice->predicted_seconds = predict_gemm_time(m, n, k, cfg_, params);
+  choice->description = "gemm";
+  auto ranked = rank_by_model(m, n, k, space_, params, cfg_);
+  if (!ranked.empty() &&
+      ranked.front().predicted_seconds < choice->predicted_seconds) {
+    choice->use_gemm = false;
+    choice->plan = ranked.front().plan;
+    choice->predicted_seconds = ranked.front().predicted_seconds;
+    choice->description = choice->plan->name();
+  }
+
+  std::lock_guard<std::mutex> lk(choice_mu_);
+  for (ChoiceEntry& e : choices_) {  // racing insert: keep the incumbent
+    if (e.key == key) {
+      e.tick = tick_.fetch_add(1, std::memory_order_relaxed);
+      return e.choice;
+    }
+  }
+  // A calibrate() ran while this thread was ranking: the decision was made
+  // under stale parameters.  Serve it (it is a valid algorithm, just
+  // possibly suboptimal) but do not cache it past the clear.
+  if (gen != params_gen_) return choice;
+  if (choices_.size() >= choice_cap_) {
+    evict_lru(choices_);
+    choice_evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ChoiceEntry e;
+  e.key = key;
+  e.choice = choice;
+  e.tick = tick_.fetch_add(1, std::memory_order_relaxed);
+  choices_.push_back(std::move(e));
+  return choice;
+}
+
+AutoChoice Engine::choice_for(index_t m, index_t n, index_t k) {
+  return *choice_handle(m, n, k);
+}
+
+void Engine::calibrate() {
+  ModelParams measured = fmm::calibrate(cfg_);
+  std::lock_guard<std::mutex> lk(choice_mu_);
+  params_ = measured;
+  // Decisions made under the old parameters are stale; the generation
+  // bump also stops in-flight rankings from re-inserting one.
+  ++params_gen_;
+  choices_.clear();
+}
+
+ModelParams Engine::params() const {
+  std::lock_guard<std::mutex> lk(choice_mu_);
+  return params_;
+}
+
+// ---------------------------------------------------------------------------
+// Multiply entry points.
+// ---------------------------------------------------------------------------
+
+Status Engine::run_single(const Plan* plan, MatView c, ConstMatView a,
+                          ConstMatView b, const GemmConfig& cfg,
+                          std::shared_ptr<const AutoChoice>* executed) {
+  Status st = validate_triple(c, a, b);
+  if (!st.ok()) return st;
+  const index_t m = c.rows(), n = c.cols(), k = a.cols();
+
+  if (plan == nullptr) {
+    std::shared_ptr<const AutoChoice> choice = choice_handle(m, n, k);
+    if (executed != nullptr) *executed = choice;
+    if (choice->use_gemm) {
+      gemm(c, a, b, gemm_workspace(), cfg);
+      return Status{};
+    }
+    executor_for(*choice->plan, m, n, k, cfg)->run(c, a, b);
+    return Status{};
+  }
+  executor_for(*plan, m, n, k, cfg)->run(c, a, b);
+  return Status{};
+}
+
+Status Engine::multiply(const Plan& plan, MatView c, ConstMatView a,
+                        ConstMatView b) {
+  return run_single(&plan, c, a, b, cfg_);
+}
+
+Status Engine::multiply(const Plan& plan, MatView c, ConstMatView a,
+                        ConstMatView b, const GemmConfig& cfg) {
+  return run_single(&plan, c, a, b, cfg);
+}
+
+Status Engine::multiply(MatView c, ConstMatView a, ConstMatView b) {
+  return run_single(nullptr, c, a, b, cfg_);
+}
+
+Status Engine::multiply(MatView c, ConstMatView a, ConstMatView b,
+                        std::shared_ptr<const AutoChoice>* executed) {
+  return run_single(nullptr, c, a, b, cfg_, executed);
+}
+
+Status Engine::multiply(const Plan& plan, const BatchSpec& batch) {
+  return multiply(plan, batch, cfg_);
+}
+
+Status Engine::multiply(const Plan& plan, const BatchSpec& batch,
+                        const GemmConfig& cfg) {
+  if (batch.is_strided()) {
+    return multiply_strided(&plan, batch.strided_desc(), cfg);
+  }
+  return multiply_items(&plan, batch.item_data(), batch.size(), cfg);
+}
+
+Status Engine::multiply(const BatchSpec& batch) {
+  if (batch.is_strided()) {
+    return multiply_strided(nullptr, batch.strided_desc(), cfg_);
+  }
+  return multiply_items(nullptr, batch.item_data(), batch.size(), cfg_);
+}
+
+Status Engine::multiply_items(const Plan* plan, const BatchItem* items,
+                              std::size_t count, const GemmConfig& cfg) {
+  if (count == 0) return Status{};
+  if (items == nullptr) {
+    return Status::error(StatusCode::kInvalidArgument,
+                         "null item array with count > 0");
+  }
+  // Validate the whole batch before any arithmetic: one malformed item
+  // rejects the request with nothing partially written.
+  for (std::size_t i = 0; i < count; ++i) {
+    Status st = validate_triple(items[i].c, items[i].a, items[i].b);
+    if (!st.ok()) {
+      return Status::error(st.code(),
+                           "item " + std::to_string(i) + ": " + st.message());
+    }
+  }
+  Status st = check_distinct_outputs(items, count);
+  if (!st.ok()) return st;
+
+  // Single-shape batches (the common serving case) go straight to one
+  // executor, no grouping pass or item copies.
+  bool uniform = true;
+  for (std::size_t i = 1; uniform && i < count; ++i) {
+    uniform = items[i].c.rows() == items[0].c.rows() &&
+              items[i].c.cols() == items[0].c.cols() &&
+              items[i].a.cols() == items[0].a.cols();
+  }
+
+  struct Group {
+    index_t m, n, k;
+    std::vector<BatchItem> items;
+  };
+  std::vector<Group> groups;
+  if (!uniform) {
+    // Cross-shape: group by (m, n, k), preserving arrival order per group.
+    for (std::size_t i = 0; i < count; ++i) {
+      const index_t m = items[i].c.rows(), n = items[i].c.cols(),
+                    k = items[i].a.cols();
+      Group* g = nullptr;
+      for (Group& cand : groups) {
+        if (cand.m == m && cand.n == n && cand.k == k) {
+          g = &cand;
+          break;
+        }
+      }
+      if (g == nullptr) {
+        groups.push_back({m, n, k, {}});
+        g = &groups.back();
+      }
+      g->items.push_back(items[i]);
+    }
+  }
+
+  auto run_group = [&](index_t m, index_t n, index_t k,
+                       const BatchItem* gi, std::size_t gcount) {
+    const Plan* group_plan = plan;
+    std::shared_ptr<const AutoChoice> choice;
+    if (group_plan == nullptr) {
+      choice = choice_handle(m, n, k);
+      if (choice->use_gemm) {
+        for (std::size_t i = 0; i < gcount; ++i) {
+          gemm(gi[i].c, gi[i].a, gi[i].b, gemm_workspace(), cfg);
+        }
+        return;
+      }
+      group_plan = &*choice->plan;
+    }
+    executor_for(*group_plan, m, n, k, cfg)->run_batch(gi, gcount);
+  };
+
+  if (uniform) {
+    run_group(items[0].c.rows(), items[0].c.cols(), items[0].a.cols(), items,
+              count);
+  } else {
+    for (const Group& g : groups) {
+      run_group(g.m, g.n, g.k, g.items.data(), g.items.size());
+    }
+  }
+  return Status{};
+}
+
+Status Engine::multiply_strided(const Plan* plan, const StridedBatch& sb_in,
+                                const GemmConfig& cfg) {
+  StridedBatch sb = sb_in;  // validation normalizes the dense defaults
+  Status st = validate_strided(sb);
+  if (!st.ok()) return st;
+  if (sb.count == 0 || sb.m == 0 || sb.n == 0) return Status{};
+
+  const Plan* batch_plan = plan;
+  std::shared_ptr<const AutoChoice> choice;
+  if (batch_plan == nullptr) {
+    choice = choice_handle(sb.m, sb.n, sb.k);
+    if (choice->use_gemm) {
+      for (std::size_t i = 0; i < sb.count; ++i) {
+        const index_t off = static_cast<index_t>(i);
+        gemm(MatView(sb.c + off * sb.stride_c, sb.m, sb.n, sb.ldc),
+             ConstMatView(sb.a + off * sb.stride_a, sb.m, sb.k, sb.lda),
+             ConstMatView(sb.b + off * sb.stride_b, sb.k, sb.n, sb.ldb),
+             gemm_workspace(), cfg);
+      }
+      return Status{};
+    }
+    batch_plan = &*choice->plan;
+  }
+  executor_for(*batch_plan, sb.m, sb.n, sb.k, cfg)->run_batch_strided(sb);
+  return Status{};
+}
+
+// ---------------------------------------------------------------------------
+// Introspection.
+// ---------------------------------------------------------------------------
+
+Engine::CacheStats Engine::stats() const {
+  CacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->mu);
+    s.entries += shard->entries.size();
+  }
+  s.choice_hits = choice_hits_.load(std::memory_order_relaxed);
+  s.choice_misses = choice_misses_.load(std::memory_order_relaxed);
+  s.choice_evictions = choice_evictions_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(choice_mu_);
+    s.choice_entries = choices_.size();
+  }
+  return s;
+}
+
+}  // namespace fmm

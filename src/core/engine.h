@@ -1,0 +1,255 @@
+#pragma once
+
+// fmm::Engine — the one public handle for serving FMM traffic.
+//
+// Before this layer the repo had three competing amortization stories:
+// fmm_multiply's single-entry FmmContext cache (one shape at a time, one
+// thread at a time), raw FmmExecutor construction (caller-managed, one
+// shape per object), and AutoMultiplier's private per-shape maps (unbounded,
+// single-caller).  None could be shared between host threads or serve a
+// mixed-shape request stream.  Engine owns all of it:
+//
+//   * a bounded, mutex-sharded, LRU-evicting **executor cache** keyed by
+//     (plan — exact coefficient compare, m/n/k, requested GemmConfig).
+//     Explicit-plan and auto-selected calls share the same cache, so a
+//     shape served both ways compiles exactly one executor.  Cache hits
+//     perform zero allocation; hit/miss/eviction counts are exposed via
+//     stats().  Capacity comes from Options or the FMM_ENGINE_CACHE env.
+//
+//   * an **explicit-plan path** (multiply(plan, C, A, B)) and an **auto
+//     path** (multiply(C, A, B)) that delegates shape -> algorithm choice
+//     to the performance model, with a bounded LRU per-shape choice cache
+//     (AutoMultiplier's old unbounded std::map, absorbed and capped).
+//
+//   * **batches** described by BatchSpec: per-item views, a strided or
+//     interleaved layout (base pointer + batch stride per operand, expanded
+//     on the fly — no view array is materialized), and cross-shape batches
+//     which Engine groups by (m, n, k) and fans out to one cached executor
+//     per shape.
+//
+//   * **recoverable errors**: every entry point validates the request and
+//     returns a Status instead of asserting, so a serving process survives
+//     a malformed request.  Validation runs before any arithmetic — a batch
+//     with one bad item computes nothing.
+//
+// Thread-safety: every public method may be called from any number of host
+// threads concurrently.  Executor run() concurrency is the slot-pool story
+// from executor.h; the caches are sharded/mutexed here.
+//
+//   Engine engine;                                    // process defaults
+//   engine.multiply(plan, C, A, B);                   // explicit plan
+//   engine.multiply(C, A, B);                         // model-selected
+//   engine.multiply(plan, BatchSpec::items(items));   // batch (any shapes)
+//   engine.multiply(plan, BatchSpec::strided(sb));    // strided layout
+//
+// fmm_multiply (driver.h) and AutoMultiplier (model/auto.h) survive as
+// thin deprecated shims over a process-default Engine / an owned Engine.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/executor.h"
+#include "src/model/selector.h"
+#include "src/util/status.h"
+
+namespace fmm {
+
+// The auto path's per-shape decision (moved here from model/auto.h; that
+// header re-exports it for source compatibility).
+struct AutoChoice {
+  bool use_gemm = true;      // conventional GEMM won the model ranking
+  std::optional<Plan> plan;  // set when use_gemm == false
+  double predicted_seconds = 0.0;
+  std::string description;   // "gemm" or the plan name
+};
+
+// One batch of multiplies, in one of two layouts:
+//
+//   items(...)   — an array of {C, A, B} view triples.  Shapes may differ
+//                  per item (a cross-shape batch); Engine groups items by
+//                  shape and runs each group through one cached executor.
+//   strided(...) — one base pointer + batch stride per operand
+//                  (StridedBatch, executor.h); a single shape, expanded
+//                  index-by-index without materializing views.
+//
+// BatchSpec does not own the views or buffers; they must outlive the call.
+class BatchSpec {
+ public:
+  BatchSpec() = default;
+
+  static BatchSpec items(const BatchItem* items, std::size_t count) {
+    BatchSpec s;
+    s.items_ = items;
+    s.count_ = count;
+    return s;
+  }
+  static BatchSpec items(const std::vector<BatchItem>& v) {
+    return items(v.data(), v.size());
+  }
+  static BatchSpec strided(const StridedBatch& sb) {
+    BatchSpec s;
+    s.strided_ = sb;
+    s.is_strided_ = true;
+    s.count_ = sb.count;
+    return s;
+  }
+
+  bool is_strided() const { return is_strided_; }
+  std::size_t size() const { return count_; }
+  const BatchItem* item_data() const { return items_; }
+  const StridedBatch& strided_desc() const { return strided_; }
+
+ private:
+  const BatchItem* items_ = nullptr;
+  std::size_t count_ = 0;
+  StridedBatch strided_{};
+  bool is_strided_ = false;
+};
+
+class Engine {
+ public:
+  struct Options {
+    // Base configuration for every multiply that does not pass its own
+    // (threads, blocking overrides, pinned kernel).
+    GemmConfig config;
+    // Executor-cache capacity (entries).  0 = FMM_ENGINE_CACHE env, else
+    // kDefaultCacheCapacity.  Rounded up to a multiple of the shard count.
+    std::size_t cache_capacity = 0;
+    // Auto-path choice-cache capacity.  0 = 8x the executor capacity.
+    std::size_t choice_capacity = 0;
+    // Mutex shards for the executor cache.  0 = kDefaultShards, clamped to
+    // the capacity.
+    int shards = 0;
+    // Workspace slots per compiled executor (FmmExecutor's `slots`); 0 =
+    // the executor default (its resolved thread count).
+    int slots = 0;
+    // Run the ~1 s model calibration in the constructor.  When false the
+    // auto path uses literature-default parameters until calibrate().
+    bool calibrate_now = false;
+  };
+
+  struct CacheStats {
+    std::uint64_t hits = 0;        // executor-cache hits
+    std::uint64_t misses = 0;      // executor compilations
+    std::uint64_t evictions = 0;   // executors LRU-evicted
+    std::size_t entries = 0;       // live executors
+    std::uint64_t choice_hits = 0;
+    std::uint64_t choice_misses = 0;
+    std::uint64_t choice_evictions = 0;
+    std::size_t choice_entries = 0;
+  };
+
+  static constexpr std::size_t kDefaultCacheCapacity = 32;
+  static constexpr int kDefaultShards = 8;
+
+  Engine();  // default Options
+  explicit Engine(const Options& opts);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // --- Explicit-plan path -------------------------------------------------
+  // C += A * B through the cached executor for (plan, shape, config).
+  Status multiply(const Plan& plan, MatView c, ConstMatView a, ConstMatView b);
+  // Per-call config override (keys the cache alongside the plan and shape).
+  Status multiply(const Plan& plan, MatView c, ConstMatView a, ConstMatView b,
+                  const GemmConfig& cfg);
+
+  // --- Auto path ----------------------------------------------------------
+  // C += A * B with the model-selected algorithm for the shape (cached
+  // per-shape decision; compiled executors shared with the explicit path).
+  Status multiply(MatView c, ConstMatView a, ConstMatView b);
+  // As above, and reports the decision this call executed through
+  // `executed` (a shared snapshot; same single cache lookup the execution
+  // uses, so it is exactly what ran).  `executed` may be null; it is left
+  // untouched when validation rejects the request.
+  Status multiply(MatView c, ConstMatView a, ConstMatView b,
+                  std::shared_ptr<const AutoChoice>* executed);
+
+  // --- Batches ------------------------------------------------------------
+  // Every item through the one plan; cross-shape item batches are grouped
+  // by shape, one cached executor per group.
+  Status multiply(const Plan& plan, const BatchSpec& batch);
+  Status multiply(const Plan& plan, const BatchSpec& batch,
+                  const GemmConfig& cfg);
+  // Auto-selected per shape group.
+  Status multiply(const BatchSpec& batch);
+
+  // --- Auto-path inspection / control -------------------------------------
+  // The decision multiply() would take for a shape (computed and cached on
+  // first use).  Returned by value: the underlying cache entry may be
+  // evicted at any time.
+  AutoChoice choice_for(index_t m, index_t n, index_t k);
+  // Allocation-free-on-hit variant: a shared snapshot of the cached
+  // decision (stays valid across eviction; never null).  The hot-path form
+  // for callers that query per call.
+  std::shared_ptr<const AutoChoice> choice_handle(index_t m, index_t n,
+                                                  index_t k);
+  // Measure machine parameters for the model (~1 s, once).  Clears the
+  // choice cache — decisions made under the old parameters are stale.
+  void calibrate();
+  ModelParams params() const;
+
+  // --- Introspection ------------------------------------------------------
+  CacheStats stats() const;
+  std::size_t cache_capacity() const { return cap_total_; }
+  std::size_t choice_capacity() const { return choice_cap_; }
+  const GemmConfig& config() const { return cfg_; }
+
+ private:
+  struct Entry;
+  struct Shard;
+  struct ChoiceEntry;
+
+  // The compiled executor for (plan, m, n, k, cfg): cache hit or compile +
+  // insert (with LRU eviction).  Never fails; allocation failures throw.
+  std::shared_ptr<FmmExecutor> executor_for(const Plan& plan, index_t m,
+                                            index_t n, index_t k,
+                                            const GemmConfig& cfg);
+  Status multiply_items(const Plan* plan, const BatchItem* items,
+                        std::size_t count, const GemmConfig& cfg);
+  Status multiply_strided(const Plan* plan, const StridedBatch& sb,
+                          const GemmConfig& cfg);
+  Status run_single(const Plan* plan, MatView c, ConstMatView a,
+                    ConstMatView b, const GemmConfig& cfg,
+                    std::shared_ptr<const AutoChoice>* executed = nullptr);
+  void ensure_plan_space_locked();
+
+  GemmConfig cfg_;
+  int slots_ = 0;
+  std::size_t cap_total_ = 0;      // executor entries, whole engine
+  std::size_t cap_per_shard_ = 0;  // executor entries per shard
+  std::size_t choice_cap_ = 0;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> tick_{1};
+  std::atomic<std::uint64_t> hits_{0}, misses_{0}, evictions_{0};
+
+  // Auto path: plan space built lazily (the explicit path never pays for
+  // it), model parameters, bounded per-shape choice cache.  params_gen_
+  // bumps on every calibrate(); a choice computed under an older
+  // generation is served once but never cached (the clear in calibrate()
+  // must not be undone by an in-flight ranking).
+  mutable std::mutex choice_mu_;
+  bool space_built_ = false;
+  std::vector<Plan> space_;
+  ModelParams params_;
+  std::uint64_t params_gen_ = 0;
+  std::vector<ChoiceEntry> choices_;
+  std::atomic<std::uint64_t> choice_hits_{0}, choice_misses_{0},
+      choice_evictions_{0};
+};
+
+// The process-default Engine (default Options), used by the deprecated
+// fmm_multiply shim.  Constructed on first use, never destroyed before
+// program exit.
+Engine& default_engine();
+
+}  // namespace fmm

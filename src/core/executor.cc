@@ -303,25 +303,69 @@ void FmmExecutor::run_on_slot(Slot& slot, MatView c, ConstMatView a,
 }
 
 void FmmExecutor::run_batch(const BatchItem* items, std::size_t count) {
+  // Edge cases short-circuit before any batch bookkeeping (shared-B scan,
+  // batch mutex, parallel region): an empty batch is a no-op, a single
+  // item is exactly one run().
   if (count == 0) return;
+  assert(items != nullptr);
   if (count == 1) {
     run(items[0].c, items[0].a, items[0].b);
     return;
   }
-  // Shared-B fast path first: packing every B~_r once pays on any thread
-  // count (it removes (count - 1) * R panel packs), and the path
-  // parallelizes across r and items on its own.  One batch at a time may
-  // own the shared panels; a concurrent caller falls through to the
-  // generic paths below.
+  // Shared-B viability: every item references one B (same base pointer and
+  // row stride).
   bool shared_b = shared_b_possible_;
   for (std::size_t i = 1; shared_b && i < count; ++i) {
     shared_b = items[i].b.data() == items[0].b.data() &&
                items[i].b.stride() == items[0].b.stride();
   }
+  BatchAccess acc;
+  acc.items = items;
+  run_batch_impl(acc, count, shared_b);
+}
+
+void FmmExecutor::run_batch_strided(const StridedBatch& sb) {
+  // Empty first: a default-constructed descriptor is the no-op value, like
+  // run_batch(items, 0), and must not trip the shape assert.
+  if (sb.count == 0) return;
+  assert(sb.m == m_ && sb.n == n_ && sb.k == k_);
+  BatchAccess acc;
+  acc.sb = sb;
+  // Normalize dense defaults once; at() computes views from these.
+  if (acc.sb.ldc == 0) acc.sb.ldc = n_;
+  if (acc.sb.lda == 0) acc.sb.lda = k_;
+  if (acc.sb.ldb == 0) acc.sb.ldb = n_;
+  if (sb.count == 1) {
+    const BatchItem it = acc.at(0);
+    run(it.c, it.a, it.b);
+    return;
+  }
+  // A batch stride of 0 on B is the shared-operand encoding: every item
+  // reads the one panel, exactly what the prepacked fast path wants.
+  run_batch_impl(acc, sb.count, shared_b_possible_ && sb.stride_b == 0);
+}
+
+void FmmExecutor::run_batch_impl(const BatchAccess& acc, std::size_t count,
+                                 bool shared_b) {
+#ifndef NDEBUG
+  // Two items writing one C race silently (items execute concurrently in
+  // the item-parallel regimes).  Debug builds reject such batches outright.
+  for (std::size_t i = 0; i < count; ++i) {
+    for (std::size_t j = i + 1; j < count; ++j) {
+      assert(acc.at(i).c.data() != acc.at(j).c.data() &&
+             "run_batch: two batch items write the same C");
+    }
+  }
+#endif
+  // Shared-B fast path first: packing every B~_r once pays on any thread
+  // count (it removes (count - 1) * R panel packs), and the path
+  // parallelizes across r and items on its own.  One batch at a time may
+  // own the shared panels; a concurrent caller falls through to the
+  // generic paths below.
   if (shared_b) {
     std::unique_lock<std::mutex> lk(batch_mu_, std::try_to_lock);
     if (lk.owns_lock()) {
-      run_batch_shared_b(items, count);
+      run_batch_shared_b(acc, count);
       return;
     }
   }
@@ -336,7 +380,8 @@ void FmmExecutor::run_batch(const BatchItem* items, std::size_t count) {
   const bool item_parallel = nth_ > 1 && ceil_div(rows_seen, bp_.mc) < nth_;
   if (!item_parallel) {
     for (std::size_t i = 0; i < count; ++i) {
-      run(items[i].c, items[i].a, items[i].b);
+      const BatchItem it = acc.at(i);
+      run(it.c, it.a, it.b);
     }
     return;
   }
@@ -354,7 +399,8 @@ void FmmExecutor::run_batch(const BatchItem* items, std::size_t count) {
     if (s != nullptr) {
       for (std::int64_t i = next.fetch_add(1); i < total;
            i = next.fetch_add(1)) {
-        run_on_slot(*s, items[i].c, items[i].a, items[i].b, serial_cfg_);
+        const BatchItem it = acc.at(static_cast<std::size_t>(i));
+        run_on_slot(*s, it.c, it.a, it.b, serial_cfg_);
       }
       if (s != mine) release_slot(s);
     }
@@ -362,9 +408,9 @@ void FmmExecutor::run_batch(const BatchItem* items, std::size_t count) {
   release_slot(mine);
 }
 
-void FmmExecutor::run_batch_shared_b(const BatchItem* items,
+void FmmExecutor::run_batch_shared_b(const BatchAccess& acc,
                                      std::size_t count) {
-  const ConstMatView b = items[0].b;
+  const ConstMatView b = acc.at(0).b;
   const index_t ldb = b.stride();
   const int R = plan_.R();
   const int nr = bp_.nr;
@@ -397,7 +443,7 @@ void FmmExecutor::run_batch_shared_b(const BatchItem* items,
     if (s != nullptr) {
       for (std::int64_t i = next_item.fetch_add(1); i < total;
            i = next_item.fetch_add(1)) {
-        run_item_prepacked(*s, items[i]);
+        run_item_prepacked(*s, acc.at(static_cast<std::size_t>(i)));
       }
       if (s != mine) release_slot(s);
     }

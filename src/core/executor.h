@@ -68,6 +68,30 @@ struct BatchItem {
   ConstMatView b;
 };
 
+// A batch laid out as one base pointer plus a fixed element stride between
+// consecutive items, per operand: item i is
+//
+//   C_i = c + i * stride_c   (m x n, row stride ldc)
+//   A_i = a + i * stride_a   (m x k, row stride lda)
+//   B_i = b + i * stride_b   (k x n, row stride ldb)
+//
+// A row stride of 0 means dense (ldc = n, lda = k, ldb = n).  A *batch*
+// stride of 0 on A or B means every item shares that operand — stride_b = 0
+// is the one-weight-many-activations motif and feeds the shared-B prepacked
+// fast path directly.  stride_c = 0 with count > 1 would make every item
+// write the same C and is rejected by the Engine validation layer.  The
+// items are expanded internally (a view is computed per index on the fly);
+// no per-item view array is ever materialized.
+struct StridedBatch {
+  index_t m = 0, n = 0, k = 0;
+  std::size_t count = 0;
+  double* c = nullptr;
+  const double* a = nullptr;
+  const double* b = nullptr;
+  index_t ldc = 0, lda = 0, ldb = 0;                 // 0 = dense
+  index_t stride_c = 0, stride_a = 0, stride_b = 0;  // item-to-item strides
+};
+
 class FmmExecutor {
  public:
   // Compiles `plan` for problems of exactly C (m x n) += A (m x k) *
@@ -90,11 +114,21 @@ class FmmExecutor {
   // Items run in parallel (one per thread, serial inside) when the shape
   // is too small to feed the threads from within one multiply; otherwise
   // sequentially with full internal parallelism.  Results are bitwise
-  // identical to calling run() per item.
+  // identical to calling run() per item.  Empty and single-item batches
+  // short-circuit before any batch bookkeeping (no shared-B mutex, no
+  // parallel region).  Debug builds assert that no two items write the
+  // same C (a silently racy batch otherwise).
   void run_batch(const BatchItem* items, std::size_t count);
   void run_batch(const std::vector<BatchItem>& items) {
     run_batch(items.data(), items.size());
   }
+
+  // run_batch over a strided/interleaved layout: per-index views are
+  // computed on the fly from the base pointers — no BatchItem array is
+  // materialized.  sb's shape must match the compiled shape (the Engine
+  // validates; this layer asserts).  stride_b == 0 routes through the
+  // shared-B prepacked fast path when the plan/shape allow it.
+  void run_batch_strided(const StridedBatch& sb);
 
   const Plan& plan() const { return plan_; }
   index_t m() const { return m_; }
@@ -120,6 +154,22 @@ class FmmExecutor {
     double coeff;
   };
 
+  // Uniform indexed access over the two batch layouts: a BatchItem array,
+  // or a StridedBatch expanded one index at a time (branching on the mode
+  // per item costs nothing next to a multiply, and avoids materializing
+  // views for the strided layout).
+  struct BatchAccess {
+    const BatchItem* items = nullptr;  // per-item mode when non-null
+    StridedBatch sb;                   // strided mode otherwise
+    BatchItem at(std::size_t i) const {
+      if (items != nullptr) return items[i];
+      const index_t off = static_cast<index_t>(i);
+      return {MatView(sb.c + off * sb.stride_c, sb.m, sb.n, sb.ldc),
+              ConstMatView(sb.a + off * sb.stride_a, sb.m, sb.k, sb.lda),
+              ConstMatView(sb.b + off * sb.stride_b, sb.k, sb.n, sb.ldb)};
+    }
+  };
+
   Slot* acquire_slot();
   Slot* try_acquire_slot();
   void release_slot(Slot* slot);
@@ -127,7 +177,9 @@ class FmmExecutor {
   // frozen config or its serial twin (batch item-parallel mode).
   void run_on_slot(Slot& slot, MatView c, ConstMatView a, ConstMatView b,
                    const GemmConfig& cfg);
-  void run_batch_shared_b(const BatchItem* items, std::size_t count);
+  void run_batch_impl(const BatchAccess& acc, std::size_t count,
+                      bool shared_b);
+  void run_batch_shared_b(const BatchAccess& acc, std::size_t count);
   void run_item_prepacked(Slot& slot, const BatchItem& item);
 
   Plan plan_;

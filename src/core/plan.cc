@@ -55,6 +55,14 @@ std::string Plan::name() const {
   return s;
 }
 
+bool same_execution(const Plan& a, const Plan& b) {
+  const FmmAlgorithm& x = a.flat;
+  const FmmAlgorithm& y = b.flat;
+  return a.variant == b.variant && a.kernel == b.kernel && x.mt == y.mt &&
+         x.kt == y.kt && x.nt == y.nt && x.R == y.R && x.U == y.U &&
+         x.V == y.V && x.W == y.W;
+}
+
 Plan make_plan(std::vector<FmmAlgorithm> levels, Variant variant) {
   if (levels.empty()) {
     throw std::invalid_argument("make_plan: at least one level required");

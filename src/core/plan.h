@@ -50,6 +50,14 @@ struct Plan {
   std::string name() const;
 };
 
+// Exact match on everything a compiled executor's arithmetic depends on:
+// the flat algorithm (dims + coefficients), variant, and requested kernel.
+// Comparing the coefficient vectors outright costs the same order of work
+// as one per-call U/V/W term gather, with no fingerprint-collision risk —
+// this is the equality side of the Engine's executor-cache key (the hash
+// side lives in engine.cc).
+bool same_execution(const Plan& a, const Plan& b);
+
 // Builds a plan from per-level algorithms (outermost first).  Validates
 // shapes; the Kronecker flattening is performed eagerly.
 Plan make_plan(std::vector<FmmAlgorithm> levels, Variant variant);

@@ -1,55 +1,33 @@
 #include "src/model/auto.h"
 
 namespace fmm {
+namespace {
 
-AutoMultiplier::AutoMultiplier(const GemmConfig& cfg, bool calibrate_now)
-    : cfg_(cfg) {
-  space_ = default_plan_space(
-      {Variant::kABC, Variant::kAB, Variant::kNaive}, /*max_levels=*/2);
-  if (calibrate_now) calibrate();
+Engine::Options wrapper_options(const GemmConfig& cfg, bool calibrate_now) {
+  Engine::Options opts;
+  opts.config = cfg;
+  opts.calibrate_now = calibrate_now;
+  return opts;
 }
 
-void AutoMultiplier::calibrate() { params_ = fmm::calibrate(cfg_); }
+}  // namespace
+
+AutoMultiplier::AutoMultiplier(const GemmConfig& cfg, bool calibrate_now)
+    : engine_(wrapper_options(cfg, calibrate_now)) {
+  empty_.description = "gemm";
+}
 
 const AutoChoice& AutoMultiplier::choice_for(index_t m, index_t n, index_t k) {
-  const std::array<index_t, 3> key{m, n, k};
-  if (auto it = cache_.find(key); it != cache_.end()) return it->second;
-
-  AutoChoice choice;
-  choice.predicted_seconds = predict_gemm_time(m, n, k, cfg_, params_);
-  choice.description = "gemm";
-
-  auto ranked = rank_by_model(m, n, k, space_, params_, cfg_);
-  if (!ranked.empty() &&
-      ranked.front().predicted_seconds < choice.predicted_seconds) {
-    choice.use_gemm = false;
-    choice.plan = ranked.front().plan;
-    choice.predicted_seconds = ranked.front().predicted_seconds;
-    choice.description = choice.plan->name();
-  }
-  auto [it, inserted] = cache_.emplace(key, std::move(choice));
-  (void)inserted;
-  return it->second;
+  query_ = engine_.choice_handle(m, n, k);
+  return *query_;
 }
 
 void AutoMultiplier::multiply(MatView c, ConstMatView a, ConstMatView b) {
-  const index_t m = c.rows(), n = c.cols(), k = a.cols();
-  const AutoChoice& choice = choice_for(m, n, k);
-  last_ = choice;
-  if (choice.use_gemm) {
-    gemm(c, a, b, gemm_ws_, cfg_);
-    return;
-  }
-  const std::array<index_t, 3> key{m, n, k};
-  auto it = execs_.find(key);
-  if (it == execs_.end()) {
-    // Single-caller class: one workspace slot per compiled shape.
-    it = execs_
-             .emplace(key, std::make_unique<FmmExecutor>(*choice.plan, m, n, k,
-                                                         cfg_, /*slots=*/1))
-             .first;
-  }
-  it->second->run(c, a, b);
+  // The engine reports the decision it executed (the same single cache
+  // lookup the execution used — no plan copies, and last_ is exactly what
+  // ran, even under a concurrent calibrate()).
+  const Status st = engine_.multiply(c, a, b, &last_);
+  (void)st;  // operands come from views; shape conformance is the caller's
 }
 
 }  // namespace fmm

@@ -1,34 +1,28 @@
 #pragma once
 
-// The poly-algorithm (paper §4.4 / Fig. 8) as a one-call interface:
-// AutoMultiplier calibrates the performance model once, and per problem
-// shape selects among conventional GEMM and every plan in the default
-// space (23 one-level algorithms x 3 variants, two-level and hybrid
-// plans), caching the decision per shape.  When a plan wins, a compiled
-// FmmExecutor is built once per shape and reused, so steady-state calls
-// pay no plan setup, selector scoring, or workspace growth.
+// DEPRECATED poly-algorithm one-call interface, kept as a thin wrapper over
+// an owned fmm::Engine (src/core/engine.h).
+//
+// AutoMultiplier's old private per-shape maps (an unbounded decision map
+// plus an unbounded executor map) are the Engine's bounded LRU choice cache
+// and shared executor cache now; this class only forwards and keeps the
+// last_choice() convenience.  New code should hold an Engine and call its
+// auto path — engine.multiply(C, A, B) — which is additionally safe from
+// concurrent host threads and shares compiled executors with explicit-plan
+// calls.
 //
 //   AutoMultiplier mult;
 //   mult.multiply(C, A, B);          // C += A * B, best-known algorithm
 //   mult.last_choice().description   // what ran
 
-#include <array>
-#include <map>
-#include <memory>
-#include <optional>
 #include <string>
 
-#include "src/core/executor.h"
-#include "src/model/selector.h"
+#include "src/core/engine.h"
 
 namespace fmm {
 
-struct AutoChoice {
-  bool use_gemm = true;            // conventional GEMM won the model ranking
-  std::optional<Plan> plan;        // set when use_gemm == false
-  double predicted_seconds = 0.0;
-  std::string description;         // "gemm" or the plan name
-};
+// AutoChoice lives in src/core/engine.h now; this header re-exports it for
+// source compatibility.
 
 class AutoMultiplier {
  public:
@@ -43,22 +37,29 @@ class AutoMultiplier {
   // C += A * B with the selected algorithm.
   void multiply(MatView c, ConstMatView a, ConstMatView b);
 
-  // The decision that multiply() would take / last took for a shape.
+  // The decision multiply() would take for a shape.  The reference stays
+  // valid until the next choice_for call (single-caller class); copy the
+  // value to keep it longer.  Does not disturb last_choice().
   const AutoChoice& choice_for(index_t m, index_t n, index_t k);
-  const AutoChoice& last_choice() const { return last_; }
+  // The decision the last multiply() executed ("gemm" default before the
+  // first call).
+  const AutoChoice& last_choice() const {
+    return last_ != nullptr ? *last_ : empty_;
+  }
 
-  void calibrate();
-  const ModelParams& params() const { return params_; }
+  void calibrate() { engine_.calibrate(); }
+  ModelParams params() const { return engine_.params(); }
+
+  // The engine this wrapper forwards to (cache stats, batch calls, ...).
+  Engine& engine() { return engine_; }
 
  private:
-  GemmConfig cfg_;
-  ModelParams params_;
-  std::vector<Plan> space_;
-  std::map<std::array<index_t, 3>, AutoChoice> cache_;
-  // Compiled executor per shape (only shapes where an FMM plan won).
-  std::map<std::array<index_t, 3>, std::unique_ptr<FmmExecutor>> execs_;
-  AutoChoice last_;
-  GemmWorkspace gemm_ws_;
+  Engine engine_;
+  // Shared snapshots out of the engine's choice cache: no plan copies on
+  // the per-call path, and the refs survive cache eviction.
+  std::shared_ptr<const AutoChoice> last_;
+  std::shared_ptr<const AutoChoice> query_;
+  AutoChoice empty_;  // default "gemm" answer before the first multiply
 };
 
 }  // namespace fmm

@@ -5,6 +5,7 @@
 
 #include "src/arch/calibrate.h"
 #include "src/core/catalog.h"
+#include "src/core/executor.h"
 #include "src/gemm/kernel.h"
 #include "src/util/timer.h"
 

@@ -11,7 +11,8 @@
 
 #include <vector>
 
-#include "src/core/driver.h"
+#include "src/core/plan.h"
+#include "src/gemm/blocking.h"
 #include "src/model/perf_model.h"
 
 namespace fmm {

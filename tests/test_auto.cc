@@ -53,9 +53,15 @@ TEST_F(AutoTest, RankKShapePrefersModestPartitions) {
 }
 
 TEST_F(AutoTest, ChoiceIsCachedPerShape) {
-  const AutoChoice& a = mult().choice_for(512, 512, 512);
-  const AutoChoice& b = mult().choice_for(512, 512, 512);
-  EXPECT_EQ(&a, &b);
+  // The per-shape decision is cached in the wrapper's Engine: a repeat
+  // lookup is a choice-cache hit, and the decision is stable.
+  const auto before = mult().engine().stats();
+  const AutoChoice a = mult().choice_for(512, 512, 512);
+  const AutoChoice b = mult().choice_for(512, 512, 512);
+  const auto after = mult().engine().stats();
+  EXPECT_EQ(a.description, b.description);
+  EXPECT_EQ(a.predicted_seconds, b.predicted_seconds);
+  EXPECT_GE(after.choice_hits, before.choice_hits + 1);
 }
 
 TEST_F(AutoTest, LastChoiceReflectsExecution) {
@@ -64,11 +70,18 @@ TEST_F(AutoTest, LastChoiceReflectsExecution) {
   Matrix c = Matrix::zero(96, 96);
   mult().multiply(c.view(), a.view(), b.view());
   EXPECT_FALSE(mult().last_choice().description.empty());
+
+  // A what-if probe must not clobber what multiply() last executed.
+  const std::string executed = mult().last_choice().description;
+  (void)mult().choice_for(16384, 16384, 16384);
+  EXPECT_EQ(mult().last_choice().description, executed);
 }
 
 TEST_F(AutoTest, NonSquareShapesGetDistinctDecisions) {
-  const AutoChoice& square = mult().choice_for(8192, 8192, 8192);
-  const AutoChoice& rank_k = mult().choice_for(8192, 8192, 512);
+  // choice_for returns a reference to the wrapper's last-choice slot; copy
+  // the first decision before the second call overwrites it.
+  const AutoChoice square = mult().choice_for(8192, 8192, 8192);
+  const AutoChoice rank_k = mult().choice_for(8192, 8192, 512);
   // The decisions need not differ, but the predicted times must reflect
   // the very different work volumes.
   EXPECT_GT(square.predicted_seconds, rank_k.predicted_seconds * 4);

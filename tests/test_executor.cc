@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <tuple>
@@ -413,26 +414,111 @@ TEST(ExecutorConcurrency, ConcurrentBatchesOnSharedExecutor) {
 }
 
 // ---------------------------------------------------------------------------
-// Legacy wrapper: the FmmContext executor cache.
+// Strided batch layout at the executor level (the Engine adds validation on
+// top; here the compiled paths themselves must match the per-item views).
 // ---------------------------------------------------------------------------
 
-TEST(ExecutorCache, ContextReusesAndInvalidates) {
+TEST(ExecutorBatch, StridedLayoutMatchesPerItemViewsBitwise) {
+  const Plan plan = strassen_plan();
+  // 64: item-parallel regime; 67: peel fringes + sequential larger shapes.
+  for (index_t s : {static_cast<index_t>(64), static_cast<index_t>(67)}) {
+    const std::size_t count = 6;
+    const index_t item = s * s;
+    Matrix a(static_cast<index_t>(count) * s, s), c(static_cast<index_t>(count) * s, s);
+    Matrix cw(static_cast<index_t>(count) * s, s);
+    Matrix b = Matrix::random(s, s, 19);
+    a.fill_random(17);
+    c.fill_random(18);
+    std::memcpy(cw.data(), c.data(),
+                static_cast<std::size_t>(count * static_cast<std::size_t>(item)) *
+                    sizeof(double));
+
+    FmmExecutor exec(plan, s, s, s);
+    // Reference: the same executor over per-item views of the same storage.
+    std::vector<BatchItem> items;
+    for (std::size_t i = 0; i < count; ++i) {
+      const index_t off = static_cast<index_t>(i) * item;
+      items.push_back({MatView(cw.data() + off, s, s, s),
+                       ConstMatView(a.data() + off, s, s, s), b.view()});
+    }
+    exec.run_batch(items);
+
+    StridedBatch sb;
+    sb.m = sb.n = sb.k = s;
+    sb.count = count;
+    sb.c = c.data();
+    sb.a = a.data();
+    sb.b = b.data();
+    sb.stride_c = item;
+    sb.stride_a = item;
+    sb.stride_b = 0;  // shared B
+    exec.run_batch_strided(sb);
+
+    EXPECT_EQ(max_abs_diff(c.view(), cw.view()), 0.0) << "s=" << s;
+  }
+}
+
+TEST(ExecutorBatch, StridedDistinctBMatchesRuns) {
+  const Plan plan = strassen_plan();
+  const index_t s = 64;
+  const std::size_t count = 5;
+  const index_t item = s * s;
+  Matrix a(static_cast<index_t>(count) * s, s), b(static_cast<index_t>(count) * s, s);
+  Matrix c(static_cast<index_t>(count) * s, s), cw(static_cast<index_t>(count) * s, s);
+  a.fill_random(31);
+  b.fill_random(32);
+  c.set_zero();
+  cw.set_zero();
+
+  GemmConfig serial;
+  serial.num_threads = 1;
+  FmmExecutor ref_exec(plan, s, s, s, serial);
+  for (std::size_t i = 0; i < count; ++i) {
+    const index_t off = static_cast<index_t>(i) * item;
+    ref_exec.run(MatView(cw.data() + off, s, s, s),
+                 ConstMatView(a.data() + off, s, s, s),
+                 ConstMatView(b.data() + off, s, s, s));
+  }
+
+  FmmExecutor exec(plan, s, s, s);
+  StridedBatch sb;
+  sb.m = sb.n = sb.k = s;
+  sb.count = count;
+  sb.c = c.data();
+  sb.a = a.data();
+  sb.b = b.data();
+  sb.stride_c = item;
+  sb.stride_a = item;
+  sb.stride_b = item;
+  exec.run_batch_strided(sb);
+  EXPECT_EQ(max_abs_diff(c.view(), cw.view()), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Legacy wrapper: fmm_multiply as a shim over the process-default Engine.
+// ---------------------------------------------------------------------------
+
+TEST(ExecutorCache, LegacyShimReusesAndInvalidates) {
+  // FmmContext's single-entry cache moved into the default Engine; the shim
+  // must stay correct across the transitions that used to force recompiles
+  // (variant change, coefficient change at identical dims, config change) —
+  // and, unlike the single entry, alternating plans must both stay cached.
   const index_t s = 48;
   FmmContext ctx;
   test::RandomProblem p = test::random_problem(s, s, s, 61, /*zero_c=*/true);
 
+  const auto before = default_engine().stats();
   fmm_multiply(strassen_plan(), p.c.view(), p.a.view(), p.b.view(), ctx);
-  ASSERT_NE(ctx.exec, nullptr);
-  const FmmExecutor* first = ctx.exec.get();
 
-  // Same plan contents + shape + cfg: cache hit.
+  // Same plan contents + shape + cfg: an executor-cache hit, not a rebuild.
   p.c.set_zero();
   fmm_multiply(strassen_plan(), p.c.view(), p.a.view(), p.b.view(), ctx);
-  EXPECT_EQ(ctx.exec.get(), first);
+  const auto after = default_engine().stats();
+  EXPECT_GE(after.hits, before.hits + 1);
   ref_gemm(p.want.view(), p.a.view(), p.b.view());
   EXPECT_LE(max_abs_diff(p.c.view(), p.want.view()), test::tol_for(s));
 
-  // Different variant: recompile.
+  // Different variant: distinct cache entry, correct result.
   p.c.set_zero();
   p.want.set_zero();
   fmm_multiply(strassen_plan(Variant::kAB), p.c.view(), p.a.view(),
@@ -441,7 +527,7 @@ TEST(ExecutorCache, ContextReusesAndInvalidates) {
   EXPECT_LE(max_abs_diff(p.c.view(), p.want.view()), test::tol_for(s));
 
   // Different coefficients at identical dims (Strassen vs Winograd): the
-  // coefficient fingerprint must force a recompile.
+  // exact coefficient compare must key a distinct executor.
   p.c.set_zero();
   p.want.set_zero();
   fmm_multiply(make_plan({make_winograd()}, Variant::kABC), p.c.view(),
@@ -449,13 +535,28 @@ TEST(ExecutorCache, ContextReusesAndInvalidates) {
   ref_gemm(p.want.view(), p.a.view(), p.b.view());
   EXPECT_LE(max_abs_diff(p.c.view(), p.want.view()), test::tol_for(s));
 
-  // Config change: recompile.
+  // Config change: keys another entry.
   ctx.cfg.num_threads = 2;
   p.c.set_zero();
   p.want.set_zero();
   fmm_multiply(strassen_plan(), p.c.view(), p.a.view(), p.b.view(), ctx);
   ref_gemm(p.want.view(), p.a.view(), p.b.view());
   EXPECT_LE(max_abs_diff(p.c.view(), p.want.view()), test::tol_for(s));
+
+  // The multi-entry cache holds both alternating plans simultaneously —
+  // the scenario the old single-entry FmmContext thrashed on.
+  ctx.cfg.num_threads = 0;
+  const auto h0 = default_engine().stats();
+  for (int rep = 0; rep < 3; ++rep) {
+    p.c.set_zero();
+    fmm_multiply(strassen_plan(), p.c.view(), p.a.view(), p.b.view(), ctx);
+    p.c.set_zero();
+    fmm_multiply(make_plan({make_winograd()}, Variant::kABC), p.c.view(),
+                 p.a.view(), p.b.view(), ctx);
+  }
+  const auto h1 = default_engine().stats();
+  EXPECT_EQ(h1.misses, h0.misses);  // everything already compiled
+  EXPECT_GE(h1.hits, h0.hits + 6);
 }
 
 }  // namespace
