@@ -13,6 +13,8 @@ baseline (usually the latest main-branch artifact):
     GFLOPS / speedup ratios (higher is better).
   * bench_batch_engine: CSV rows matched by (scenario, n, K); the Engine
     serving paths (same / sharedB / strided / mix), same semantics.
+  * bench_async: CSV rows matched by (scenario, G, K); Engine::submit vs
+    the sequential multiply paths (mix / pipeline), same semantics.
 
 Rows or whole sections present in only one artifact are *skipped* (listed
 as "only in baseline/candidate"), never treated as regressions — adding,
@@ -121,6 +123,9 @@ def main():
          table_rates(base_doc, "bench_batch_engine", ("scenario", "n", "K")),
          table_rates(cand_doc, "bench_batch_engine", ("scenario", "n", "K")),
          True),
+        ("bench_async (GFLOPS/ratio, higher is better)",
+         table_rates(base_doc, "bench_async", ("scenario", "G", "K")),
+         table_rates(cand_doc, "bench_async", ("scenario", "G", "K")), True),
     ]
     for title, base, cand, higher in sections:
         if not base and not cand:

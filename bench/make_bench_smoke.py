@@ -46,6 +46,10 @@ def main():
                     help="Engine-path CSV from bench_batch --smoke "
                          "(the batch_engine table: same/sharedB/strided/mix "
                          "scenarios through fmm::Engine)")
+    ap.add_argument("--async-csv",
+                    help="CSV from bench_async --smoke (mix/pipeline "
+                         "scenarios: Engine::submit vs the sequential "
+                         "multiply paths)")
     args = ap.parse_args()
 
     doc = {
@@ -66,6 +70,8 @@ def main():
         doc["bench_batch"] = load_table_csv(args.batch_csv)
     if args.engine_csv:
         doc["bench_batch_engine"] = load_table_csv(args.engine_csv)
+    if args.async_csv:
+        doc["bench_async"] = load_table_csv(args.async_csv)
 
     with open(args.out, "w") as f:
         json.dump(doc, f, indent=2, sort_keys=True)

@@ -6,6 +6,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/util/env.h"
+
 #if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
 #include <cpuid.h>
 #define FMM_ARCH_X86 1
@@ -157,24 +159,39 @@ int count_cpu_list(const std::string& list) {
 
 bool detect_via_sysfs(CacheTopology* topo) {
   bool have_l1 = false, have_l2 = false;
-  for (int index = 0; index < 8; ++index) {
+  // Scan indexN until the entries stop existing rather than hard-capping at
+  // index7: CPUs with more cache levels/instances (or sparse numbering)
+  // would otherwise silently lose their L3.  A directory whose files are
+  // all unreadable counts as absent; a few consecutive absences end the
+  // scan (tolerating numbering gaps), with a generous hard stop as a
+  // backstop against pathological trees.
+  constexpr int kMaxIndices = 64;
+  constexpr int kMaxConsecutiveMissing = 4;
+  int missing_streak = 0;
+  for (int index = 0; index < kMaxIndices; ++index) {
     const std::string base =
         "/sys/devices/system/cpu/cpu0/cache/index" + std::to_string(index);
     std::string level_s, type, size_s;
-    if (!read_sysfs_file(base + "/level", &level_s) ||
-        !read_sysfs_file(base + "/type", &type) ||
-        !read_sysfs_file(base + "/size", &size_s)) {
+    const bool has_level = read_sysfs_file(base + "/level", &level_s);
+    const bool has_type = read_sysfs_file(base + "/type", &type);
+    const bool has_size = read_sysfs_file(base + "/size", &size_s);
+    if (!has_level && !has_type && !has_size) {
+      if (++missing_streak >= kMaxConsecutiveMissing) break;
       continue;
     }
+    missing_streak = 0;
+    if (!has_level || !has_type || !has_size) continue;  // partial entry
     if (type != "Data" && type != "Unified") continue;
-    const int level = std::atoi(level_s.c_str());
+    const int level = static_cast<int>(
+        parse_long_strict(level_s.c_str(), 1, 16).value_or(0));
     const long bytes = parse_sysfs_size(size_s);
-    if (bytes <= 0) continue;
+    if (level <= 0 || bytes <= 0) continue;
     std::string line_s;
     if (level == 1) {
       topo->l1d_bytes = bytes;
       if (read_sysfs_file(base + "/coherency_line_size", &line_s)) {
-        const int line = std::atoi(line_s.c_str());
+        const int line = static_cast<int>(
+            parse_long_strict(line_s.c_str(), 1, 1 << 16).value_or(0));
         if (line > 0) topo->line_bytes = line;
       }
       have_l1 = true;

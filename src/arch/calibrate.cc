@@ -13,6 +13,7 @@
 #include "src/arch/cache_info.h"
 #include "src/gemm/blocking.h"
 #include "src/util/aligned_buffer.h"
+#include "src/util/env.h"
 #include "src/util/timer.h"
 
 namespace fmm::arch {
@@ -111,10 +112,7 @@ double kernel_gflops_hint(const KernelInfo& kern) {
 }
 
 bool calibration_enabled() {
-  const char* v = std::getenv("FMM_CALIBRATE");
-  if (v == nullptr) return true;
-  return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
-           std::strcmp(v, "false") == 0);
+  return parse_env_flag("FMM_CALIBRATE", /*default_value=*/true);
 }
 
 double kernel_gflops(const KernelInfo& kern) {

@@ -6,8 +6,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <limits>
 
 #include "src/gemm/gemm.h"
+#include "src/util/env.h"
 
 namespace fmm {
 namespace {
@@ -200,18 +202,10 @@ void evict_lru(std::vector<Entry>& entries) {
 }
 
 std::size_t env_cache_capacity() {
-  if (const char* env = std::getenv("FMM_ENGINE_CACHE")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && v > 0) {
-      return static_cast<std::size_t>(v);
-    }
-    std::fprintf(stderr,
-                 "fmm: ignoring invalid FMM_ENGINE_CACHE='%s' "
-                 "(want a positive integer)\n",
-                 env);
-  }
-  return Engine::kDefaultCacheCapacity;
+  const std::optional<long> v = parse_env_long(
+      "FMM_ENGINE_CACHE", 1, std::numeric_limits<long>::max());
+  return v.has_value() ? static_cast<std::size_t>(*v)
+                       : Engine::kDefaultCacheCapacity;
 }
 
 }  // namespace
@@ -248,7 +242,8 @@ struct Engine::ChoiceEntry {
 
 Engine::Engine() : Engine(Options{}) {}
 
-Engine::Engine(const Options& opts) : cfg_(opts.config), slots_(opts.slots) {
+Engine::Engine(const Options& opts)
+    : cfg_(opts.config), slots_(opts.slots), workers_(opts.workers) {
   cap_total_ =
       opts.cache_capacity > 0 ? opts.cache_capacity : env_cache_capacity();
   int shards = opts.shards > 0 ? opts.shards : kDefaultShards;
@@ -267,7 +262,25 @@ Engine::Engine(const Options& opts) : cfg_(opts.config), slots_(opts.slots) {
   if (opts.calibrate_now) calibrate();
 }
 
-Engine::~Engine() = default;
+Engine::~Engine() {
+  // Drain in-flight submits before any member is torn down; the pool's own
+  // destructor then joins the (now idle) workers.
+  if (pool_) pool_->wait_all();
+}
+
+TaskPool& Engine::pool() {
+  if (TaskPool* p = pool_ptr_.load(std::memory_order_acquire)) return *p;
+  std::lock_guard<std::mutex> lk(pool_mu_);
+  if (!pool_) {
+    pool_ = std::make_unique<TaskPool>(workers_);
+    pool_ptr_.store(pool_.get(), std::memory_order_release);
+  }
+  return *pool_;
+}
+
+void Engine::wait_all() {
+  if (TaskPool* p = pool_ptr_.load(std::memory_order_acquire)) p->wait_all();
+}
 
 Engine& default_engine() {
   static Engine* engine = new Engine();  // never destroyed: executors may
@@ -415,16 +428,14 @@ ModelParams Engine::params() const {
 }
 
 // ---------------------------------------------------------------------------
-// Multiply entry points.
+// Execution bodies.  Operands are pre-validated by the submit_* layer; these
+// run either on a pool worker (async) or inline (nested calls from tasks).
 // ---------------------------------------------------------------------------
 
-Status Engine::run_single(const Plan* plan, MatView c, ConstMatView a,
-                          ConstMatView b, const GemmConfig& cfg,
-                          std::shared_ptr<const AutoChoice>* executed) {
-  Status st = validate_triple(c, a, b);
-  if (!st.ok()) return st;
+Status Engine::exec_single(const Plan* plan, MatView c, ConstMatView a,
+                           ConstMatView b, const GemmConfig& cfg,
+                           std::shared_ptr<const AutoChoice>* executed) {
   const index_t m = c.rows(), n = c.cols(), k = a.cols();
-
   if (plan == nullptr) {
     std::shared_ptr<const AutoChoice> choice = choice_handle(m, n, k);
     if (executed != nullptr) *executed = choice;
@@ -439,132 +450,27 @@ Status Engine::run_single(const Plan* plan, MatView c, ConstMatView a,
   return Status{};
 }
 
-Status Engine::multiply(const Plan& plan, MatView c, ConstMatView a,
-                        ConstMatView b) {
-  return run_single(&plan, c, a, b, cfg_);
-}
-
-Status Engine::multiply(const Plan& plan, MatView c, ConstMatView a,
-                        ConstMatView b, const GemmConfig& cfg) {
-  return run_single(&plan, c, a, b, cfg);
-}
-
-Status Engine::multiply(MatView c, ConstMatView a, ConstMatView b) {
-  return run_single(nullptr, c, a, b, cfg_);
-}
-
-Status Engine::multiply(MatView c, ConstMatView a, ConstMatView b,
-                        std::shared_ptr<const AutoChoice>* executed) {
-  return run_single(nullptr, c, a, b, cfg_, executed);
-}
-
-Status Engine::multiply(const Plan& plan, const BatchSpec& batch) {
-  return multiply(plan, batch, cfg_);
-}
-
-Status Engine::multiply(const Plan& plan, const BatchSpec& batch,
-                        const GemmConfig& cfg) {
-  if (batch.is_strided()) {
-    return multiply_strided(&plan, batch.strided_desc(), cfg);
-  }
-  return multiply_items(&plan, batch.item_data(), batch.size(), cfg);
-}
-
-Status Engine::multiply(const BatchSpec& batch) {
-  if (batch.is_strided()) {
-    return multiply_strided(nullptr, batch.strided_desc(), cfg_);
-  }
-  return multiply_items(nullptr, batch.item_data(), batch.size(), cfg_);
-}
-
-Status Engine::multiply_items(const Plan* plan, const BatchItem* items,
-                              std::size_t count, const GemmConfig& cfg) {
-  if (count == 0) return Status{};
-  if (items == nullptr) {
-    return Status::error(StatusCode::kInvalidArgument,
-                         "null item array with count > 0");
-  }
-  // Validate the whole batch before any arithmetic: one malformed item
-  // rejects the request with nothing partially written.
-  for (std::size_t i = 0; i < count; ++i) {
-    Status st = validate_triple(items[i].c, items[i].a, items[i].b);
-    if (!st.ok()) {
-      return Status::error(st.code(),
-                           "item " + std::to_string(i) + ": " + st.message());
-    }
-  }
-  Status st = check_distinct_outputs(items, count);
-  if (!st.ok()) return st;
-
-  // Single-shape batches (the common serving case) go straight to one
-  // executor, no grouping pass or item copies.
-  bool uniform = true;
-  for (std::size_t i = 1; uniform && i < count; ++i) {
-    uniform = items[i].c.rows() == items[0].c.rows() &&
-              items[i].c.cols() == items[0].c.cols() &&
-              items[i].a.cols() == items[0].a.cols();
-  }
-
-  struct Group {
-    index_t m, n, k;
-    std::vector<BatchItem> items;
-  };
-  std::vector<Group> groups;
-  if (!uniform) {
-    // Cross-shape: group by (m, n, k), preserving arrival order per group.
-    for (std::size_t i = 0; i < count; ++i) {
-      const index_t m = items[i].c.rows(), n = items[i].c.cols(),
-                    k = items[i].a.cols();
-      Group* g = nullptr;
-      for (Group& cand : groups) {
-        if (cand.m == m && cand.n == n && cand.k == k) {
-          g = &cand;
-          break;
-        }
+Status Engine::exec_group(const Plan* plan, index_t m, index_t n, index_t k,
+                          const BatchItem* items, std::size_t count,
+                          const GemmConfig& cfg) {
+  const Plan* group_plan = plan;
+  std::shared_ptr<const AutoChoice> choice;
+  if (group_plan == nullptr) {
+    choice = choice_handle(m, n, k);
+    if (choice->use_gemm) {
+      for (std::size_t i = 0; i < count; ++i) {
+        gemm(items[i].c, items[i].a, items[i].b, gemm_workspace(), cfg);
       }
-      if (g == nullptr) {
-        groups.push_back({m, n, k, {}});
-        g = &groups.back();
-      }
-      g->items.push_back(items[i]);
+      return Status{};
     }
+    group_plan = &*choice->plan;
   }
-
-  auto run_group = [&](index_t m, index_t n, index_t k,
-                       const BatchItem* gi, std::size_t gcount) {
-    const Plan* group_plan = plan;
-    std::shared_ptr<const AutoChoice> choice;
-    if (group_plan == nullptr) {
-      choice = choice_handle(m, n, k);
-      if (choice->use_gemm) {
-        for (std::size_t i = 0; i < gcount; ++i) {
-          gemm(gi[i].c, gi[i].a, gi[i].b, gemm_workspace(), cfg);
-        }
-        return;
-      }
-      group_plan = &*choice->plan;
-    }
-    executor_for(*group_plan, m, n, k, cfg)->run_batch(gi, gcount);
-  };
-
-  if (uniform) {
-    run_group(items[0].c.rows(), items[0].c.cols(), items[0].a.cols(), items,
-              count);
-  } else {
-    for (const Group& g : groups) {
-      run_group(g.m, g.n, g.k, g.items.data(), g.items.size());
-    }
-  }
+  executor_for(*group_plan, m, n, k, cfg)->run_batch(items, count);
   return Status{};
 }
 
-Status Engine::multiply_strided(const Plan* plan, const StridedBatch& sb_in,
-                                const GemmConfig& cfg) {
-  StridedBatch sb = sb_in;  // validation normalizes the dense defaults
-  Status st = validate_strided(sb);
-  if (!st.ok()) return st;
-  if (sb.count == 0 || sb.m == 0 || sb.n == 0) return Status{};
-
+Status Engine::exec_strided(const Plan* plan, const StridedBatch& sb,
+                            const GemmConfig& cfg) {
   const Plan* batch_plan = plan;
   std::shared_ptr<const AutoChoice> choice;
   if (batch_plan == nullptr) {
@@ -583,6 +489,195 @@ Status Engine::multiply_strided(const Plan* plan, const StridedBatch& sb_in,
   }
   executor_for(*batch_plan, sb.m, sb.n, sb.k, cfg)->run_batch_strided(sb);
   return Status{};
+}
+
+// ---------------------------------------------------------------------------
+// Submit layer: synchronous validation, then queue (or inline on a pool
+// worker — a task blocking on another task's future could deadlock a fully
+// busy pool, so nested calls never wait on the queue).
+// ---------------------------------------------------------------------------
+
+TaskFuture Engine::submit_single(const Plan* plan, MatView c, ConstMatView a,
+                                 ConstMatView b, const GemmConfig& cfg,
+                                 std::shared_ptr<const AutoChoice>* executed) {
+  Status st = validate_triple(c, a, b);
+  if (!st.ok()) return TaskFuture::ready(std::move(st));
+  if (TaskPool::on_worker_thread()) {
+    return TaskFuture::ready(exec_single(plan, c, a, b, cfg, executed));
+  }
+  if (plan == nullptr) {
+    return pool().submit([this, c, a, b, cfg, executed] {
+      return exec_single(nullptr, c, a, b, cfg, executed);
+    });
+  }
+  // The plan is copied: the caller's need not outlive an async submit.
+  return pool().submit([this, p = *plan, c, a, b, cfg, executed] {
+    return exec_single(&p, c, a, b, cfg, executed);
+  });
+}
+
+TaskFuture Engine::submit_batch(const Plan* plan, const BatchSpec& batch,
+                                const GemmConfig& cfg) {
+  std::shared_ptr<const Plan> plan_copy;
+  if (plan != nullptr) plan_copy = std::make_shared<const Plan>(*plan);
+  const Plan* plan_ptr = plan_copy.get();
+
+  if (batch.is_strided()) {
+    StridedBatch sb = batch.strided_desc();
+    Status st = validate_strided(sb);  // normalizes the dense defaults
+    if (!st.ok()) return TaskFuture::ready(std::move(st));
+    if (sb.count == 0 || sb.m == 0 || sb.n == 0) {
+      return TaskFuture::ready(Status{});
+    }
+    if (TaskPool::on_worker_thread()) {
+      return TaskFuture::ready(exec_strided(plan_ptr, sb, cfg));
+    }
+    return pool().submit([this, plan_copy, sb, cfg] {
+      return exec_strided(plan_copy.get(), sb, cfg);
+    });
+  }
+
+  const BatchItem* items = batch.item_data();
+  const std::size_t count = batch.size();
+  if (count == 0) return TaskFuture::ready(Status{});
+  if (items == nullptr) {
+    return TaskFuture::ready(Status::error(StatusCode::kInvalidArgument,
+                                           "null item array with count > 0"));
+  }
+  // Validate the whole batch before any arithmetic: one malformed item
+  // rejects the request with nothing queued and nothing partially written.
+  for (std::size_t i = 0; i < count; ++i) {
+    Status st = validate_triple(items[i].c, items[i].a, items[i].b);
+    if (!st.ok()) {
+      return TaskFuture::ready(Status::error(
+          st.code(), "item " + std::to_string(i) + ": " + st.message()));
+    }
+  }
+  Status st = check_distinct_outputs(items, count);
+  if (!st.ok()) return TaskFuture::ready(std::move(st));
+
+  // Group by (m, n, k), preserving arrival order per group.  The items are
+  // copied: the caller's array need not outlive an async submit.
+  struct Group {
+    index_t m, n, k;
+    std::vector<BatchItem> items;
+  };
+  std::vector<Group> groups;
+  for (std::size_t i = 0; i < count; ++i) {
+    const index_t m = items[i].c.rows(), n = items[i].c.cols(),
+                  k = items[i].a.cols();
+    Group* g = nullptr;
+    for (Group& cand : groups) {
+      if (cand.m == m && cand.n == n && cand.k == k) {
+        g = &cand;
+        break;
+      }
+    }
+    if (g == nullptr) {
+      groups.push_back({m, n, k, {}});
+      g = &groups.back();
+    }
+    g->items.push_back(items[i]);
+  }
+
+  if (TaskPool::on_worker_thread()) {
+    for (const Group& g : groups) {
+      Status gs =
+          exec_group(plan_ptr, g.m, g.n, g.k, g.items.data(), g.items.size(), cfg);
+      if (!gs.ok()) return TaskFuture::ready(std::move(gs));
+    }
+    return TaskFuture::ready(Status{});
+  }
+
+  if (groups.size() == 1) {
+    return pool().submit([this, plan_copy, g = std::move(groups.front()), cfg] {
+      return exec_group(plan_copy.get(), g.m, g.n, g.k, g.items.data(),
+                        g.items.size(), cfg);
+    });
+  }
+
+  // Cross-shape fan-out: one task per shape group (each hits its own cached
+  // executor), plus a no-op finalizer depending on all of them whose future
+  // is the batch's.  The tag machinery is the aggregation — no shared
+  // counter, and the finalizer resolves only after every group finished.
+  TaskOptions fin_opts;
+  fin_opts.deps.reserve(groups.size());
+  for (Group& g : groups) {
+    TaskOptions opts;
+    opts.tag = pool().fresh_tag();
+    fin_opts.deps.push_back(opts.tag);
+    pool().submit(
+        [this, plan_copy, g = std::move(g), cfg] {
+          return exec_group(plan_copy.get(), g.m, g.n, g.k, g.items.data(),
+                            g.items.size(), cfg);
+        },
+        std::move(opts));
+  }
+  return pool().submit([] { return Status{}; }, std::move(fin_opts));
+}
+
+// ---------------------------------------------------------------------------
+// Public entry points: multiply is submit + wait (one execution path).
+// ---------------------------------------------------------------------------
+
+Status Engine::multiply(const Plan& plan, MatView c, ConstMatView a,
+                        ConstMatView b) {
+  return submit_single(&plan, c, a, b, cfg_, nullptr).status();
+}
+
+Status Engine::multiply(const Plan& plan, MatView c, ConstMatView a,
+                        ConstMatView b, const GemmConfig& cfg) {
+  return submit_single(&plan, c, a, b, cfg, nullptr).status();
+}
+
+Status Engine::multiply(MatView c, ConstMatView a, ConstMatView b) {
+  return submit_single(nullptr, c, a, b, cfg_, nullptr).status();
+}
+
+Status Engine::multiply(MatView c, ConstMatView a, ConstMatView b,
+                        std::shared_ptr<const AutoChoice>* executed) {
+  // `executed` stays valid for the task's lifetime because this call waits.
+  return submit_single(nullptr, c, a, b, cfg_, executed).status();
+}
+
+Status Engine::multiply(const Plan& plan, const BatchSpec& batch) {
+  return submit_batch(&plan, batch, cfg_).status();
+}
+
+Status Engine::multiply(const Plan& plan, const BatchSpec& batch,
+                        const GemmConfig& cfg) {
+  return submit_batch(&plan, batch, cfg).status();
+}
+
+Status Engine::multiply(const BatchSpec& batch) {
+  return submit_batch(nullptr, batch, cfg_).status();
+}
+
+TaskFuture Engine::submit(const Plan& plan, MatView c, ConstMatView a,
+                          ConstMatView b) {
+  return submit_single(&plan, c, a, b, cfg_, nullptr);
+}
+
+TaskFuture Engine::submit(const Plan& plan, MatView c, ConstMatView a,
+                          ConstMatView b, const GemmConfig& cfg) {
+  return submit_single(&plan, c, a, b, cfg, nullptr);
+}
+
+TaskFuture Engine::submit(MatView c, ConstMatView a, ConstMatView b) {
+  return submit_single(nullptr, c, a, b, cfg_, nullptr);
+}
+
+TaskFuture Engine::submit(const Plan& plan, const BatchSpec& batch) {
+  return submit_batch(&plan, batch, cfg_);
+}
+
+TaskFuture Engine::submit(const Plan& plan, const BatchSpec& batch,
+                          const GemmConfig& cfg) {
+  return submit_batch(&plan, batch, cfg);
+}
+
+TaskFuture Engine::submit(const BatchSpec& batch) {
+  return submit_batch(nullptr, batch, cfg_);
 }
 
 // ---------------------------------------------------------------------------

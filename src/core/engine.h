@@ -32,6 +32,17 @@
 //     a malformed request.  Validation runs before any arithmetic — a batch
 //     with one bad item computes nothing.
 //
+//   * an **async surface**: submit(...) mirrors every multiply(...) form
+//     and returns a TaskFuture<Status> immediately (validation still runs
+//     synchronously — a malformed request resolves before any task is
+//     queued).  Work runs on the engine's TaskPool (task_pool.h); a
+//     cross-shape item batch fans out as one task per shape group, so the
+//     groups that ran sequentially in multiply() execute concurrently.
+//     multiply() itself is submit + wait — one execution path — except
+//     when called *from* a pool worker (a task body doing a nested
+//     synchronous multiply), which executes inline: a task blocking on
+//     another task's future could deadlock a fully busy pool.
+//
 // Thread-safety: every public method may be called from any number of host
 // threads concurrently.  Executor run() concurrency is the slot-pool story
 // from executor.h; the caches are sharded/mutexed here.
@@ -41,6 +52,8 @@
 //   engine.multiply(C, A, B);                         // model-selected
 //   engine.multiply(plan, BatchSpec::items(items));   // batch (any shapes)
 //   engine.multiply(plan, BatchSpec::strided(sb));    // strided layout
+//   TaskFuture f = engine.submit(plan, C, A, B);      // async; f.status()
+//   engine.wait_all();                                // drain every submit
 //
 // fmm_multiply (driver.h) and AutoMultiplier (model/auto.h) survive as
 // thin deprecated shims over a process-default Engine / an owned Engine.
@@ -55,6 +68,7 @@
 #include <vector>
 
 #include "src/core/executor.h"
+#include "src/core/task_pool.h"
 #include "src/model/selector.h"
 #include "src/util/status.h"
 
@@ -129,6 +143,13 @@ class Engine {
     // Workspace slots per compiled executor (FmmExecutor's `slots`); 0 =
     // the executor default (its resolved thread count).
     int slots = 0;
+    // Worker threads for the async submit path (multiply() is submit +
+    // wait, so these serve the synchronous calls too).  0 = hardware
+    // concurrency.  The pool is created lazily on first use; each task may
+    // additionally open its own OpenMP region of config.num_threads
+    // threads, so serving engines that fan out batches usually pair
+    // several workers with num_threads = 1.
+    int workers = 0;
     // Run the ~1 s model calibration in the constructor.  When false the
     // auto path uses literature-default parameters until calibrate().
     bool calibrate_now = false;
@@ -182,6 +203,28 @@ class Engine {
   // Auto-selected per shape group.
   Status multiply(const BatchSpec& batch);
 
+  // --- Async surface ------------------------------------------------------
+  // Every submit mirrors a multiply overload: validation runs now (an
+  // invalid request returns an already-resolved future), the arithmetic
+  // runs on the engine's task pool, and the future resolves when it
+  // finishes.  Operand buffers must stay alive and unmodified until then;
+  // the Plan and any item array are copied, so *they* need not outlive the
+  // call.  A cross-shape item batch fans out one task per shape group and
+  // the returned future resolves when the whole batch is done.  Results
+  // are bitwise identical to the synchronous forms.
+  TaskFuture submit(const Plan& plan, MatView c, ConstMatView a,
+                    ConstMatView b);
+  TaskFuture submit(const Plan& plan, MatView c, ConstMatView a,
+                    ConstMatView b, const GemmConfig& cfg);
+  TaskFuture submit(MatView c, ConstMatView a, ConstMatView b);
+  TaskFuture submit(const Plan& plan, const BatchSpec& batch);
+  TaskFuture submit(const Plan& plan, const BatchSpec& batch,
+                    const GemmConfig& cfg);
+  TaskFuture submit(const BatchSpec& batch);
+  // Blocks until every task this engine has submitted (from any thread)
+  // has finished.
+  void wait_all();
+
   // --- Auto-path inspection / control -------------------------------------
   // The decision multiply() would take for a shape (computed and cached on
   // first use).  Returned by value: the underlying cache entry may be
@@ -213,22 +256,37 @@ class Engine {
   std::shared_ptr<FmmExecutor> executor_for(const Plan& plan, index_t m,
                                             index_t n, index_t k,
                                             const GemmConfig& cfg);
-  Status multiply_items(const Plan* plan, const BatchItem* items,
-                        std::size_t count, const GemmConfig& cfg);
-  Status multiply_strided(const Plan* plan, const StridedBatch& sb,
+  // submit_* validate, then either queue the work or (on a pool worker
+  // thread) run exec_* inline; every multiply/submit overload lands here.
+  TaskFuture submit_single(const Plan* plan, MatView c, ConstMatView a,
+                           ConstMatView b, const GemmConfig& cfg,
+                           std::shared_ptr<const AutoChoice>* executed);
+  TaskFuture submit_batch(const Plan* plan, const BatchSpec& batch,
                           const GemmConfig& cfg);
-  Status run_single(const Plan* plan, MatView c, ConstMatView a,
-                    ConstMatView b, const GemmConfig& cfg,
-                    std::shared_ptr<const AutoChoice>* executed = nullptr);
+  Status exec_single(const Plan* plan, MatView c, ConstMatView a,
+                     ConstMatView b, const GemmConfig& cfg,
+                     std::shared_ptr<const AutoChoice>* executed);
+  Status exec_group(const Plan* plan, index_t m, index_t n, index_t k,
+                    const BatchItem* items, std::size_t count,
+                    const GemmConfig& cfg);
+  Status exec_strided(const Plan* plan, const StridedBatch& sb,
+                      const GemmConfig& cfg);
+  TaskPool& pool();
   void ensure_plan_space_locked();
 
   GemmConfig cfg_;
   int slots_ = 0;
+  int workers_ = 0;
   std::size_t cap_total_ = 0;      // executor entries, whole engine
   std::size_t cap_per_shard_ = 0;  // executor entries per shard
   std::size_t choice_cap_ = 0;
 
   std::vector<std::unique_ptr<Shard>> shards_;
+  // The async pool, created on first use (double-checked through
+  // pool_ptr_ so the hot path is one acquire load).
+  std::mutex pool_mu_;
+  std::unique_ptr<TaskPool> pool_;
+  std::atomic<TaskPool*> pool_ptr_{nullptr};
   std::atomic<std::uint64_t> tick_{1};
   std::atomic<std::uint64_t> hits_{0}, misses_{0}, evictions_{0};
 

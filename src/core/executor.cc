@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <thread>
 
 #include "src/gemm/kernel.h"
 #include "src/gemm/pack.h"
@@ -417,15 +418,23 @@ void FmmExecutor::run_batch_shared_b(const BatchAccess& acc,
   double* bpack = shared_b_.data();
 
   Slot* mine = acquire_slot();
-  std::atomic<int> next_r{0};
+  // Packing overlaps compute: thread 0 packs the per-r B~ panels *in r
+  // order*, publishing each through panels_ready (release), then joins the
+  // item loop; the other threads start consuming items immediately and
+  // wait (acquire) only for the specific panel their item's r loop has
+  // reached.  Each item still walks r = 0..R-1 in order — the per-item
+  // accumulation order is what makes results bitwise identical to run() —
+  // so publishing panels in that same order means a compute thread is only
+  // ever gated on the panel the packer is currently producing.  With one
+  // thread this degenerates to pack-everything-then-compute.
+  std::atomic<int> panels_ready{0};
   std::atomic<std::int64_t> next_item{0};
   const std::int64_t total = static_cast<std::int64_t>(count);
   FMM_PRAGMA_OMP(parallel num_threads(nth_))
   {
     Slot* s = omp_get_thread_num() == 0 ? mine : try_acquire_slot();
-    // Phase 1: pack B~_r = Σ_j v_{j,r} B_j once per r, shared by all items.
-    if (s != nullptr) {
-      for (int r = next_r.fetch_add(1); r < R; r = next_r.fetch_add(1)) {
+    if (omp_get_thread_num() == 0) {
+      for (int r = 0; r < R; ++r) {
         const int nb = b_ofs_[r + 1] - b_ofs_[r];
         for (int j = 0; j < nb; ++j) {
           const TermRef& t = b_refs_[static_cast<std::size_t>(b_ofs_[r] + j)];
@@ -434,16 +443,14 @@ void FmmExecutor::run_batch_shared_b(const BatchAccess& acc,
         }
         pack_b(s->b_terms.data(), nb, ldb, ks_, ns_, nr,
                bpack + r * shared_b_panel_elems_);
+        panels_ready.store(r + 1, std::memory_order_release);
       }
     }
-    // Every team thread reaches the barrier (the leases don't), publishing
-    // the packed panels to the item phase.
-    FMM_PRAGMA_OMP(barrier)
-    // Phase 2: items, each serial against the prepacked panels.
     if (s != nullptr) {
       for (std::int64_t i = next_item.fetch_add(1); i < total;
            i = next_item.fetch_add(1)) {
-        run_item_prepacked(*s, acc.at(static_cast<std::size_t>(i)));
+        run_item_prepacked(*s, acc.at(static_cast<std::size_t>(i)),
+                           panels_ready);
       }
       if (s != mine) release_slot(s);
     }
@@ -451,11 +458,13 @@ void FmmExecutor::run_batch_shared_b(const BatchAccess& acc,
   release_slot(mine);
 }
 
-// One item of a shared-B batch: the serial ABC interior with the per-r B~
-// panels already packed.  Loop structure and arithmetic order match the
-// serial fused driver exactly (single jc/pc block), so results are bitwise
-// identical to run().
-void FmmExecutor::run_item_prepacked(Slot& slot, const BatchItem& item) {
+// One item of a shared-B batch: the serial ABC interior against the per-r
+// B~ panels, gated on `panels_ready` so it can start before the packer
+// finishes.  Loop structure and arithmetic order match the serial fused
+// driver exactly (single jc/pc block), so results are bitwise identical to
+// run().
+void FmmExecutor::run_item_prepacked(Slot& slot, const BatchItem& item,
+                                     const std::atomic<int>& panels_ready) {
   assert(item.c.rows() == m_ && item.c.cols() == n_ && item.a.cols() == k_);
   const index_t lda = item.a.stride(), ldc = item.c.stride();
   const int mr = bp_.mr, nr = bp_.nr;
@@ -468,6 +477,12 @@ void FmmExecutor::run_item_prepacked(Slot& slot, const BatchItem& item) {
 
   const int R = plan_.R();
   for (int r = 0; r < R; ++r) {
+    // The acquire pairs with the packer's release: once panels_ready > r,
+    // panel r's bytes are visible.  The wait is bounded by one panel pack
+    // (panels publish in the same r order this loop consumes).
+    while (panels_ready.load(std::memory_order_acquire) <= r) {
+      std::this_thread::yield();
+    }
     const int na = a_ofs_[r + 1] - a_ofs_[r];
     const int nc = c_ofs_[r + 1] - c_ofs_[r];
     for (int i = 0; i < na; ++i) {

@@ -33,6 +33,7 @@
 // every item also shares one B operand, the per-r packed B~ panels are
 // built once and reused across all items.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <memory>
@@ -179,8 +180,12 @@ class FmmExecutor {
                    const GemmConfig& cfg);
   void run_batch_impl(const BatchAccess& acc, std::size_t count,
                       bool shared_b);
+  // Shared-B fast path with pack/compute overlap: one thread packs the
+  // per-r B~ panels in order, publishing each through an atomic watermark;
+  // the others consume items, gating each item's r step on that watermark.
   void run_batch_shared_b(const BatchAccess& acc, std::size_t count);
-  void run_item_prepacked(Slot& slot, const BatchItem& item);
+  void run_item_prepacked(Slot& slot, const BatchItem& item,
+                          const std::atomic<int>& panels_ready);
 
   Plan plan_;
   index_t m_ = 0, n_ = 0, k_ = 0;

@@ -1,6 +1,8 @@
 #include "src/core/task_driver.h"
 
 #include <cassert>
+#include <deque>
+#include <mutex>
 #include <vector>
 
 #include "src/core/driver.h"
@@ -47,9 +49,11 @@ void fmm_tasks_interior(const Plan& plan, MatView c, ConstMatView a,
   }
 
   // One lock per C block serializes concurrent += from different tasks.
-  std::vector<omp_lock_t> locks(static_cast<std::size_t>(alg.rows_w()));
-  for (auto& l : locks) omp_init_lock(&l);
+  std::deque<std::mutex> locks(static_cast<std::size_t>(alg.rows_w()));
 
+  if (!ctx.pool || ctx.pool->workers() != nth) {
+    ctx.pool = std::make_unique<TaskPool>(nth);
+  }
   ctx.workers.resize(static_cast<std::size_t>(nth));
   for (auto& w : ctx.workers) {
     w.ta = Matrix(ms, ks);
@@ -60,47 +64,40 @@ void fmm_tasks_interior(const Plan& plan, MatView c, ConstMatView a,
   GemmConfig serial_cfg = run_cfg;
   serial_cfg.num_threads = 1;
 
-  FMM_PRAGMA_OMP(parallel num_threads(nth))
-  FMM_PRAGMA_OMP(single)
-  {
-    for (int r = 0; r < alg.R; ++r) {
-      FMM_PRAGMA_OMP(task firstprivate(r))
-      {
-        TaskContext::Worker& w =
-            ctx.workers[static_cast<std::size_t>(omp_get_thread_num())];
-        std::vector<LinTerm> a_terms, b_terms;
-        for (int i = 0; i < alg.rows_u(); ++i) {
-          if (alg.u(i, r) != 0.0) a_terms.push_back({a_base[i], alg.u(i, r)});
-        }
-        for (int j = 0; j < alg.rows_v(); ++j) {
-          if (alg.v(j, r) != 0.0) b_terms.push_back({b_base[j], alg.v(j, r)});
-        }
-        lin_comb_serial(a_terms, a.stride(), ms, ks, w.ta.view());
-        lin_comb_serial(b_terms, b.stride(), ks, ns, w.tb.view());
-        LinTerm ta{w.ta.data(), 1.0};
-        LinTerm tb{w.tb.data(), 1.0};
-        OutTerm mo{w.m.data(), 1.0};
-        fused_multiply(ms, ns, ks, &ta, 1, w.ta.stride(), &tb, 1,
-                       w.tb.stride(), &mo, 1, w.m.stride(), w.gemm_ws,
-                       serial_cfg, /*accumulate=*/false);
-        for (int p = 0; p < alg.rows_w(); ++p) {
-          const double wc = alg.w(p, r);
-          if (wc == 0.0) continue;
-          omp_set_lock(&locks[static_cast<std::size_t>(p)]);
-          double* dst = c_base[p];
-          const double* src = w.m.data();
-          for (index_t i = 0; i < ms; ++i) {
-            double* drow = dst + i * c.stride();
-            const double* srow = src + i * w.m.stride();
-            for (index_t j = 0; j < ns; ++j) drow[j] += wc * srow[j];
-          }
-          omp_unset_lock(&locks[static_cast<std::size_t>(p)]);
+  for (int r = 0; r < alg.R; ++r) {
+    ctx.pool->submit([&, r] {
+      TaskContext::Worker& w = ctx.workers[static_cast<std::size_t>(
+          TaskPool::current_worker_index())];
+      std::vector<LinTerm> a_terms, b_terms;
+      for (int i = 0; i < alg.rows_u(); ++i) {
+        if (alg.u(i, r) != 0.0) a_terms.push_back({a_base[i], alg.u(i, r)});
+      }
+      for (int j = 0; j < alg.rows_v(); ++j) {
+        if (alg.v(j, r) != 0.0) b_terms.push_back({b_base[j], alg.v(j, r)});
+      }
+      lin_comb_serial(a_terms, a.stride(), ms, ks, w.ta.view());
+      lin_comb_serial(b_terms, b.stride(), ks, ns, w.tb.view());
+      LinTerm ta{w.ta.data(), 1.0};
+      LinTerm tb{w.tb.data(), 1.0};
+      OutTerm mo{w.m.data(), 1.0};
+      fused_multiply(ms, ns, ks, &ta, 1, w.ta.stride(), &tb, 1,
+                     w.tb.stride(), &mo, 1, w.m.stride(), w.gemm_ws,
+                     serial_cfg, /*accumulate=*/false);
+      for (int p = 0; p < alg.rows_w(); ++p) {
+        const double wc = alg.w(p, r);
+        if (wc == 0.0) continue;
+        std::lock_guard<std::mutex> lk(locks[static_cast<std::size_t>(p)]);
+        double* dst = c_base[p];
+        const double* src = w.m.data();
+        for (index_t i = 0; i < ms; ++i) {
+          double* drow = dst + i * c.stride();
+          const double* srow = src + i * w.m.stride();
+          for (index_t j = 0; j < ns; ++j) drow[j] += wc * srow[j];
         }
       }
-    }
-  }  // implicit barrier: all tasks done
-
-  for (auto& l : locks) omp_destroy_lock(&l);
+    });
+  }
+  ctx.pool->wait_all();  // every reference captured above outlives the tasks
 }
 
 }  // namespace

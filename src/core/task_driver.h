@@ -8,30 +8,39 @@
 // single-threaded GEMM, and scatters into the shared C blocks under
 // per-block locks.
 //
-// This driver exists to *measure* the trade-off the paper predicts
-// (bench/bench_ablation_parallel): task parallelism needs one M_r-sized
-// temporary per worker (workspace grows with thread count), loses the
-// packing fusion for C, and contends on the C-block locks, but needs no
-// barriers and can win when R >> cores and submatrices are small.
+// Rebased onto the shared TaskPool runtime (task_pool.h) — the same
+// scheduler that serves Engine::submit — instead of OpenMP task regions:
+// one runtime to measure, and the measured scheme matches what the serving
+// path actually runs.  This driver exists to *measure* the trade-off the
+// paper predicts (bench/bench_ablation_parallel): task parallelism needs
+// one M_r-sized temporary per worker (workspace grows with thread count),
+// loses the packing fusion for C, and contends on the C-block locks, but
+// needs no barriers and can win when R >> cores and submatrices are small.
+
+#include <memory>
 
 #include "src/core/plan.h"
+#include "src/core/task_pool.h"
 #include "src/gemm/gemm.h"
 #include "src/linalg/matrix.h"
 
 namespace fmm {
 
-// Reusable per-thread buffers for task execution.
+// Reusable per-worker buffers and the task pool they run on.
 struct TaskContext {
   GemmConfig cfg;  // num_threads = task worker count (0 = all cores)
-  // Per-worker workspaces, sized lazily per plan/problem.
+  // Per-worker workspaces, sized lazily per plan/problem and indexed by
+  // TaskPool::current_worker_index().
   struct Worker {
     GemmWorkspace gemm_ws;
     Matrix ta, tb, m;
   };
   std::vector<Worker> workers;
+  // Created on first use, recreated when the thread count changes.
+  std::unique_ptr<TaskPool> pool;
 };
 
-// C += A * B with one OpenMP task per product M_r.  Results are correct
+// C += A * B with one pool task per product M_r.  Results are correct
 // for any sizes (dynamic peeling as in fmm_multiply) but, unlike the
 // data-parallel driver, not bitwise reproducible across thread counts:
 // the C_p accumulation order depends on the task schedule.

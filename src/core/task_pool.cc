@@ -1,0 +1,274 @@
+#include "src/core/task_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <unordered_map>
+
+namespace fmm {
+namespace {
+
+thread_local const TaskPool* tls_pool = nullptr;
+thread_local int tls_worker_index = -1;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Future state: one mutex/cv pair per task keeps resolution independent of
+// the pool lock (a waiter never contends with the scheduler).
+// ---------------------------------------------------------------------------
+
+struct TaskFuture::State {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Status status;
+
+  void resolve(Status st) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      assert(!done && "task future resolved twice");
+      status = std::move(st);
+      done = true;
+    }
+    cv.notify_all();
+  }
+};
+
+bool TaskFuture::done() const {
+  assert(valid());
+  std::lock_guard<std::mutex> lk(state_->mu);
+  return state_->done;
+}
+
+void TaskFuture::wait() const {
+  assert(valid());
+  std::unique_lock<std::mutex> lk(state_->mu);
+  state_->cv.wait(lk, [&] { return state_->done; });
+}
+
+const Status& TaskFuture::status() const {
+  wait();
+  return state_->status;
+}
+
+TaskFuture TaskFuture::ready(Status status) {
+  TaskFuture f;
+  f.state_ = std::make_shared<State>();
+  f.state_->status = std::move(status);
+  f.state_->done = true;
+  return f;
+}
+
+// ---------------------------------------------------------------------------
+// Pool internals.
+// ---------------------------------------------------------------------------
+
+struct TaskPool::Task {
+  std::function<Status()> fn;
+  std::function<void(const Status&)> on_complete;
+  TaskTag tag = kNoTag;
+  int priority = 0;
+  std::uint64_t seq = 0;  // FIFO tie-break within a priority level
+  int remaining_deps = 0;
+  std::shared_ptr<TaskFuture::State> state;
+};
+
+struct TaskPool::TagState {
+  bool done = false;
+  // Tasks blocked on this tag (each also counted in its remaining_deps).
+  std::vector<std::shared_ptr<Task>> waiters;
+};
+
+struct TaskPool::Impl {
+  std::mutex mu;
+  std::condition_variable work_cv;  // workers: ready task or stop
+  std::condition_variable done_cv;  // wait_all / wait(tag)
+  bool stop = false;
+  std::uint64_t next_seq = 0;
+  std::uint64_t outstanding = 0;  // submitted, not yet finished/cancelled
+  std::vector<std::shared_ptr<Task>> ready;  // max-heap (priority, FIFO)
+  std::unordered_map<TaskTag, TagState> tags;
+  std::atomic<TaskTag> next_fresh{kNoTag - 1};
+
+  // Max-heap order: highest priority first, earliest submission within.
+  static bool heap_less(const std::shared_ptr<Task>& a,
+                        const std::shared_ptr<Task>& b) {
+    if (a->priority != b->priority) return a->priority < b->priority;
+    return a->seq > b->seq;
+  }
+
+  void push_ready_locked(std::shared_ptr<Task> t) {
+    ready.push_back(std::move(t));
+    std::push_heap(ready.begin(), ready.end(), heap_less);
+  }
+
+  std::shared_ptr<Task> pop_ready_locked() {
+    std::pop_heap(ready.begin(), ready.end(), heap_less);
+    std::shared_ptr<Task> t = std::move(ready.back());
+    ready.pop_back();
+    return t;
+  }
+};
+
+TaskPool::TaskPool(int workers) : impl_(std::make_unique<Impl>()) {
+  int n = workers > 0 ? workers
+                      : static_cast<int>(std::thread::hardware_concurrency());
+  n = std::max(n, 1);
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  wait_all();
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+bool TaskPool::on_worker_thread() { return tls_pool != nullptr; }
+
+int TaskPool::current_worker_index() { return tls_worker_index; }
+
+TaskTag TaskPool::fresh_tag() {
+  return impl_->next_fresh.fetch_sub(1, std::memory_order_relaxed);
+}
+
+TaskFuture TaskPool::submit_impl(std::function<Status()> fn,
+                                 TaskOptions opts) {
+  auto task = std::make_shared<Task>();
+  task->fn = std::move(fn);
+  task->on_complete = std::move(opts.on_complete);
+  task->tag = opts.tag;
+  task->priority = opts.priority;
+  task->state = std::make_shared<TaskFuture::State>();
+  TaskFuture future;
+  future.state_ = task->state;
+
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    task->seq = impl_->next_seq++;
+    ++impl_->outstanding;
+    for (TaskTag dep : opts.deps) {
+      TagState& ts = impl_->tags[dep];  // created on first reference
+      if (!ts.done) {
+        ts.waiters.push_back(task);
+        ++task->remaining_deps;
+      }
+    }
+    if (task->remaining_deps == 0) impl_->push_ready_locked(std::move(task));
+  }
+  impl_->work_cv.notify_one();
+  return future;
+}
+
+void TaskPool::worker_loop(int index) {
+  tls_pool = this;
+  tls_worker_index = index;
+  std::unique_lock<std::mutex> lk(impl_->mu);
+  for (;;) {
+    impl_->work_cv.wait(lk, [&] { return impl_->stop || !impl_->ready.empty(); });
+    if (impl_->ready.empty()) {
+      if (impl_->stop) return;
+      continue;
+    }
+    std::shared_ptr<Task> task = impl_->pop_ready_locked();
+    lk.unlock();
+
+    Status status;
+    try {
+      status = task->fn();
+    } catch (const std::exception& e) {
+      status = Status::error(StatusCode::kInvalidArgument,
+                             std::string("task body threw: ") + e.what());
+    } catch (...) {
+      status = Status::error(StatusCode::kInvalidArgument,
+                             "task body threw a non-std exception");
+    }
+    task->fn = nullptr;  // release captures before dependents observe done
+
+    // The future resolves *before* the tag completes: a dependent task
+    // (released by the tag) always observes its dependency's future done.
+    // The callback runs *after* successors are released, so a callback
+    // that blocks cannot stall the graph.
+    task->state->resolve(status);
+
+    lk.lock();
+    if (task->tag != kNoTag) {
+      TagState& ts = impl_->tags[task->tag];
+      assert(!ts.done && "two tasks completed the same tag");
+      ts.done = true;
+      bool released = false;
+      for (std::shared_ptr<Task>& w : ts.waiters) {
+        if (--w->remaining_deps == 0) {
+          impl_->push_ready_locked(std::move(w));
+          released = true;
+        }
+      }
+      ts.waiters.clear();
+      if (released) impl_->work_cv.notify_all();
+    }
+    lk.unlock();
+
+    if (task->on_complete) task->on_complete(status);
+
+    lk.lock();
+    --impl_->outstanding;
+    impl_->done_cv.notify_all();
+  }
+}
+
+void TaskPool::wait_all() {
+  // A worker draining its own pool inside a task would deadlock (it can
+  // never finish the task it is running); the engine never does this, and
+  // the assert catches anyone who tries.
+  assert(tls_pool != this && "wait_all() from a task of the same pool");
+  std::unique_lock<std::mutex> lk(impl_->mu);
+  impl_->done_cv.wait(lk, [&] { return impl_->outstanding == 0; });
+}
+
+void TaskPool::wait(TaskTag tag) {
+  assert(tls_pool != this && "wait(tag) from a task of the same pool");
+  std::unique_lock<std::mutex> lk(impl_->mu);
+  impl_->done_cv.wait(lk, [&] {
+    auto it = impl_->tags.find(tag);
+    return it != impl_->tags.end() && it->second.done;
+  });
+}
+
+void TaskPool::cancel_pending() {
+  std::vector<std::shared_ptr<Task>> cancelled;
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    for (std::shared_ptr<Task>& t : impl_->ready) {
+      cancelled.push_back(std::move(t));
+    }
+    impl_->ready.clear();
+    for (auto& [tag, ts] : impl_->tags) {
+      for (std::shared_ptr<Task>& t : ts.waiters) {
+        cancelled.push_back(std::move(t));
+      }
+      ts.waiters.clear();
+    }
+    // A task blocked on several tags sat in several waiter lists; resolve
+    // (and count) it once.
+    std::sort(cancelled.begin(), cancelled.end());
+    cancelled.erase(std::unique(cancelled.begin(), cancelled.end()),
+                    cancelled.end());
+    impl_->outstanding -= cancelled.size();
+  }
+  impl_->done_cv.notify_all();
+  for (const std::shared_ptr<Task>& t : cancelled) {
+    t->state->resolve(Status::error(StatusCode::kCancelled, "task cancelled"));
+  }
+}
+
+}  // namespace fmm

@@ -1,25 +1,32 @@
 #include "src/gemm/blocking.h"
 
-#include <cstdlib>
+#include "src/util/env.h"
 
 namespace fmm {
 namespace {
 
-// Largest multiple of `step` that is <= value, clamped to [lo, hi] (both
-// multiples of step).
+// Largest multiple of `step` that is <= value, clamped to [lo, hi].  The
+// result is always a multiple of `step`: the bounds are snapped onto the
+// step grid first (lo up, hi down), because clamping a floored value to a
+// raw `lo` would return lo itself — which need not be a multiple — whenever
+// the derived value lands below it (tiny mocked topologies hit this and
+// would hand the pack/micro-kernel layer an mc or nc off the register-tile
+// grid).  hi is kept >= the snapped lo so degenerate bounds still yield a
+// grid point.
 index_t floor_multiple_clamped(double value, index_t step, index_t lo,
                                index_t hi) {
   index_t v = static_cast<index_t>(value);
   v = (v / step) * step;
+  lo = round_up(lo, step);
+  hi = std::max((hi / step) * step, lo);
   return std::clamp(v, lo, hi);
 }
 
-// A positive FMM_MC/FMM_KC/FMM_NC value, or 0 when unset/invalid.
+// A positive FMM_MC/FMM_KC/FMM_NC value, or 0 when unset or rejected
+// (non-numeric suffixes and out-of-range values warn and fall back).
 index_t env_block(const char* name) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return 0;
-  const long parsed = std::strtol(v, nullptr, 10);
-  return parsed > 0 ? static_cast<index_t>(parsed) : 0;
+  const std::optional<long> v = parse_env_long(name, 1, 1L << 30);
+  return v.has_value() ? static_cast<index_t>(*v) : 0;
 }
 
 }  // namespace

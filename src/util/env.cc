@@ -1,0 +1,55 @@
+#include "src/util/env.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace fmm {
+namespace {
+
+void warn_invalid(const char* name, const char* value, long lo, long hi) {
+  std::fprintf(stderr,
+               "fmm: ignoring invalid %s='%s' (want an integer in [%ld, %ld])\n",
+               name, value, lo, hi);
+}
+
+}  // namespace
+
+std::optional<long> parse_long_strict(const char* s, long lo, long hi) {
+  if (s == nullptr || *s == '\0') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0') return std::nullopt;  // empty or trailing junk
+  if (errno == ERANGE) return std::nullopt;           // overflowed long itself
+  if (v < lo || v > hi) return std::nullopt;
+  return v;
+}
+
+std::optional<long> parse_env_long(const char* name, long lo, long hi) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return std::nullopt;
+  std::optional<long> parsed = parse_long_strict(value, lo, hi);
+  if (!parsed.has_value()) warn_invalid(name, value, lo, hi);
+  return parsed;
+}
+
+bool parse_env_flag(const char* name, bool default_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return default_value;
+  if (std::strcmp(value, "1") == 0 || std::strcmp(value, "on") == 0 ||
+      std::strcmp(value, "true") == 0 || std::strcmp(value, "yes") == 0) {
+    return true;
+  }
+  if (std::strcmp(value, "0") == 0 || std::strcmp(value, "off") == 0 ||
+      std::strcmp(value, "false") == 0 || std::strcmp(value, "no") == 0) {
+    return false;
+  }
+  std::fprintf(stderr,
+               "fmm: ignoring invalid %s='%s' (want 0/1/on/off/true/false)\n",
+               name, value);
+  return default_value;
+}
+
+}  // namespace fmm

@@ -1,0 +1,36 @@
+#pragma once
+
+// Strict environment / text integer parsing.
+//
+// Every integer knob in the library used to roll its own strtol/atoi call,
+// and they disagreed on strictness: FMM_ENGINE_CACHE rejected trailing
+// garbage while FMM_MC=96abc silently parsed as 96, and the sysfs cache
+// probe accepted whatever atoi made of a malformed file.  A knob that is
+// half-read is worse than one that is rejected — the user believes a value
+// is in effect that is not.  This header is the one shared parser: the
+// entire string must be a decimal integer within the caller's bounds, or
+// the value is rejected (and, for environment variables, a one-line
+// warning names the variable so the typo is discoverable).
+
+#include <optional>
+
+namespace fmm {
+
+// Parses `s` as a decimal long.  Returns nullopt unless the *entire*
+// string (modulo leading whitespace, as strtol skips) is a number within
+// [lo, hi]; trailing garbage ("96abc"), empty strings, and out-of-range
+// values (including ERANGE overflow) are all rejected.  `s` may be null.
+std::optional<long> parse_long_strict(const char* s, long lo, long hi);
+
+// getenv(name) + parse_long_strict.  Unset or empty returns nullopt
+// silently; a set-but-invalid value returns nullopt after printing a
+// one-line warning to stderr ("fmm: ignoring invalid NAME='...'").
+std::optional<long> parse_env_long(const char* name, long lo, long hi);
+
+// Boolean knob: "1"/"on"/"true"/"yes" -> true, "0"/"off"/"false"/"no" ->
+// false (case-sensitive, matching the documented spellings).  Unset or
+// empty returns `default_value` silently; anything else returns
+// `default_value` after the same stderr warning.
+bool parse_env_flag(const char* name, bool default_value);
+
+}  // namespace fmm

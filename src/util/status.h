@@ -24,6 +24,7 @@ enum class StatusCode {
   kInvalidStride,  // a row or batch stride cannot describe the claimed operand
   kAliasing,       // an output aliases an input or another batch output
   kInvalidArgument,  // anything else malformed (null data, bad counts, ...)
+  kCancelled,      // an async task was cancelled before it started
 };
 
 const char* status_code_name(StatusCode code);
@@ -79,6 +80,8 @@ inline const char* status_code_name(StatusCode code) {
       return "ALIASING";
     case StatusCode::kInvalidArgument:
       return "INVALID_ARGUMENT";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
   }
   return "?";
 }

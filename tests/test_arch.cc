@@ -139,6 +139,31 @@ TEST(DeriveBlocking, TilesFitTheReportedCachesAcrossTopologies) {
   }
 }
 
+TEST(DeriveBlocking, TinyTopologiesKeepRegisterTileMultiplesAtTheBounds) {
+  // Degenerate cache sizes push every floor_multiple_clamped call into its
+  // clamp bounds; the result must stay a register-tile multiple even there
+  // (a `lo` that is not itself a multiple of the step used to leak through
+  // the clamp verbatim).
+  const arch::CacheTopology tiny[] = {
+      make_topology(1 * kKiB, 4 * kKiB, 0, 1),         // microcontroller-ish
+      make_topology(2 * kKiB, 8 * kKiB, 16 * kKiB, 1), // all caches tiny
+      make_topology(4 * kKiB, 16 * kKiB, 64 * kKiB, 64),
+      make_topology(16 * kKiB, 32 * kKiB, 1 * kMiB, 2),
+  };
+  for (const auto& topo : tiny) {
+    for (const KernelInfo& kern : kernel_registry()) {
+      const AutoBlocking ab = derive_blocking(kern, topo);
+      SCOPED_TRACE(std::string(kern.name) + " l1=" +
+                   std::to_string(topo.l1d_bytes));
+      ASSERT_GT(ab.kc, 0);
+      ASSERT_GE(ab.mc, kern.mr);
+      ASSERT_GE(ab.nc, kern.nr);
+      EXPECT_EQ(ab.mc % kern.mr, 0);
+      EXPECT_EQ(ab.nc % kern.nr, 0);
+    }
+  }
+}
+
 TEST(DeriveBlocking, PinnedKcReshapesMcAndNc) {
   // Doubling k_C must halve the A-tile rows and the B-panel width so the
   // cache-fit invariants hold at the k_C that actually runs.
@@ -249,6 +274,32 @@ TEST(ResolveBlocking, PinnedKcReshapesAutoMcAndNc) {
 TEST(ResolveBlocking, MalformedEnvFallsBackToAuto) {
   ScopedEnv mc("FMM_MC", "not-a-number"), kc("FMM_KC", "-5"),
       nc("FMM_NC", "");
+  GemmConfig cfg;
+  cfg.kernel = find_kernel("portable");
+  const BlockingParams bp = resolve_blocking(cfg);
+  const AutoBlocking ab =
+      derive_blocking(*cfg.kernel, arch::cache_topology());
+  EXPECT_EQ(bp.mc, ab.mc);
+  EXPECT_EQ(bp.kc, ab.kc);
+  EXPECT_EQ(bp.nc, ab.nc);
+}
+
+TEST(ResolveBlocking, TrailingGarbageEnvIsRejectedNotTruncated) {
+  // strtol would happily parse "96abc" as 96; the strict parser must not.
+  ScopedEnv mc("FMM_MC", "96abc"), kc("FMM_KC", nullptr),
+      nc("FMM_NC", nullptr);
+  GemmConfig cfg;
+  cfg.kernel = find_kernel("portable");
+  const BlockingParams bp = resolve_blocking(cfg);
+  const AutoBlocking ab =
+      derive_blocking(*cfg.kernel, arch::cache_topology());
+  EXPECT_EQ(bp.mc, ab.mc);  // fell back to auto, not to 96
+}
+
+TEST(ResolveBlocking, OverflowAndWhitespaceEnvFallBackToAuto) {
+  ScopedEnv mc("FMM_MC", "99999999999999999999999"),  // > LONG_MAX
+      kc("FMM_KC", "192 "),                           // trailing space
+      nc("FMM_NC", "0x100");                          // wrong base
   GemmConfig cfg;
   cfg.kernel = find_kernel("portable");
   const BlockingParams bp = resolve_blocking(cfg);

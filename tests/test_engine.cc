@@ -158,10 +158,11 @@ TEST(EngineCache, EnvKnobSetsDefaultCapacity) {
     EXPECT_GE(engine.cache_capacity(), 3u);
     EXPECT_LE(engine.cache_capacity(), 4u);
   }
-  ASSERT_EQ(setenv("FMM_ENGINE_CACHE", "not-a-number", 1), 0);
-  {
+  for (const char* junk : {"not-a-number", "junk", "3junk", "-1", "0"}) {
+    ASSERT_EQ(setenv("FMM_ENGINE_CACHE", junk, 1), 0);
     Engine engine;  // invalid value: warn and fall back to the default
-    EXPECT_EQ(engine.cache_capacity(), Engine::kDefaultCacheCapacity);
+    EXPECT_EQ(engine.cache_capacity(), Engine::kDefaultCacheCapacity)
+        << "FMM_ENGINE_CACHE=" << junk;
   }
   ASSERT_EQ(unsetenv("FMM_ENGINE_CACHE"), 0);
   Engine::Options explicit_cap;

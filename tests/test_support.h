@@ -20,6 +20,7 @@
 #include "src/gemm/gemm.h"
 #include "src/linalg/matrix.h"
 #include "src/linalg/ops.h"
+#include "src/util/env.h"
 
 namespace fmm {
 namespace test {
@@ -125,11 +126,8 @@ inline std::vector<std::array<index_t, 3>> degenerate_shapes() {
 // `ctest -L fuzz` is quick; set FMM_FUZZ_ITERS to run longer campaigns
 // (e.g. FMM_FUZZ_ITERS=200 for a soak run).
 inline int fuzz_iters(int default_iters) {
-  if (const char* env = std::getenv("FMM_FUZZ_ITERS")) {
-    const int v = std::atoi(env);
-    if (v > 0) return v;
-  }
-  return default_iters;
+  return static_cast<int>(
+      parse_env_long("FMM_FUZZ_ITERS", 1, 1L << 30).value_or(default_iters));
 }
 
 }  // namespace test

@@ -1,14 +1,16 @@
 // Unit tests for src/util: aligned buffers, PRNG determinism, CLI parsing,
-// table emission.
+// table emission, strict environment parsing.
 
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 #include "src/util/aligned_buffer.h"
 #include "src/util/cli.h"
+#include "src/util/env.h"
 #include "src/util/prng.h"
 #include "src/util/table.h"
 #include "src/util/timer.h"
@@ -134,6 +136,69 @@ TEST(Table, AlignedOutputAndCsv) {
 TEST(Table, RowWidthMismatchThrows) {
   TablePrinter t({"a", "b"});
   EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+// --- Strict environment parsing (src/util/env.h) ---------------------------
+
+TEST(ParseLongStrict, AcceptsPlainIntegersWithinBounds) {
+  EXPECT_EQ(parse_long_strict("0", 0, 100), 0);
+  EXPECT_EQ(parse_long_strict("96", 1, 100), 96);
+  EXPECT_EQ(parse_long_strict("-7", -10, 10), -7);
+  EXPECT_EQ(parse_long_strict("+42", 0, 100), 42);
+  EXPECT_EQ(parse_long_strict("100", 1, 100), 100);  // inclusive hi
+  EXPECT_EQ(parse_long_strict("1", 1, 100), 1);      // inclusive lo
+}
+
+TEST(ParseLongStrict, RejectsGarbageAndOutOfRange) {
+  const long lo = 1, hi = 1000;
+  EXPECT_FALSE(parse_long_strict(nullptr, lo, hi).has_value());
+  EXPECT_FALSE(parse_long_strict("", lo, hi).has_value());
+  EXPECT_FALSE(parse_long_strict("abc", lo, hi).has_value());
+  EXPECT_FALSE(parse_long_strict("96abc", lo, hi).has_value());  // trailing
+  EXPECT_FALSE(parse_long_strict("96 ", lo, hi).has_value());
+  EXPECT_FALSE(parse_long_strict("9.6", lo, hi).has_value());
+  EXPECT_FALSE(parse_long_strict("1e3", lo, hi).has_value());
+  EXPECT_FALSE(parse_long_strict("0x60", lo, hi).has_value());  // base 10 only
+  EXPECT_FALSE(parse_long_strict("0", lo, hi).has_value());     // below lo
+  EXPECT_FALSE(parse_long_strict("1001", lo, hi).has_value());  // above hi
+  EXPECT_FALSE(
+      parse_long_strict("99999999999999999999999", lo, hi).has_value());
+  EXPECT_FALSE(
+      parse_long_strict("-99999999999999999999999", lo, hi).has_value());
+}
+
+TEST(ParseEnvLong, UnsetAndEmptyAreSilentlyAbsent) {
+  unsetenv("FMM_TEST_ENV_LONG");
+  EXPECT_FALSE(parse_env_long("FMM_TEST_ENV_LONG", 1, 100).has_value());
+  setenv("FMM_TEST_ENV_LONG", "", 1);
+  EXPECT_FALSE(parse_env_long("FMM_TEST_ENV_LONG", 1, 100).has_value());
+  unsetenv("FMM_TEST_ENV_LONG");
+}
+
+TEST(ParseEnvLong, ValidParsesInvalidFallsOut) {
+  setenv("FMM_TEST_ENV_LONG", "64", 1);
+  EXPECT_EQ(parse_env_long("FMM_TEST_ENV_LONG", 1, 100), 64);
+  setenv("FMM_TEST_ENV_LONG", "64junk", 1);
+  EXPECT_FALSE(parse_env_long("FMM_TEST_ENV_LONG", 1, 100).has_value());
+  setenv("FMM_TEST_ENV_LONG", "101", 1);  // out of bounds
+  EXPECT_FALSE(parse_env_long("FMM_TEST_ENV_LONG", 1, 100).has_value());
+  unsetenv("FMM_TEST_ENV_LONG");
+}
+
+TEST(ParseEnvFlag, RecognizedSpellingsAndJunkFallback) {
+  for (const char* on : {"1", "on", "true", "yes"}) {
+    setenv("FMM_TEST_ENV_FLAG", on, 1);
+    EXPECT_TRUE(parse_env_flag("FMM_TEST_ENV_FLAG", false)) << on;
+  }
+  for (const char* off : {"0", "off", "false", "no"}) {
+    setenv("FMM_TEST_ENV_FLAG", off, 1);
+    EXPECT_FALSE(parse_env_flag("FMM_TEST_ENV_FLAG", true)) << off;
+  }
+  setenv("FMM_TEST_ENV_FLAG", "maybe", 1);
+  EXPECT_TRUE(parse_env_flag("FMM_TEST_ENV_FLAG", true));
+  EXPECT_FALSE(parse_env_flag("FMM_TEST_ENV_FLAG", false));
+  unsetenv("FMM_TEST_ENV_FLAG");
+  EXPECT_TRUE(parse_env_flag("FMM_TEST_ENV_FLAG", true));
 }
 
 }  // namespace
