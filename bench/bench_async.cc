@@ -22,6 +22,13 @@
 // Reported numbers are aggregate effective GFLOPS (sum of 2*m*n*k over
 // the items / time); higher is better, matching the bench-smoke diff
 // semantics.
+//
+// A second table tracks the online performance model: the same auto-path
+// workload through a cold engine (empty history, analytic decisions only)
+// and a warm engine that loaded the history file the cold run saved
+// (--history-file).  The warm rows also report how many rankings consulted
+// measured data (hist_hits) — on a warm start that count is the signal
+// that the persisted model actually engaged.
 
 #include <cstdio>
 #include <cstring>
@@ -70,6 +77,9 @@ struct MixedOperands {
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   Options opts = parse_common(cli);
+  const std::string history_file = cli.get_string(
+      "history-file", "bench_history_cache.txt",
+      "persistence file for the cold/warm online-model scenario");
   cli.finish();
 
   // Serving configuration: serial multiplies, pool-level parallelism.
@@ -182,6 +192,74 @@ int main(int argc, char** argv) {
                    TablePrinter::fmt(t_pseq / t_pasync, 2)});
   }
   emit(table, opts, "async");
+
+  // ---- online model: cold vs warm auto path ----------------------------
+  // Same auto-path workload twice: a cold engine starts from an empty
+  // history (analytic decisions) and saves what it measured to
+  // --history-file; a warm engine loads that file and decides with
+  // measured data from the first call.
+  const std::vector<index_t> hist_sizes =
+      opts.smoke ? std::vector<index_t>{96, 160}
+                 : std::vector<index_t>{96, 160, 256, 384};
+  std::remove(history_file.c_str());
+
+  Engine::Options hopts;
+  hopts.config = cfg;
+  hopts.history_path = history_file;
+
+  // Smoke-scale tuning: a handful of reps must reach confidence, and the
+  // first (cold-cache) run of each shape is a slow outlier that a long
+  // serving run would dilute away — widen the spread gate accordingly.
+  // set_tuning() re-gates anything already loaded.
+  auto bench_tuning = [](Engine& e) {
+    PerfHistory::Tuning t = e.history().tuning();
+    t.min_observations = 3;
+    t.max_rel_stddev = 0.60;
+    e.history().set_tuning(t);
+  };
+
+  auto run_auto = [&](Engine& e, index_t s) {
+    Matrix a = Matrix::random(s, s, 300 + s);
+    Matrix b = Matrix::random(s, s, 301 + s);
+    Matrix c = Matrix::zero(s, s);
+    (void)e.multiply(c.view(), a.view(), b.view());  // compile + decide
+    return best_time_of(std::max(reps, 3), [&] {
+      (void)e.multiply(c.view(), a.view(), b.view());
+    });
+  };
+  auto add_hist_row = [&](TablePrinter& t, Engine& e, index_t s,
+                          const char* phase, double secs) {
+    t.add_row({"auto", TablePrinter::fmt((long long)s), phase,
+               TablePrinter::fmt(effective_gflops(s, s, s, secs), 1),
+               TablePrinter::fmt(
+                   (long long)e.stats().history_hits)});
+  };
+
+  TablePrinter htable({"scenario", "n", "phase", "GFLOPS", "hist_hits"});
+  {
+    Engine cold(hopts);
+    bench_tuning(cold);
+    for (index_t s : hist_sizes) {
+      add_hist_row(htable, cold, s, "cold", run_auto(cold, s));
+    }
+  }  // destructor persists the observations to history_file
+
+  Engine warm(hopts);
+  bench_tuning(warm);
+  for (index_t s : hist_sizes) {
+    add_hist_row(htable, warm, s, "warm", run_auto(warm, s));
+  }
+  std::printf("\nOnline model, cold vs warm (history file: %s)\n",
+              history_file.c_str());
+  emit(htable, opts, "history");
+  const auto hstats = warm.stats();
+  std::printf("warm engine: load %s, %zu keys, %llu observations, "
+              "%llu measured-data rankings, %llu overrides\n",
+              warm.history_load_status().ok() ? "ok" : "FAILED",
+              hstats.history_keys,
+              (unsigned long long)hstats.history_observations,
+              (unsigned long long)hstats.history_hits,
+              (unsigned long long)hstats.history_overrides);
 
   std::printf("\nasync results bitwise identical to per-item multiply(): %s\n",
               bitwise_ok ? "yes" : "NO");

@@ -1,6 +1,6 @@
 // Serving-shape batches: K multiplies of the same (m, n, k) executed
 //
-//   per-call   — the legacy fmm_multiply entry point, once per item
+//   per-call   — Engine::multiply, once per item
 //   executor   — one compiled FmmExecutor, run() once per item
 //   batch      — FmmExecutor::run_batch over all K items (distinct B's)
 //   batch(B=)  — run_batch with every item sharing one B (the prepacked
@@ -94,13 +94,11 @@ int main(int argc, char** argv) {
       const double flops =
           2.0 * static_cast<double>(s) * s * s * static_cast<double>(kb);
 
-      // Per-call legacy path: one persistent context, K calls.
+      // Per-call path: the process-default Engine, K calls.
       BatchOperands per(s, kb, /*shared_b=*/false);
-      FmmContext ctx;
-      ctx.cfg = cfg;
       auto run_percall = [&] {
         for (const auto& it : per.items) {
-          fmm_multiply(plan, it.c, it.a, it.b, ctx);
+          (void)default_engine().multiply(plan, it.c, it.a, it.b, cfg);
         }
       };
       run_percall();
@@ -127,7 +125,7 @@ int main(int argc, char** argv) {
       BatchOperands sp(s, kb, /*shared_b=*/true);
       auto run_percall_shared = [&] {
         for (const auto& it : sp.items) {
-          fmm_multiply(plan, it.c, it.a, it.b, ctx);
+          (void)default_engine().multiply(plan, it.c, it.a, it.b, cfg);
         }
       };
       run_percall_shared();

@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "src/core/catalog.h"
-#include "src/core/driver.h"
+#include "src/core/engine.h"
 #include "src/model/perf_model.h"
 #include "src/util/cli.h"
 #include "src/util/table.h"

@@ -19,8 +19,7 @@ double forward_error(const Plan& plan, index_t s, std::uint64_t seed) {
   Matrix b = Matrix::random(s, s, seed + 1);
   Matrix c = Matrix::zero(s, s);
   Matrix d = Matrix::zero(s, s);
-  FmmContext ctx;
-  fmm_multiply(plan, c.view(), a.view(), b.view(), ctx);
+  (void)default_engine().multiply(plan, c.view(), a.view(), b.view());
   ref_gemm(d.view(), a.view(), b.view());
   return rel_error_fro(c.view(), d.view());
 }

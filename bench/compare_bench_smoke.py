@@ -15,6 +15,9 @@ baseline (usually the latest main-branch artifact):
     serving paths (same / sharedB / strided / mix), same semantics.
   * bench_async: CSV rows matched by (scenario, G, K); Engine::submit vs
     the sequential multiply paths (mix / pipeline), same semantics.
+  * bench_history: CSV rows matched by (scenario, n, phase); the auto
+    path cold (analytic decisions) vs warm from a persisted history file
+    (online performance model), same higher-is-better semantics.
 
 Rows or whole sections present in only one artifact are *skipped* (listed
 as "only in baseline/candidate"), never treated as regressions — adding,
@@ -126,6 +129,10 @@ def main():
         ("bench_async (GFLOPS/ratio, higher is better)",
          table_rates(base_doc, "bench_async", ("scenario", "G", "K")),
          table_rates(cand_doc, "bench_async", ("scenario", "G", "K")), True),
+        ("bench_history (GFLOPS, higher is better)",
+         table_rates(base_doc, "bench_history", ("scenario", "n", "phase")),
+         table_rates(cand_doc, "bench_history", ("scenario", "n", "phase")),
+         True),
     ]
     for title, base, cand, higher in sections:
         if not base and not cand:

@@ -50,6 +50,10 @@ def main():
                     help="CSV from bench_async --smoke (mix/pipeline "
                          "scenarios: Engine::submit vs the sequential "
                          "multiply paths)")
+    ap.add_argument("--history-csv",
+                    help="CSV from bench_async --smoke (online performance "
+                         "model: auto-path GFLOPS cold vs warm-from-"
+                         "persisted-history)")
     args = ap.parse_args()
 
     doc = {
@@ -72,6 +76,8 @@ def main():
         doc["bench_batch_engine"] = load_table_csv(args.engine_csv)
     if args.async_csv:
         doc["bench_async"] = load_table_csv(args.async_csv)
+    if args.history_csv:
+        doc["bench_history"] = load_table_csv(args.history_csv)
 
     with open(args.out, "w") as f:
         json.dump(doc, f, indent=2, sort_keys=True)

@@ -8,7 +8,7 @@
 #include <iostream>
 
 #include "src/core/catalog.h"
-#include "src/core/driver.h"
+#include "src/core/engine.h"
 #include "src/util/cli.h"
 #include "src/util/table.h"
 #include "src/util/timer.h"
@@ -24,13 +24,14 @@ int main(int argc, char** argv) {
   Matrix a = Matrix::random(mn, k, 1);
   Matrix b = Matrix::random(k, mn, 2);
   Matrix c = Matrix::zero(mn, mn);
-  FmmContext ctx;
+  Engine engine;
+  GemmConfig cfg;
   GemmWorkspace ws;
 
   // GEMM baseline.
-  gemm(c.view(), a.view(), b.view(), ws, ctx.cfg);
+  gemm(c.view(), a.view(), b.view(), ws, cfg);
   const double gemm_s =
-      best_time_of(reps, [&] { gemm(c.view(), a.view(), b.view(), ws, ctx.cfg); });
+      best_time_of(reps, [&] { gemm(c.view(), a.view(), b.view(), ws, cfg); });
 
   const FmmAlgorithm& s222 = catalog::best(2, 2, 2);
   const FmmAlgorithm& s232 = catalog::best(2, 3, 2);
@@ -55,9 +56,10 @@ int main(int argc, char** argv) {
                  TablePrinter::fmt(effective_gflops(mn, mn, k, gemm_s), 2),
                  "0.0"});
   for (const auto& e : entries) {
-    fmm_multiply(e.plan, c.view(), a.view(), b.view(), ctx);  // warm up
-    const double t = best_time_of(
-        reps, [&] { fmm_multiply(e.plan, c.view(), a.view(), b.view(), ctx); });
+    (void)engine.multiply(e.plan, c.view(), a.view(), b.view());  // warm up
+    const double t = best_time_of(reps, [&] {
+      (void)engine.multiply(e.plan, c.view(), a.view(), b.view());
+    });
     table.add_row({e.label,
                    TablePrinter::fmt(effective_gflops(mn, mn, k, t), 2),
                    TablePrinter::fmt((gemm_s / t - 1.0) * 100.0, 1)});

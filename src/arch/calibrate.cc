@@ -9,6 +9,7 @@
 #include <mutex>
 #include <sstream>
 #include <string>
+#include <sys/stat.h>
 
 #include "src/arch/cache_info.h"
 #include "src/gemm/blocking.h"
@@ -24,6 +25,11 @@ struct CalibState {
   std::map<std::string, double> rates;  // kernel name -> GFLOP/s
   bool file_loaded = false;
   int timing_runs = 0;
+  // Programmatic cache-path override (beats FMM_CALIB_CACHE when set).
+  bool has_path_override = false;
+  std::string path_override;
+  // First cache-file I/O failure this process (load or append).
+  Status file_status;
 };
 
 CalibState& state() {
@@ -41,34 +47,74 @@ std::string sanitized_cpu_model() {
   return model;
 }
 
+// The effective cache path: the programmatic override when set, else the
+// FMM_CALIB_CACHE environment variable.  Empty = no persistence.
+std::string cache_path_locked(const CalibState& s) {
+  if (s.has_path_override) return s.path_override;
+  const char* path = std::getenv("FMM_CALIB_CACHE");
+  return path != nullptr ? std::string(path) : std::string();
+}
+
+void note_file_error_locked(CalibState& s, StatusCode code,
+                            const std::string& message) {
+  if (s.file_status.ok()) s.file_status = Status::error(code, message);
+}
+
 // FMM_CALIB_CACHE line format: <cpu-model> <kernel-name> <gflops>
 void load_cache_file_locked(CalibState& s) {
   s.file_loaded = true;
-  const char* path = std::getenv("FMM_CALIB_CACHE");
-  if (path == nullptr || *path == '\0') return;
+  const std::string path = cache_path_locked(s);
+  if (path.empty()) return;
   std::ifstream f(path);
-  if (!f) return;
+  if (!f) {
+    // A missing file is the normal first run; only an existing-but-
+    // unreadable file is an error worth surfacing.
+    struct stat st;
+    if (::stat(path.c_str(), &st) == 0) {
+      note_file_error_locked(s, StatusCode::kIOError,
+                             "calibration cache unreadable: " + path);
+    }
+    return;
+  }
   const std::string want_model = sanitized_cpu_model();
   std::string line;
+  bool malformed = false;
   while (std::getline(f, line)) {
     if (line.empty() || line[0] == '#') continue;
     std::istringstream iss(line);
     std::string model, kernel;
     double gflops = 0;
-    if (!(iss >> model >> kernel >> gflops)) continue;
+    if (!(iss >> model >> kernel >> gflops)) {
+      malformed = true;
+      continue;
+    }
     if (model == want_model && gflops > 0 &&
         s.rates.find(kernel) == s.rates.end()) {
       s.rates.emplace(kernel, gflops);
     }
   }
+  if (malformed) {
+    note_file_error_locked(s, StatusCode::kCorruptData,
+                           "malformed row(s) in calibration cache: " + path);
+  }
 }
 
-void append_cache_file(const std::string& kernel, double gflops) {
-  const char* path = std::getenv("FMM_CALIB_CACHE");
-  if (path == nullptr || *path == '\0') return;
+void append_cache_file_locked(CalibState& s, const std::string& kernel,
+                              double gflops) {
+  const std::string path = cache_path_locked(s);
+  if (path.empty()) return;
   std::ofstream f(path, std::ios::app);
-  if (!f) return;
+  if (!f) {
+    note_file_error_locked(s, StatusCode::kIOError,
+                           "cannot append to calibration cache: " + path);
+    return;
+  }
   f << sanitized_cpu_model() << ' ' << kernel << ' ' << gflops << '\n';
+  f.flush();
+  if (!f) {
+    note_file_error_locked(s, StatusCode::kIOError,
+                           "short write to calibration cache: " + path);
+  }
 }
 
 // Times `kern` on hot-L1 panels at its own derived k_C.  Adaptive: the rep
@@ -126,8 +172,26 @@ double kernel_gflops(const KernelInfo& kern) {
   const double gflops = time_kernel_gflops(kern);
   ++s.timing_runs;
   s.rates.emplace(kern.name, gflops);
-  append_cache_file(kern.name, gflops);
+  append_cache_file_locked(s, kern.name, gflops);
   return gflops;
+}
+
+std::string calibration_cpu_key() { return sanitized_cpu_model(); }
+
+void set_calibration_cache_path(const std::string& path) {
+  CalibState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.has_path_override = !path.empty();
+  s.path_override = path;
+  // Force a re-load from the new location on the next kernel_gflops();
+  // rates already measured this process stay valid (they are per-machine).
+  s.file_loaded = false;
+}
+
+Status calibration_file_status() {
+  CalibState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.file_status;
 }
 
 double measured_tau_b() {
@@ -166,6 +230,9 @@ void calibration_reset_for_testing() {
   std::lock_guard<std::mutex> lock(s.mu);
   s.rates.clear();
   s.file_loaded = false;
+  s.has_path_override = false;
+  s.path_override.clear();
+  s.file_status = Status{};
 }
 
 }  // namespace fmm::arch

@@ -21,7 +21,10 @@
 // returned when timing is disabled (FMM_CALIBRATE=0, e.g. under heavy
 // sanitizers where wall-clock rates are meaningless).
 
+#include <string>
+
 #include "src/gemm/kernel.h"
+#include "src/util/status.h"
 
 namespace fmm::arch {
 
@@ -42,6 +45,24 @@ bool calibration_enabled();
 // With FMM_CALIBRATE=0 the triad is skipped and the nominal ~12 GB/s
 // default is returned, consistent with the hint-based τ_a.
 double measured_tau_b();
+
+// The persisted-cache key for this machine: the CPU brand string with
+// whitespace collapsed to underscores (one whitespace-free token).  Shared
+// with the history store (src/model/history.cc) so both files key rows the
+// same way.
+std::string calibration_cpu_key();
+
+// Process-wide calibration-cache path override: when set (non-empty), it
+// beats the FMM_CALIB_CACHE environment variable; set("") restores the env
+// lookup.  Takes effect on the next cache load/append — call it before the
+// first kernel_gflops() (Engine::Options does this in the constructor).
+void set_calibration_cache_path(const std::string& path);
+
+// The first I/O failure observed while loading or appending the
+// calibration cache file this process (OK when none, or when no file is
+// configured).  Loading silently skipped a malformed file before; serving
+// setups want to *know* their cache is not persisting.
+Status calibration_file_status();
 
 // --- Testing hooks --------------------------------------------------------
 

@@ -2,6 +2,10 @@
 
 #include <cassert>
 
+// This file *implements* the deprecated shims; suppress the self-warnings.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace fmm {
 
 void fmm_multiply(const Plan& plan, MatView c, ConstMatView a, ConstMatView b,
@@ -19,3 +23,5 @@ void fmm_multiply(const Plan& plan, MatView c, ConstMatView a, ConstMatView b,
 }
 
 }  // namespace fmm
+
+#pragma GCC diagnostic pop

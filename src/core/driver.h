@@ -24,7 +24,9 @@ namespace fmm {
 // DEPRECATED: configuration carrier for the legacy fmm_multiply calls.
 // The executor cache it used to own moved into the process-default Engine;
 // only the per-call-sequence GemmConfig remains.
-struct FmmContext {
+struct [[deprecated(
+    "FmmContext only carries a GemmConfig now; hold a GemmConfig and call "
+    "fmm::Engine::multiply")]] FmmContext {
   GemmConfig cfg;
 };
 
@@ -33,10 +35,19 @@ struct FmmContext {
 // Malformed operands (the Engine would return an error Status) assert in
 // debug builds and are a no-op in release — new code should call
 // Engine::multiply and inspect the Status.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+// (the pragma covers this declaration's own use of FmmContext; callers
+// still get the deprecation warning from the attribute below)
+[[deprecated("use fmm::Engine::multiply (default_engine().multiply(...)) "
+             "and inspect the returned Status")]]
 void fmm_multiply(const Plan& plan, MatView c, ConstMatView a, ConstMatView b,
                   FmmContext& ctx);
+#pragma GCC diagnostic pop
 
 // DEPRECATED: convenience overload (default-configured call).
+[[deprecated("use fmm::Engine::multiply (default_engine().multiply(...)) "
+             "and inspect the returned Status")]]
 void fmm_multiply(const Plan& plan, MatView c, ConstMatView a, ConstMatView b,
                   const GemmConfig& cfg = GemmConfig{});
 

@@ -8,8 +8,11 @@
 #include <functional>
 #include <limits>
 
+#include "src/arch/calibrate.h"
+#include "src/gemm/fused.h"
 #include "src/gemm/gemm.h"
 #include "src/util/env.h"
+#include "src/util/timer.h"
 
 namespace fmm {
 namespace {
@@ -208,6 +211,28 @@ std::size_t env_cache_capacity() {
                        : Engine::kDefaultCacheCapacity;
 }
 
+std::size_t env_choice_capacity(std::size_t fallback) {
+  const std::optional<long> v = parse_env_long(
+      "FMM_CHOICE_CACHE", 1, std::numeric_limits<long>::max());
+  return v.has_value() ? static_cast<std::size_t>(*v) : fallback;
+}
+
+int env_workers() {
+  // 0 = hardware concurrency (the TaskPool default).
+  return static_cast<int>(parse_env_long("FMM_WORKERS", 1, 4096).value_or(0));
+}
+
+std::uint64_t env_history_min() {
+  constexpr std::uint64_t kDefault = PerfHistory::Tuning{}.min_observations;
+  const std::optional<long> v = parse_env_long("FMM_HISTORY_MIN", 1, 1L << 30);
+  return v.has_value() ? static_cast<std::uint64_t>(*v) : kDefault;
+}
+
+std::string env_history_path() {
+  const char* path = std::getenv("FMM_HISTORY_CACHE");
+  return path != nullptr ? std::string(path) : std::string();
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -234,6 +259,9 @@ struct Engine::ChoiceEntry {
   std::array<index_t, 3> key{};
   std::shared_ptr<const AutoChoice> choice;
   std::uint64_t tick = 0;
+  // History revision the decision was computed under; a hit with a stale
+  // revision re-ranks (lazy invalidation when an override could flip).
+  std::uint64_t hrev = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -244,6 +272,8 @@ Engine::Engine() : Engine(Options{}) {}
 
 Engine::Engine(const Options& opts)
     : cfg_(opts.config), slots_(opts.slots), workers_(opts.workers) {
+  // Every knob: explicit Options > environment > default.
+  if (workers_ <= 0) workers_ = env_workers();
   cap_total_ =
       opts.cache_capacity > 0 ? opts.cache_capacity : env_cache_capacity();
   int shards = opts.shards > 0 ? opts.shards : kDefaultShards;
@@ -257,8 +287,30 @@ Engine::Engine(const Options& opts)
   for (int s = 0; s < shards; ++s) {
     shards_.push_back(std::make_unique<Shard>());
   }
-  choice_cap_ =
-      opts.choice_capacity > 0 ? opts.choice_capacity : 8 * cap_total_;
+  choice_cap_ = opts.choice_capacity > 0
+                    ? opts.choice_capacity
+                    : env_choice_capacity(8 * cap_total_);
+
+  // The calibration rate cache is process-wide; a per-engine path override
+  // therefore applies process-wide too (documented in Options).
+  if (!opts.calib_cache_path.empty()) {
+    arch::set_calibration_cache_path(opts.calib_cache_path);
+  }
+
+  history_enabled_ = opts.history.has_value()
+                         ? *opts.history
+                         : parse_env_flag("FMM_HISTORY", true);
+  PerfHistory::Tuning tuning;
+  tuning.min_observations = opts.history_min_observations > 0
+                                ? opts.history_min_observations
+                                : env_history_min();
+  history_.set_tuning(tuning);
+  history_path_ =
+      !opts.history_path.empty() ? opts.history_path : env_history_path();
+  if (history_enabled_ && !history_path_.empty()) {
+    history_load_status_ = history_.load(history_path_);
+  }
+
   if (opts.calibrate_now) calibrate();
 }
 
@@ -266,6 +318,13 @@ Engine::~Engine() {
   // Drain in-flight submits before any member is torn down; the pool's own
   // destructor then joins the (now idle) workers.
   if (pool_) pool_->wait_all();
+  if (history_enabled_ && !history_path_.empty()) {
+    const Status st = history_.save(history_path_);
+    if (!st.ok()) {
+      std::fprintf(stderr, "fmm: history save failed: %s\n",
+                   st.to_string().c_str());
+    }
+  }
 }
 
 TaskPool& Engine::pool() {
@@ -313,6 +372,33 @@ std::shared_ptr<FmmExecutor> Engine::executor_for(const Plan& plan, index_t m,
   misses_.fetch_add(1, std::memory_order_relaxed);
   auto exec = std::make_shared<FmmExecutor>(plan, m, n, k, cfg, slots_);
 
+  // Observation hook, installed before the executor is published to the
+  // cache (set_timing_hook is not synchronized against in-flight runs).
+  // The key is fixed at compile time: footprint of the plan, buckets of
+  // the compiled shape, and the *resolved* kernel/threads the executor
+  // froze.  One hook invocation = one observation (a batch counts its
+  // items), so effective GFLOP/s is items * flops / seconds.
+  const double item_flops =
+      2.0 * static_cast<double>(m) * static_cast<double>(n) *
+      static_cast<double>(k);
+  if (history_enabled_ && item_flops > 0.0) {
+    HistoryKey hkey;
+    hkey.footprint = plan_footprint(plan);
+    hkey.mb = shape_bucket(m);
+    hkey.nb = shape_bucket(n);
+    hkey.kb = shape_bucket(k);
+    hkey.kernel = exec->config().kernel->name;
+    hkey.threads = exec->threads();
+    exec->set_timing_hook(
+        [this, hkey = std::move(hkey), item_flops](double seconds,
+                                                   std::size_t items) {
+          if (seconds > 0.0) {
+            history_.record(hkey, static_cast<double>(items) * item_flops /
+                                      seconds * 1e-9);
+          }
+        });
+  }
+
   std::lock_guard<std::mutex> lk(shard.mu);
   // A racing thread may have compiled the same key; keep the incumbent so
   // every caller shares one executor (ours is dropped).
@@ -354,12 +440,16 @@ void Engine::ensure_plan_space_locked() {
 std::shared_ptr<const AutoChoice> Engine::choice_handle(index_t m, index_t n,
                                                      index_t k) {
   const std::array<index_t, 3> key{m, n, k};
+  // The history revision this decision is computed under, captured before
+  // the cache scan: observations recorded during ranking bump it, which
+  // marks our own insert stale — correct, the data changed under us.
+  const std::uint64_t hrev = history_enabled_ ? history_.revision() : 0;
   ModelParams params;
   std::uint64_t gen = 0;
   {
     std::lock_guard<std::mutex> lk(choice_mu_);
     for (ChoiceEntry& e : choices_) {
-      if (e.key == key) {
+      if (e.key == key && e.hrev == hrev) {
         e.tick = tick_.fetch_add(1, std::memory_order_relaxed);
         choice_hits_.fetch_add(1, std::memory_order_relaxed);
         return e.choice;
@@ -374,22 +464,84 @@ std::shared_ptr<const AutoChoice> Engine::choice_handle(index_t m, index_t n,
   // the expensive part, and space_ is immutable once built.
   choice_misses_.fetch_add(1, std::memory_order_relaxed);
   auto choice = std::make_shared<AutoChoice>();
-  choice->predicted_seconds = predict_gemm_time(m, n, k, cfg_, params);
-  choice->description = "gemm";
+  const double gemm_analytic = predict_gemm_time(m, n, k, cfg_, params);
   auto ranked = rank_by_model(m, n, k, space_, params, cfg_);
-  if (!ranked.empty() &&
-      ranked.front().predicted_seconds < choice->predicted_seconds) {
+
+  // Analytic winner (the model's own pick): -1 = gemm, else ranked index.
+  const int analytic_winner =
+      (!ranked.empty() && ranked.front().predicted_seconds < gemm_analytic)
+          ? 0
+          : -1;
+
+  // History overlay: each candidate's decision time is the measured rate
+  // once its key is confident, the analytic prediction otherwise.  The
+  // scan keeps the analytic order as tie-breaker (strict <, candidates
+  // visited in ranked order), so with no confident data this reproduces
+  // the analytic winner exactly.
+  int winner = -1;
+  double best_time = gemm_analytic;
+  bool best_measured = false;
+  double best_gflops = 0.0;
+  bool consulted = false;
+  const double flops = 2.0 * static_cast<double>(m) *
+                       static_cast<double>(n) * static_cast<double>(k);
+  if (history_enabled_ && flops > 0.0) {
+    if (auto g = history_.confident_gflops(gemm_history_key(m, n, k))) {
+      best_time = flops / (*g * 1e9);
+      best_measured = true;
+      best_gflops = *g;
+      consulted = true;
+    }
+  }
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    double t = ranked[i].predicted_seconds;
+    bool measured = false;
+    double gf = 0.0;
+    if (history_enabled_ && flops > 0.0) {
+      if (auto g =
+              history_.confident_gflops(history_key(ranked[i].plan, m, n, k))) {
+        t = flops / (*g * 1e9);
+        measured = true;
+        gf = *g;
+        consulted = true;
+      }
+    }
+    if (t < best_time) {
+      best_time = t;
+      winner = static_cast<int>(i);
+      best_measured = measured;
+      best_gflops = gf;
+    }
+  }
+  if (consulted) {
+    history_hits_.fetch_add(1, std::memory_order_relaxed);
+    if (winner != analytic_winner) {
+      history_overrides_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  choice->predicted_seconds = best_time;
+  choice->measured = best_measured;
+  choice->measured_gflops = best_gflops;
+  if (winner < 0) {
+    choice->use_gemm = true;
+    choice->description = "gemm";
+  } else {
     choice->use_gemm = false;
-    choice->plan = ranked.front().plan;
-    choice->predicted_seconds = ranked.front().predicted_seconds;
+    choice->plan = ranked[static_cast<std::size_t>(winner)].plan;
     choice->description = choice->plan->name();
   }
 
   std::lock_guard<std::mutex> lk(choice_mu_);
-  for (ChoiceEntry& e : choices_) {  // racing insert: keep the incumbent
+  for (ChoiceEntry& e : choices_) {
     if (e.key == key) {
       e.tick = tick_.fetch_add(1, std::memory_order_relaxed);
-      return e.choice;
+      // Racing insert at the same or a newer revision: keep the incumbent
+      // so every caller shares one snapshot.  Ours refreshes a stale one.
+      if (e.hrev >= hrev) return e.choice;
+      e.choice = choice;
+      e.hrev = hrev;
+      return choice;
     }
   }
   // A calibrate() ran while this thread was ranking: the decision was made
@@ -404,6 +556,7 @@ std::shared_ptr<const AutoChoice> Engine::choice_handle(index_t m, index_t n,
   e.key = key;
   e.choice = choice;
   e.tick = tick_.fetch_add(1, std::memory_order_relaxed);
+  e.hrev = hrev;
   choices_.push_back(std::move(e));
   return choice;
 }
@@ -412,14 +565,19 @@ AutoChoice Engine::choice_for(index_t m, index_t n, index_t k) {
   return *choice_handle(m, n, k);
 }
 
-void Engine::calibrate() {
+Status Engine::calibrate() {
   ModelParams measured = fmm::calibrate(cfg_);
-  std::lock_guard<std::mutex> lk(choice_mu_);
-  params_ = measured;
-  // Decisions made under the old parameters are stale; the generation
-  // bump also stops in-flight rankings from re-inserting one.
-  ++params_gen_;
-  choices_.clear();
+  {
+    std::lock_guard<std::mutex> lk(choice_mu_);
+    params_ = measured;
+    // Decisions made under the old parameters are stale; the generation
+    // bump also stops in-flight rankings from re-inserting one.
+    ++params_gen_;
+    choices_.clear();
+  }
+  // The parameters above are already installed regardless: a broken rate
+  // cache only costs persistence, not correctness.
+  return arch::calibration_file_status();
 }
 
 ModelParams Engine::params() const {
@@ -440,7 +598,11 @@ Status Engine::exec_single(const Plan* plan, MatView c, ConstMatView a,
     std::shared_ptr<const AutoChoice> choice = choice_handle(m, n, k);
     if (executed != nullptr) *executed = choice;
     if (choice->use_gemm) {
+      // The gemm fallback bypasses FmmExecutor and its timing hook, so the
+      // auto path observes it here (explicit-plan calls have no gemm arm).
+      Timer t;
       gemm(c, a, b, gemm_workspace(), cfg);
+      record_gemm(m, n, k, cfg, t.seconds(), 1);
       return Status{};
     }
     executor_for(*choice->plan, m, n, k, cfg)->run(c, a, b);
@@ -458,9 +620,11 @@ Status Engine::exec_group(const Plan* plan, index_t m, index_t n, index_t k,
   if (group_plan == nullptr) {
     choice = choice_handle(m, n, k);
     if (choice->use_gemm) {
+      Timer t;
       for (std::size_t i = 0; i < count; ++i) {
         gemm(items[i].c, items[i].a, items[i].b, gemm_workspace(), cfg);
       }
+      record_gemm(m, n, k, cfg, t.seconds(), count);
       return Status{};
     }
     group_plan = &*choice->plan;
@@ -476,6 +640,7 @@ Status Engine::exec_strided(const Plan* plan, const StridedBatch& sb,
   if (batch_plan == nullptr) {
     choice = choice_handle(sb.m, sb.n, sb.k);
     if (choice->use_gemm) {
+      Timer t;
       for (std::size_t i = 0; i < sb.count; ++i) {
         const index_t off = static_cast<index_t>(i);
         gemm(MatView(sb.c + off * sb.stride_c, sb.m, sb.n, sb.ldc),
@@ -483,6 +648,7 @@ Status Engine::exec_strided(const Plan* plan, const StridedBatch& sb,
              ConstMatView(sb.b + off * sb.stride_b, sb.k, sb.n, sb.ldb),
              gemm_workspace(), cfg);
       }
+      record_gemm(sb.m, sb.n, sb.k, cfg, t.seconds(), sb.count);
       return Status{};
     }
     batch_plan = &*choice->plan;
@@ -681,6 +847,63 @@ TaskFuture Engine::submit(const BatchSpec& batch) {
 }
 
 // ---------------------------------------------------------------------------
+// Online performance model plumbing.
+// ---------------------------------------------------------------------------
+
+HistoryKey Engine::history_key(const Plan& plan, index_t m, index_t n,
+                               index_t k) const {
+  // Mirrors what executor_for's hook freezes: the executor resolves the
+  // blocking with the plan's pinned kernel (if any) overriding the config,
+  // and the thread count from the config alone.
+  HistoryKey key;
+  key.footprint = plan_footprint(plan);
+  key.mb = shape_bucket(m);
+  key.nb = shape_bucket(n);
+  key.kb = shape_bucket(k);
+  GemmConfig kcfg = cfg_;
+  if (plan.kernel != nullptr) kcfg.kernel = plan.kernel;
+  key.kernel = resolve_blocking(kcfg).kernel->name;
+  key.threads = resolve_threads(cfg_);
+  return key;
+}
+
+HistoryKey Engine::gemm_history_key(index_t m, index_t n, index_t k) const {
+  return gemm_key_for(m, n, k, cfg_);
+}
+
+HistoryKey Engine::gemm_key_for(index_t m, index_t n, index_t k,
+                                const GemmConfig& cfg) const {
+  HistoryKey key;
+  key.footprint = kGemmFootprint;
+  key.mb = shape_bucket(m);
+  key.nb = shape_bucket(n);
+  key.kb = shape_bucket(k);
+  key.kernel = resolve_blocking(cfg).kernel->name;
+  key.threads = resolve_threads(cfg);
+  return key;
+}
+
+void Engine::record_gemm(index_t m, index_t n, index_t k,
+                         const GemmConfig& cfg, double seconds,
+                         std::size_t items) {
+  if (!history_enabled_ || seconds <= 0.0) return;
+  const double flops = 2.0 * static_cast<double>(m) *
+                       static_cast<double>(n) * static_cast<double>(k);
+  if (flops <= 0.0) return;
+  history_.record(gemm_key_for(m, n, k, cfg),
+                  static_cast<double>(items) * flops / seconds * 1e-9);
+}
+
+Status Engine::save_history() {
+  if (history_path_.empty()) {
+    return Status::error(StatusCode::kInvalidArgument,
+                         "no history path configured (Options::history_path "
+                         "or FMM_HISTORY_CACHE)");
+  }
+  return history_.save(history_path_);
+}
+
+// ---------------------------------------------------------------------------
 // Introspection.
 // ---------------------------------------------------------------------------
 
@@ -700,6 +923,10 @@ Engine::CacheStats Engine::stats() const {
     std::lock_guard<std::mutex> lk(choice_mu_);
     s.choice_entries = choices_.size();
   }
+  s.history_observations = history_.observations();
+  s.history_keys = history_.size();
+  s.history_hits = history_hits_.load(std::memory_order_relaxed);
+  s.history_overrides = history_overrides_.load(std::memory_order_relaxed);
   return s;
 }
 

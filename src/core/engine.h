@@ -32,6 +32,15 @@
 //     a malformed request.  Validation runs before any arithmetic — a batch
 //     with one bad item computes nothing.
 //
+//   * an **online performance model**: every execution's wall time is
+//     recorded into a footprint-keyed history store (src/model/history.h)
+//     through the executor timing hook; once a key has enough low-variance
+//     observations the measured GFLOP/s overrides the analytic model in
+//     the auto path's ranking (the model stays the cold-start prior and
+//     tie-breaker), and cached choices invalidate when an override could
+//     flip.  Optionally persisted across processes (FMM_HISTORY_CACHE /
+//     Options::history_path), keyed by CPU model like FMM_CALIB_CACHE.
+//
 //   * an **async surface**: submit(...) mirrors every multiply(...) form
 //     and returns a TaskFuture<Status> immediately (validation still runs
 //     synchronously — a malformed request resolves before any task is
@@ -69,6 +78,7 @@
 
 #include "src/core/executor.h"
 #include "src/core/task_pool.h"
+#include "src/model/history.h"
 #include "src/model/selector.h"
 #include "src/util/status.h"
 
@@ -81,6 +91,11 @@ struct AutoChoice {
   std::optional<Plan> plan;  // set when use_gemm == false
   double predicted_seconds = 0.0;
   std::string description;   // "gemm" or the plan name
+  // True when the winner's predicted_seconds came from the measured
+  // history (confident observations) rather than the analytic model; the
+  // measured rate is then in measured_gflops.
+  bool measured = false;
+  double measured_gflops = 0.0;
 };
 
 // One batch of multiplies, in one of two layouts:
@@ -132,10 +147,16 @@ class Engine {
     // Base configuration for every multiply that does not pass its own
     // (threads, blocking overrides, pinned kernel).
     GemmConfig config;
+    // Every knob resolves with explicit-Options > environment > default
+    // precedence: a non-zero / non-empty / engaged value here wins
+    // outright, 0 / empty / nullopt defers to the named env variable, and
+    // an unset env falls back to the built-in default.
+
     // Executor-cache capacity (entries).  0 = FMM_ENGINE_CACHE env, else
     // kDefaultCacheCapacity.  Rounded up to a multiple of the shard count.
     std::size_t cache_capacity = 0;
-    // Auto-path choice-cache capacity.  0 = 8x the executor capacity.
+    // Auto-path choice-cache capacity.  0 = FMM_CHOICE_CACHE env, else 8x
+    // the executor capacity.
     std::size_t choice_capacity = 0;
     // Mutex shards for the executor cache.  0 = kDefaultShards, clamped to
     // the capacity.
@@ -144,15 +165,31 @@ class Engine {
     // the executor default (its resolved thread count).
     int slots = 0;
     // Worker threads for the async submit path (multiply() is submit +
-    // wait, so these serve the synchronous calls too).  0 = hardware
-    // concurrency.  The pool is created lazily on first use; each task may
-    // additionally open its own OpenMP region of config.num_threads
-    // threads, so serving engines that fan out batches usually pair
-    // several workers with num_threads = 1.
+    // wait, so these serve the synchronous calls too).  0 = FMM_WORKERS
+    // env, else hardware concurrency.  The pool is created lazily on first
+    // use; each task may additionally open its own OpenMP region of
+    // config.num_threads threads, so serving engines that fan out batches
+    // usually pair several workers with num_threads = 1.
     int workers = 0;
     // Run the ~1 s model calibration in the constructor.  When false the
     // auto path uses literature-default parameters until calibrate().
+    // Construction ignores the calibration Status; call calibrate()
+    // explicitly to observe it.
     bool calibrate_now = false;
+    // Calibration-cache file for the measured kernel rates.  Non-empty
+    // overrides FMM_CALIB_CACHE *process-wide* (the rate cache is shared
+    // by every engine in the process); empty defers to the env.
+    std::string calib_cache_path;
+    // Online performance model (src/model/history.h).  history: engaged
+    // value wins, nullopt = FMM_HISTORY env flag, default on.
+    std::optional<bool> history;
+    // Persistence file for the history store: loaded in the constructor,
+    // saved in the destructor (and by save_history()).  Empty =
+    // FMM_HISTORY_CACHE env; empty everywhere = in-memory only.
+    std::string history_path;
+    // Observations before a measured rate may override the analytic
+    // ranking.  0 = FMM_HISTORY_MIN env, else 10.
+    std::size_t history_min_observations = 0;
   };
 
   struct CacheStats {
@@ -164,6 +201,12 @@ class Engine {
     std::uint64_t choice_misses = 0;
     std::uint64_t choice_evictions = 0;
     std::size_t choice_entries = 0;
+    // Online performance model (all 0 when history is disabled):
+    std::uint64_t history_observations = 0;  // timings recorded
+    std::size_t history_keys = 0;            // distinct footprint keys
+    std::uint64_t history_hits = 0;      // rankings that used measured data
+    std::uint64_t history_overrides = 0; // rankings where measured flipped
+                                         // the analytic winner
   };
 
   static constexpr std::size_t kDefaultCacheCapacity = 32;
@@ -237,14 +280,47 @@ class Engine {
                                                   index_t k);
   // Measure machine parameters for the model (~1 s, once).  Clears the
   // choice cache — decisions made under the old parameters are stale.
-  void calibrate();
+  // Returns the calibration-cache file status (arch::calibration_file_
+  // status()): the parameters are always updated best-effort, a non-OK
+  // Status means the *persisted* rate cache is not working.
+  Status calibrate();
   ModelParams params() const;
+
+  // --- Online performance model -------------------------------------------
+  // The history store: measured per-(plan, shape-bucket, kernel, threads)
+  // rates recorded by every execution this engine runs (see
+  // src/model/history.h).  Exposed mutable so tests and tools can inject
+  // or clear observations; all engine bookkeeping is internal.
+  PerfHistory& history() { return history_; }
+  const PerfHistory& history() const { return history_; }
+  bool history_enabled() const { return history_enabled_; }
+  // Sorted aggregate dump for observability (benches print it).
+  std::vector<PerfHistory::Entry> history_snapshot() const {
+    return history_.snapshot();
+  }
+  // Persist the store to the configured history path now (the destructor
+  // also saves).  kInvalidArgument when no path is configured, kIOError on
+  // write failure.
+  Status save_history();
+  // The Status of the constructor's history load: OK (loaded or no file),
+  // kIOError (unreadable), or kCorruptData (bad version/row — the store
+  // started empty).
+  Status history_load_status() const { return history_load_status_; }
+  // The footprint key an execution of `plan` (resp. conventional GEMM) at
+  // (m, n, k) under this engine's config records under — for tests and
+  // tools that pre-seed or inspect the store.
+  HistoryKey history_key(const Plan& plan, index_t m, index_t n,
+                         index_t k) const;
+  HistoryKey gemm_history_key(index_t m, index_t n, index_t k) const;
 
   // --- Introspection ------------------------------------------------------
   CacheStats stats() const;
   std::size_t cache_capacity() const { return cap_total_; }
   std::size_t choice_capacity() const { return choice_cap_; }
+  // Resolved async worker count (0 = pool default: hardware concurrency).
+  int workers() const { return workers_; }
   const GemmConfig& config() const { return cfg_; }
+  const std::string& history_path() const { return history_path_; }
 
  private:
   struct Entry;
@@ -273,6 +349,13 @@ class Engine {
                       const GemmConfig& cfg);
   TaskPool& pool();
   void ensure_plan_space_locked();
+  // Builds the gemm footprint key under a per-call config.
+  HistoryKey gemm_key_for(index_t m, index_t n, index_t k,
+                          const GemmConfig& cfg) const;
+  // Records an auto-path gemm execution (the executor hook's twin for the
+  // fallback that bypasses FmmExecutor).
+  void record_gemm(index_t m, index_t n, index_t k, const GemmConfig& cfg,
+                   double seconds, std::size_t items);
 
   GemmConfig cfg_;
   int slots_ = 0;
@@ -303,6 +386,14 @@ class Engine {
   std::vector<ChoiceEntry> choices_;
   std::atomic<std::uint64_t> choice_hits_{0}, choice_misses_{0},
       choice_evictions_{0};
+
+  // Online performance model: the store itself, the resolved knobs (fixed
+  // at construction), and the ranking counters.
+  PerfHistory history_;
+  bool history_enabled_ = true;
+  std::string history_path_;
+  Status history_load_status_;
+  std::atomic<std::uint64_t> history_hits_{0}, history_overrides_{0};
 };
 
 // The process-default Engine (default Options), used by the deprecated

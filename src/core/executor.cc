@@ -9,6 +9,7 @@
 #include "src/gemm/kernel.h"
 #include "src/gemm/pack.h"
 #include "src/util/omp_compat.h"
+#include "src/util/timer.h"
 
 namespace fmm {
 namespace {
@@ -218,6 +219,24 @@ void FmmExecutor::release_slot(Slot* slot) {
 }
 
 void FmmExecutor::run(MatView c, ConstMatView a, ConstMatView b) {
+  if (!hook_) {
+    run_unobserved(c, a, b);
+    return;
+  }
+  // The slot wait is outside the timed window: it measures contention on
+  // this executor, not the algorithm, and would poison the history.
+  Slot* s = acquire_slot();
+  struct Release {
+    FmmExecutor* e;
+    Slot* s;
+    ~Release() { e->release_slot(s); }
+  } rel{this, s};
+  Timer t;
+  run_on_slot(*s, c, a, b, frozen_cfg_);
+  hook_(t.seconds(), 1);
+}
+
+void FmmExecutor::run_unobserved(MatView c, ConstMatView a, ConstMatView b) {
   Slot* s = acquire_slot();
   struct Release {
     FmmExecutor* e;
@@ -322,7 +341,13 @@ void FmmExecutor::run_batch(const BatchItem* items, std::size_t count) {
   }
   BatchAccess acc;
   acc.items = items;
+  if (!hook_) {
+    run_batch_impl(acc, count, shared_b);
+    return;
+  }
+  Timer t;
   run_batch_impl(acc, count, shared_b);
+  hook_(t.seconds(), count);  // one observation: `count` multiplies
 }
 
 void FmmExecutor::run_batch_strided(const StridedBatch& sb) {
@@ -343,7 +368,14 @@ void FmmExecutor::run_batch_strided(const StridedBatch& sb) {
   }
   // A batch stride of 0 on B is the shared-operand encoding: every item
   // reads the one panel, exactly what the prepacked fast path wants.
-  run_batch_impl(acc, sb.count, shared_b_possible_ && sb.stride_b == 0);
+  const bool shared_b = shared_b_possible_ && sb.stride_b == 0;
+  if (!hook_) {
+    run_batch_impl(acc, sb.count, shared_b);
+    return;
+  }
+  Timer t;
+  run_batch_impl(acc, sb.count, shared_b);
+  hook_(t.seconds(), sb.count);
 }
 
 void FmmExecutor::run_batch_impl(const BatchAccess& acc, std::size_t count,
@@ -382,7 +414,8 @@ void FmmExecutor::run_batch_impl(const BatchAccess& acc, std::size_t count,
   if (!item_parallel) {
     for (std::size_t i = 0; i < count; ++i) {
       const BatchItem it = acc.at(i);
-      run(it.c, it.a, it.b);
+      // Unobserved: the enclosing batch reports one aggregate observation.
+      run_unobserved(it.c, it.a, it.b);
     }
     return;
   }

@@ -36,6 +36,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -131,6 +132,19 @@ class FmmExecutor {
   // shared-B prepacked fast path when the plan/shape allow it.
   void run_batch_strided(const StridedBatch& sb);
 
+  // Observation hook for the online performance model (src/model/history.h):
+  // called once per top-level run() with (wall seconds, 1), and once per
+  // multi-item batch with (wall seconds, item count) — a batch is one
+  // observation of `items` multiplies, never double-counted per item.  The
+  // hook runs on the calling thread after the arithmetic finishes and must
+  // be cheap and thread-safe (concurrent run() calls invoke it
+  // concurrently).  Install before the executor is shared between threads
+  // (the Engine installs it right after construction); not synchronized
+  // against in-flight runs.
+  using TimingHook = std::function<void(double seconds, std::size_t items)>;
+  void set_timing_hook(TimingHook hook) { hook_ = std::move(hook); }
+  bool has_timing_hook() const { return static_cast<bool>(hook_); }
+
   const Plan& plan() const { return plan_; }
   index_t m() const { return m_; }
   index_t n() const { return n_; }
@@ -174,6 +188,9 @@ class FmmExecutor {
   Slot* acquire_slot();
   Slot* try_acquire_slot();
   void release_slot(Slot* slot);
+  // run() minus the timing hook: the batch paths' per-item workhorse (the
+  // enclosing batch reports one aggregate observation instead).
+  void run_unobserved(MatView c, ConstMatView a, ConstMatView b);
   // The full multiply (interior + peel) on one slot.  `cfg` is either the
   // frozen config or its serial twin (batch item-parallel mode).
   void run_on_slot(Slot& slot, MatView c, ConstMatView a, ConstMatView b,
@@ -207,6 +224,9 @@ class FmmExecutor {
   std::vector<Slot*> free_;
   std::mutex mu_;
   std::condition_variable cv_;
+
+  // Observation hook (see set_timing_hook).
+  TimingHook hook_;
 
   // Shared-B batch fast path: all R packed B~ panels prepacked once.
   bool shared_b_possible_ = false;

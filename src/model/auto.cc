@@ -1,5 +1,9 @@
 #include "src/model/auto.h"
 
+// This file *implements* the deprecated wrapper; suppress the self-warnings.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace fmm {
 namespace {
 
@@ -31,3 +35,5 @@ void AutoMultiplier::multiply(MatView c, ConstMatView a, ConstMatView b) {
 }
 
 }  // namespace fmm
+
+#pragma GCC diagnostic pop

@@ -24,7 +24,9 @@ namespace fmm {
 // AutoChoice lives in src/core/engine.h now; this header re-exports it for
 // source compatibility.
 
-class AutoMultiplier {
+class [[deprecated(
+    "hold an fmm::Engine and call its auto path (engine.multiply(C, A, B)); "
+    "AutoMultiplier is a thin forwarding wrapper")]] AutoMultiplier {
  public:
   // cfg.num_threads applies to execution; the model always ranks with the
   // single-core formulas (the paper's model; relative order carries over).

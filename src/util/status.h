@@ -25,6 +25,8 @@ enum class StatusCode {
   kAliasing,       // an output aliases an input or another batch output
   kInvalidArgument,  // anything else malformed (null data, bad counts, ...)
   kCancelled,      // an async task was cancelled before it started
+  kIOError,        // a cache/history file could not be read or written
+  kCorruptData,    // a persisted file failed version/format validation
 };
 
 const char* status_code_name(StatusCode code);
@@ -82,6 +84,10 @@ inline const char* status_code_name(StatusCode code) {
       return "INVALID_ARGUMENT";
     case StatusCode::kCancelled:
       return "CANCELLED";
+    case StatusCode::kIOError:
+      return "IO_ERROR";
+    case StatusCode::kCorruptData:
+      return "CORRUPT_DATA";
   }
   return "?";
 }

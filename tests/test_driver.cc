@@ -7,7 +7,7 @@
 #include <tuple>
 
 #include "src/core/catalog.h"
-#include "src/core/driver.h"
+#include "src/core/engine.h"
 #include "src/linalg/ops.h"
 #include "tests/test_support.h"
 
@@ -98,9 +98,10 @@ TEST(Driver, TinyProblemFullyPeeled) {
 TEST(Driver, EmptyProblemIsNoOp) {
   const Plan p = make_plan({catalog::best(2, 2, 2)}, Variant::kABC);
   Matrix a(0, 4), b(4, 0), c(0, 0);
-  FmmContext ctx;
-  fmm_multiply(p, c.view(), ConstMatView(nullptr, 0, 4, 4),
-               ConstMatView(nullptr, 4, 0, 0), ctx);
+  const Status st =
+      default_engine().multiply(p, c.view(), ConstMatView(nullptr, 0, 4, 4),
+                                ConstMatView(nullptr, 4, 0, 0));
+  EXPECT_TRUE(st.ok()) << st.to_string();
 }
 
 TEST(Driver, OperandsOnStridedViews) {
@@ -112,14 +113,14 @@ TEST(Driver, OperandsOnStridedViews) {
   ConstMatView a = pa.view().block(1, 2, 64, 64);
   ConstMatView b = pb.view().block(3, 4, 64, 64);
   MatView c = pc.view().block(5, 6, 64, 64);
-  fmm_multiply(p, c, a, b);
+  ASSERT_TRUE(default_engine().multiply(p, c, a, b).ok());
   Matrix want = Matrix::zero(64, 64);
   ref_gemm(want.view(), a, b);
   EXPECT_LE(max_abs_diff(c, want.view()), 1e-10);
 }
 
-TEST(Driver, ContextReuseAcrossPlansAndSizes) {
-  FmmContext ctx;
+TEST(Driver, EngineReuseAcrossPlansAndSizes) {
+  Engine engine;
   const Plan p1 = make_plan({catalog::best(2, 2, 2)}, Variant::kAB);
   const Plan p2 = make_plan({catalog::best(3, 2, 3)}, Variant::kNaive);
   for (const Plan* p : {&p1, &p2}) {
@@ -127,7 +128,7 @@ TEST(Driver, ContextReuseAcrossPlansAndSizes) {
       Matrix a = Matrix::random(s, s, s);
       Matrix b = Matrix::random(s, s, s + 1);
       Matrix c = Matrix::zero(s, s);
-      fmm_multiply(*p, c.view(), a.view(), b.view(), ctx);
+      ASSERT_TRUE(engine.multiply(*p, c.view(), a.view(), b.view()).ok());
       Matrix d = Matrix::zero(s, s);
       ref_gemm(d.view(), a.view(), b.view());
       EXPECT_LE(max_abs_diff(c.view(), d.view()), tol_for(s, 1)) << p->name();
@@ -142,8 +143,8 @@ TEST(Driver, AccumulatesLikeGemm) {
   Matrix b = Matrix::random(32, 32, 31);
   Matrix c = Matrix::random(32, 32, 32);
   Matrix d = c.clone();
-  fmm_multiply(p, c.view(), a.view(), b.view());
-  fmm_multiply(p, c.view(), a.view(), b.view());
+  ASSERT_TRUE(default_engine().multiply(p, c.view(), a.view(), b.view()).ok());
+  ASSERT_TRUE(default_engine().multiply(p, c.view(), a.view(), b.view()).ok());
   ref_gemm(d.view(), a.view(), b.view());
   ref_gemm(d.view(), a.view(), b.view());
   EXPECT_LE(max_abs_diff(c.view(), d.view()), 1e-10);

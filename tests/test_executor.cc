@@ -1,5 +1,5 @@
 // FmmExecutor: compile-once / run-many execution.  Covers equivalence with
-// the legacy fmm_multiply path (bitwise, same plan/config), the batched
+// the Engine path (bitwise, same plan/config), the batched
 // interface (distinct and shared B, item-parallel and sequential regimes),
 // peeled and degenerate shapes, and thread-safety of one shared executor
 // under concurrent host threads (the TSan CI leg runs this binary).
@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "src/core/catalog.h"
-#include "src/core/driver.h"
+#include "src/core/engine.h"
 #include "src/core/executor.h"
 #include "src/linalg/ops.h"
 #include "tests/test_support.h"
@@ -44,18 +44,21 @@ TEST_P(ExecutorVariant, MatchesReference) {
   }
 }
 
-TEST_P(ExecutorVariant, BitwiseIdenticalToLegacyPath) {
+TEST_P(ExecutorVariant, BitwiseIdenticalToEnginePath) {
   const Plan plan = strassen_plan(GetParam());
   // Shapes with and without peel fringes.
   for (index_t s : {96, 100, 101}) {
     test::RandomProblem p = test::random_problem(s, s, s, 11);
-    Matrix c_legacy = p.c.clone();
+    Matrix c_engine = p.c.clone();
     GemmConfig cfg;
     cfg.num_threads = 2;
     FmmExecutor exec(plan, s, s, s, cfg);
     exec.run(p.c.view(), p.a.view(), p.b.view());
-    fmm_multiply(plan, c_legacy.view(), p.a.view(), p.b.view(), cfg);
-    EXPECT_EQ(max_abs_diff(p.c.view(), c_legacy.view()), 0.0)
+    ASSERT_TRUE(
+        default_engine()
+            .multiply(plan, c_engine.view(), p.a.view(), p.b.view(), cfg)
+            .ok());
+    EXPECT_EQ(max_abs_diff(p.c.view(), c_engine.view()), 0.0)
         << variant_name(GetParam()) << " s=" << s;
   }
 }
@@ -492,71 +495,6 @@ TEST(ExecutorBatch, StridedDistinctBMatchesRuns) {
   sb.stride_b = item;
   exec.run_batch_strided(sb);
   EXPECT_EQ(max_abs_diff(c.view(), cw.view()), 0.0);
-}
-
-// ---------------------------------------------------------------------------
-// Legacy wrapper: fmm_multiply as a shim over the process-default Engine.
-// ---------------------------------------------------------------------------
-
-TEST(ExecutorCache, LegacyShimReusesAndInvalidates) {
-  // FmmContext's single-entry cache moved into the default Engine; the shim
-  // must stay correct across the transitions that used to force recompiles
-  // (variant change, coefficient change at identical dims, config change) —
-  // and, unlike the single entry, alternating plans must both stay cached.
-  const index_t s = 48;
-  FmmContext ctx;
-  test::RandomProblem p = test::random_problem(s, s, s, 61, /*zero_c=*/true);
-
-  const auto before = default_engine().stats();
-  fmm_multiply(strassen_plan(), p.c.view(), p.a.view(), p.b.view(), ctx);
-
-  // Same plan contents + shape + cfg: an executor-cache hit, not a rebuild.
-  p.c.set_zero();
-  fmm_multiply(strassen_plan(), p.c.view(), p.a.view(), p.b.view(), ctx);
-  const auto after = default_engine().stats();
-  EXPECT_GE(after.hits, before.hits + 1);
-  ref_gemm(p.want.view(), p.a.view(), p.b.view());
-  EXPECT_LE(max_abs_diff(p.c.view(), p.want.view()), test::tol_for(s));
-
-  // Different variant: distinct cache entry, correct result.
-  p.c.set_zero();
-  p.want.set_zero();
-  fmm_multiply(strassen_plan(Variant::kAB), p.c.view(), p.a.view(),
-               p.b.view(), ctx);
-  ref_gemm(p.want.view(), p.a.view(), p.b.view());
-  EXPECT_LE(max_abs_diff(p.c.view(), p.want.view()), test::tol_for(s));
-
-  // Different coefficients at identical dims (Strassen vs Winograd): the
-  // exact coefficient compare must key a distinct executor.
-  p.c.set_zero();
-  p.want.set_zero();
-  fmm_multiply(make_plan({make_winograd()}, Variant::kABC), p.c.view(),
-               p.a.view(), p.b.view(), ctx);
-  ref_gemm(p.want.view(), p.a.view(), p.b.view());
-  EXPECT_LE(max_abs_diff(p.c.view(), p.want.view()), test::tol_for(s));
-
-  // Config change: keys another entry.
-  ctx.cfg.num_threads = 2;
-  p.c.set_zero();
-  p.want.set_zero();
-  fmm_multiply(strassen_plan(), p.c.view(), p.a.view(), p.b.view(), ctx);
-  ref_gemm(p.want.view(), p.a.view(), p.b.view());
-  EXPECT_LE(max_abs_diff(p.c.view(), p.want.view()), test::tol_for(s));
-
-  // The multi-entry cache holds both alternating plans simultaneously —
-  // the scenario the old single-entry FmmContext thrashed on.
-  ctx.cfg.num_threads = 0;
-  const auto h0 = default_engine().stats();
-  for (int rep = 0; rep < 3; ++rep) {
-    p.c.set_zero();
-    fmm_multiply(strassen_plan(), p.c.view(), p.a.view(), p.b.view(), ctx);
-    p.c.set_zero();
-    fmm_multiply(make_plan({make_winograd()}, Variant::kABC), p.c.view(),
-                 p.a.view(), p.b.view(), ctx);
-  }
-  const auto h1 = default_engine().stats();
-  EXPECT_EQ(h1.misses, h0.misses);  // everything already compiled
-  EXPECT_GE(h1.hits, h0.hits + 6);
 }
 
 }  // namespace

@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "src/core/catalog.h"
-#include "src/core/driver.h"
+#include "src/core/engine.h"
 #include "src/core/task_driver.h"
 #include "src/gemm/gemm.h"
 #include "src/gemm/kernel.h"
@@ -374,12 +374,11 @@ TEST(KernelRegistry, PlanKernelHonoredByBothDrivers) {
     Plan plan = base;
     plan.kernel = &kern;
     Matrix c_data = Matrix::zero(m, n);
-    FmmContext data_ctx;
-    fmm_multiply(plan, c_data.view(), a.view(), b.view(), data_ctx);
+    ASSERT_TRUE(
+        default_engine().multiply(plan, c_data.view(), a.view(), b.view())
+            .ok());
     EXPECT_LE(max_abs_diff(c_data.view(), want.view()), 1e-11 * k)
         << "data driver, " << kern.name;
-    EXPECT_EQ(data_ctx.cfg.kernel, nullptr)
-        << "driver must restore the caller's kernel setting";
     Matrix c_task = Matrix::zero(m, n);
     TaskContext task_ctx;
     task_ctx.cfg.num_threads = 2;

@@ -4,7 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/catalog.h"
-#include "src/core/driver.h"
+#include "src/core/engine.h"
 #include "src/linalg/ops.h"
 #include "src/util/omp_compat.h"
 #include "src/util/timer.h"
@@ -15,9 +15,11 @@ namespace {
 
 Matrix run_fmm(const Plan& plan, int threads, index_t m, index_t n, index_t k) {
   test::RandomProblem p = test::random_problem(m, n, k, 7, /*zero_c=*/true);
-  FmmContext ctx;
-  ctx.cfg.num_threads = threads;
-  fmm_multiply(plan, p.c.view(), p.a.view(), p.b.view(), ctx);
+  GemmConfig cfg;
+  cfg.num_threads = threads;
+  EXPECT_TRUE(
+      default_engine().multiply(plan, p.c.view(), p.a.view(), p.b.view(), cfg)
+          .ok());
   return std::move(p.c);
 }
 

@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "src/core/catalog.h"
-#include "src/core/driver.h"
+#include "src/core/engine.h"
 #include "src/linalg/ops.h"
 #include "tests/test_support.h"
 
@@ -106,7 +106,7 @@ TEST(Peeling, DegenerateZeroAndOneDimensionalProblems) {
     Matrix a = Matrix::random(m, k, m + 1);
     Matrix b = Matrix::random(k, n, n + 2);
     Matrix c = Matrix::zero(m, n);
-    fmm_multiply(plan, c.view(), a.view(), b.view());
+    ASSERT_TRUE(default_engine().multiply(plan, c.view(), a.view(), b.view()).ok());
     Matrix d = Matrix::zero(m, n);
     ref_gemm(d.view(), a.view(), b.view());
     EXPECT_LE(max_abs_diff(c.view(), d.view()), 1e-10)
@@ -120,7 +120,7 @@ TEST(Peeling, ZeroKLeavesAccumulatorUntouched) {
   Matrix a(12, 0), b(0, 10);
   Matrix c = Matrix::random(12, 10, 5);
   Matrix before = c.clone();
-  fmm_multiply(plan, c.view(), a.view(), b.view());
+  ASSERT_TRUE(default_engine().multiply(plan, c.view(), a.view(), b.view()).ok());
   EXPECT_EQ(max_abs_diff(c.view(), before.view()), 0.0);
 }
 

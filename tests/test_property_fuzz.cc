@@ -6,7 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/catalog.h"
-#include "src/core/driver.h"
+#include "src/core/engine.h"
 #include "src/gemm/kernel.h"
 #include "src/linalg/ops.h"
 #include "src/util/prng.h"
@@ -75,7 +75,9 @@ TEST_P(FuzzBatch, RandomPlansMatchReference) {
     const FuzzCase fc = random_case(rng);
     test::RandomProblem p =
         test::random_problem(fc.m, fc.n, fc.k, fc.data_seed);
-    fmm_multiply(fc.plan, p.c.view(), p.a.view(), p.b.view());
+    ASSERT_TRUE(default_engine()
+                    .multiply(fc.plan, p.c.view(), p.a.view(), p.b.view())
+                    .ok());
     ref_gemm(p.want.view(), p.a.view(), p.b.view());
     EXPECT_LE(max_abs_diff(p.c.view(), p.want.view()),
               1e-10 * std::max<index_t>(fc.k, 1))
@@ -105,7 +107,7 @@ TEST(FuzzStrided, RandomPlansOnPaddedParents) {
     for (index_t r = 0; r < fc.m; ++r)
       for (index_t s = 0; s < fc.n; ++s) want(r, s) = c(r, s);
     ref_gemm(want.view(), a, b);
-    fmm_multiply(fc.plan, c, a, b);
+    ASSERT_TRUE(default_engine().multiply(fc.plan, c, a, b).ok());
     EXPECT_LE(max_abs_diff(c, want.view()), 1e-10 * std::max<index_t>(fc.k, 1))
         << fc.describe() << " pad=" << pad;
   }
@@ -120,11 +122,15 @@ TEST(FuzzThreads, RandomPlansBitwiseStableAcrossThreads) {
     Matrix b = Matrix::random(fc.k, fc.n, fc.data_seed + 1);
     Matrix c1 = Matrix::zero(fc.m, fc.n);
     Matrix c4 = Matrix::zero(fc.m, fc.n);
-    FmmContext ctx1, ctx4;
-    ctx1.cfg.num_threads = 1;
-    ctx4.cfg.num_threads = 4;
-    fmm_multiply(fc.plan, c1.view(), a.view(), b.view(), ctx1);
-    fmm_multiply(fc.plan, c4.view(), a.view(), b.view(), ctx4);
+    GemmConfig cfg1, cfg4;
+    cfg1.num_threads = 1;
+    cfg4.num_threads = 4;
+    ASSERT_TRUE(
+        default_engine().multiply(fc.plan, c1.view(), a.view(), b.view(), cfg1)
+            .ok());
+    ASSERT_TRUE(
+        default_engine().multiply(fc.plan, c4.view(), a.view(), b.view(), cfg4)
+            .ok());
     EXPECT_EQ(max_abs_diff(c1.view(), c4.view()), 0.0) << fc.describe();
   }
 }

@@ -1,0 +1,173 @@
+// Deprecated-shim coverage: fmm_multiply/FmmContext (driver.h) and
+// AutoMultiplier (model/auto.h) survive as thin wrappers over fmm::Engine
+// and must keep working until removal.  This is the ONE translation unit
+// allowed to call them without warnings — everything else in the tree has
+// migrated to the Engine API.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/core/catalog.h"
+#include "src/core/driver.h"
+#include "src/model/auto.h"
+#include "tests/test_support.h"
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+namespace fmm {
+namespace {
+
+Plan strassen_plan(Variant v = Variant::kABC) {
+  return make_plan({catalog::best(2, 2, 2)}, v);
+}
+
+// ---------------------------------------------------------------------------
+// fmm_multiply: legacy one-call entry point over the process-default Engine.
+// ---------------------------------------------------------------------------
+
+TEST(LegacyShim, MultiplyMatchesReference) {
+  const index_t s = 64;
+  test::RandomProblem p = test::random_problem(s, s, s, 3);
+  fmm_multiply(strassen_plan(), p.c.view(), p.a.view(), p.b.view());
+  ref_gemm(p.want.view(), p.a.view(), p.b.view());
+  EXPECT_LE(max_abs_diff(p.c.view(), p.want.view()), test::tol_for(s));
+}
+
+TEST(LegacyShim, BitwiseIdenticalToEngine) {
+  // The shim forwards to default_engine(); results must be bitwise equal to
+  // a direct Engine call with the same plan and config.
+  const index_t s = 100;  // fringe-heavy
+  test::RandomProblem p = test::random_problem(s, s, s, 11);
+  Matrix c_shim = p.c.clone();
+  GemmConfig cfg;
+  cfg.num_threads = 2;
+  ASSERT_TRUE(default_engine()
+                  .multiply(strassen_plan(), p.c.view(), p.a.view(),
+                            p.b.view(), cfg)
+                  .ok());
+  fmm_multiply(strassen_plan(), c_shim.view(), p.a.view(), p.b.view(), cfg);
+  EXPECT_EQ(max_abs_diff(p.c.view(), c_shim.view()), 0.0);
+}
+
+TEST(LegacyShim, ContextCarriesConfig) {
+  // FmmContext is only a GemmConfig carrier now; the cfg it holds must
+  // reach the engine (bitwise-equal to passing the cfg directly).
+  const index_t s = 72;
+  test::RandomProblem p = test::random_problem(s, s, s, 29);
+  Matrix c_direct = p.c.clone();
+  FmmContext ctx;
+  ctx.cfg.num_threads = 2;
+  fmm_multiply(strassen_plan(), p.c.view(), p.a.view(), p.b.view(), ctx);
+  ASSERT_TRUE(default_engine()
+                  .multiply(strassen_plan(), c_direct.view(), p.a.view(),
+                            p.b.view(), ctx.cfg)
+                  .ok());
+  EXPECT_EQ(max_abs_diff(p.c.view(), c_direct.view()), 0.0);
+}
+
+TEST(LegacyShim, ReusesAndInvalidatesEngineCache) {
+  // FmmContext's single-entry cache moved into the default Engine; the shim
+  // must stay correct across the transitions that used to force recompiles
+  // (variant change, coefficient change at identical dims, config change) —
+  // and, unlike the single entry, alternating plans must both stay cached.
+  const index_t s = 48;
+  FmmContext ctx;
+  test::RandomProblem p = test::random_problem(s, s, s, 61, /*zero_c=*/true);
+
+  const auto before = default_engine().stats();
+  fmm_multiply(strassen_plan(), p.c.view(), p.a.view(), p.b.view(), ctx);
+
+  // Same plan contents + shape + cfg: an executor-cache hit, not a rebuild.
+  p.c.set_zero();
+  fmm_multiply(strassen_plan(), p.c.view(), p.a.view(), p.b.view(), ctx);
+  const auto after = default_engine().stats();
+  EXPECT_GE(after.hits, before.hits + 1);
+  ref_gemm(p.want.view(), p.a.view(), p.b.view());
+  EXPECT_LE(max_abs_diff(p.c.view(), p.want.view()), test::tol_for(s));
+
+  // Different variant: distinct cache entry, correct result.
+  p.c.set_zero();
+  p.want.set_zero();
+  fmm_multiply(strassen_plan(Variant::kAB), p.c.view(), p.a.view(),
+               p.b.view(), ctx);
+  ref_gemm(p.want.view(), p.a.view(), p.b.view());
+  EXPECT_LE(max_abs_diff(p.c.view(), p.want.view()), test::tol_for(s));
+
+  // Different coefficients at identical dims (Strassen vs Winograd): the
+  // exact coefficient compare must key a distinct executor.
+  p.c.set_zero();
+  p.want.set_zero();
+  fmm_multiply(make_plan({make_winograd()}, Variant::kABC), p.c.view(),
+               p.a.view(), p.b.view(), ctx);
+  ref_gemm(p.want.view(), p.a.view(), p.b.view());
+  EXPECT_LE(max_abs_diff(p.c.view(), p.want.view()), test::tol_for(s));
+
+  // Config change: keys another entry.
+  ctx.cfg.num_threads = 2;
+  p.c.set_zero();
+  p.want.set_zero();
+  fmm_multiply(strassen_plan(), p.c.view(), p.a.view(), p.b.view(), ctx);
+  ref_gemm(p.want.view(), p.a.view(), p.b.view());
+  EXPECT_LE(max_abs_diff(p.c.view(), p.want.view()), test::tol_for(s));
+
+  // The multi-entry cache holds both alternating plans simultaneously —
+  // the scenario the old single-entry FmmContext thrashed on.
+  ctx.cfg.num_threads = 0;
+  const auto h0 = default_engine().stats();
+  for (int rep = 0; rep < 3; ++rep) {
+    p.c.set_zero();
+    fmm_multiply(strassen_plan(), p.c.view(), p.a.view(), p.b.view(), ctx);
+    p.c.set_zero();
+    fmm_multiply(make_plan({make_winograd()}, Variant::kABC), p.c.view(),
+                 p.a.view(), p.b.view(), ctx);
+  }
+  const auto h1 = default_engine().stats();
+  EXPECT_EQ(h1.misses, h0.misses);  // everything already compiled
+  EXPECT_GE(h1.hits, h0.hits + 6);
+}
+
+// ---------------------------------------------------------------------------
+// AutoMultiplier: legacy poly-algorithm wrapper over an owned Engine.
+// ---------------------------------------------------------------------------
+
+AutoMultiplier& shared_mult() {
+  static AutoMultiplier* m =
+      new AutoMultiplier{GemmConfig{}, /*calibrate_now=*/false};
+  return *m;
+}
+
+TEST(AutoMultiplierShim, MultiplyMatchesReference) {
+  const index_t s = 200;
+  test::RandomProblem p = test::random_problem(s, s, s, s);
+  shared_mult().multiply(p.c.view(), p.a.view(), p.b.view());
+  ref_gemm(p.want.view(), p.a.view(), p.b.view());
+  EXPECT_LE(max_abs_diff(p.c.view(), p.want.view()), 1e-10 * s);
+}
+
+TEST(AutoMultiplierShim, LastChoiceReflectsExecution) {
+  Matrix a = Matrix::random(96, 48, 1);
+  Matrix b = Matrix::random(48, 96, 2);
+  Matrix c = Matrix::zero(96, 96);
+  shared_mult().multiply(c.view(), a.view(), b.view());
+  EXPECT_FALSE(shared_mult().last_choice().description.empty());
+
+  // A what-if probe must not clobber what multiply() last executed.
+  const std::string executed = shared_mult().last_choice().description;
+  (void)shared_mult().choice_for(16384, 16384, 16384);
+  EXPECT_EQ(shared_mult().last_choice().description, executed);
+}
+
+TEST(AutoMultiplierShim, ChoiceForForwardsToEngine) {
+  // The wrapper's decision must be the owned engine's decision.
+  const AutoChoice wrapped = shared_mult().choice_for(512, 512, 512);
+  const AutoChoice direct = shared_mult().engine().choice_for(512, 512, 512);
+  EXPECT_EQ(wrapped.use_gemm, direct.use_gemm);
+  EXPECT_EQ(wrapped.description, direct.description);
+}
+
+}  // namespace
+}  // namespace fmm
+
+#pragma GCC diagnostic pop

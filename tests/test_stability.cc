@@ -7,17 +7,23 @@
 #include <gtest/gtest.h>
 
 #include "src/core/catalog.h"
-#include "src/core/driver.h"
+#include "src/core/engine.h"
 #include "src/linalg/ops.h"
 #include "tests/test_support.h"
 
 namespace fmm {
 namespace {
 
+// Every multiply here goes through the process-default Engine.
+void engine_multiply(const Plan& plan, MatView c, ConstMatView a,
+                     ConstMatView b) {
+  EXPECT_TRUE(default_engine().multiply(plan, c, a, b).ok());
+}
+
 // Relative Frobenius error of plan-output vs reference GEMM output.
 double fmm_rel_error(const Plan& plan, index_t s, std::uint64_t seed) {
   test::RandomProblem p = test::random_problem(s, s, s, seed, /*zero_c=*/true);
-  fmm_multiply(plan, p.c.view(), p.a.view(), p.b.view());
+  engine_multiply(plan, p.c.view(), p.a.view(), p.b.view());
   ref_gemm(p.want.view(), p.a.view(), p.b.view());
   return rel_error_fro(p.c.view(), p.want.view());
 }
@@ -50,9 +56,9 @@ TEST(Stability, VariantsAgreeWithEachOther) {
   Matrix c_abc = Matrix::zero(s, s);
   Matrix c_ab = Matrix::zero(s, s);
   Matrix c_nv = Matrix::zero(s, s);
-  fmm_multiply(make_plan({alg}, Variant::kABC), c_abc.view(), a.view(), b.view());
-  fmm_multiply(make_plan({alg}, Variant::kAB), c_ab.view(), a.view(), b.view());
-  fmm_multiply(make_plan({alg}, Variant::kNaive), c_nv.view(), a.view(), b.view());
+  engine_multiply(make_plan({alg}, Variant::kABC), c_abc.view(), a.view(), b.view());
+  engine_multiply(make_plan({alg}, Variant::kAB), c_ab.view(), a.view(), b.view());
+  engine_multiply(make_plan({alg}, Variant::kNaive), c_nv.view(), a.view(), b.view());
   EXPECT_LT(max_abs_diff(c_abc.view(), c_ab.view()), 1e-12);
   EXPECT_LT(max_abs_diff(c_abc.view(), c_nv.view()), 1e-12);
 }
@@ -68,7 +74,7 @@ TEST(Stability, LargeMagnitudeSpreadStillBounded) {
   Matrix c = Matrix::zero(s, s);
   Matrix d = Matrix::zero(s, s);
   const Plan p = make_plan({catalog::best(2, 2, 2)}, Variant::kABC);
-  fmm_multiply(p, c.view(), a.view(), b.view());
+  engine_multiply(p, c.view(), a.view(), b.view());
   ref_gemm(d.view(), a.view(), b.view());
   EXPECT_LT(rel_error_fro(c.view(), d.view()), 1e-10);
 }
@@ -78,7 +84,7 @@ TEST(Stability, ZeroMatricesStayExactlyZero) {
   Matrix a = Matrix::zero(60, 60);
   Matrix b = Matrix::zero(60, 60);
   Matrix c = Matrix::zero(60, 60);
-  fmm_multiply(p, c.view(), a.view(), b.view());
+  engine_multiply(p, c.view(), a.view(), b.view());
   EXPECT_EQ(max_abs(c.view()), 0.0);
 }
 
@@ -89,7 +95,7 @@ TEST(Stability, IdentityTimesMatrixIsNearExact) {
   Matrix b = Matrix::random(s, s, 51);
   Matrix c = Matrix::zero(s, s);
   const Plan p = make_plan({catalog::best(2, 2, 2)}, Variant::kABC);
-  fmm_multiply(p, c.view(), a.view(), b.view());
+  engine_multiply(p, c.view(), a.view(), b.view());
   EXPECT_LT(max_abs_diff(c.view(), b.view()), 1e-13);
 }
 

@@ -15,7 +15,7 @@
 #include <cstdlib>
 #include <vector>
 
-#include "src/core/driver.h"
+#include "src/core/engine.h"
 #include "src/core/task_driver.h"
 #include "src/gemm/gemm.h"
 #include "src/linalg/matrix.h"
@@ -79,7 +79,9 @@ inline void expect_gemm_matches_ref(index_t m, index_t n, index_t k,
 inline void expect_fmm_matches_ref(const Plan& plan, index_t m, index_t n,
                                    index_t k, std::uint64_t seed) {
   RandomProblem p = random_problem(m, n, k, seed);
-  fmm_multiply(plan, p.c.view(), p.a.view(), p.b.view());
+  const Status st =
+      default_engine().multiply(plan, p.c.view(), p.a.view(), p.b.view());
+  ASSERT_TRUE(st.ok()) << st.to_string();
   ref_gemm(p.want.view(), p.a.view(), p.b.view());
   EXPECT_LE(max_abs_diff(p.c.view(), p.want.view()),
             tol_for(k, plan.num_levels()))

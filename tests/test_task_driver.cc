@@ -5,7 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/catalog.h"
-#include "src/core/driver.h"
+#include "src/core/engine.h"
 #include "src/core/task_driver.h"
 #include "src/linalg/ops.h"
 #include "tests/test_support.h"
@@ -49,8 +49,7 @@ TEST(TaskDriver, AgreesWithDataParallelDriver) {
   Matrix b = Matrix::random(128, 128, 22);
   Matrix c1 = Matrix::zero(128, 128);
   Matrix c2 = Matrix::zero(128, 128);
-  FmmContext dctx;
-  fmm_multiply(p, c1.view(), a.view(), b.view(), dctx);
+  ASSERT_TRUE(default_engine().multiply(p, c1.view(), a.view(), b.view()).ok());
   TaskContext tctx;
   tctx.cfg.num_threads = 8;
   fmm_multiply_tasks(p, c2.view(), a.view(), b.view(), tctx);
