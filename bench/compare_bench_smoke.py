@@ -18,6 +18,9 @@ baseline (usually the latest main-branch artifact):
   * bench_history: CSV rows matched by (scenario, n, phase); the auto
     path cold (analytic decisions) vs warm from a persisted history file
     (online performance model), same higher-is-better semantics.
+  * bench_recursive: CSV rows matched by (scenario, n); the flat
+    single-executor path vs cutoff-based task-recursive descent, same
+    higher-is-better semantics.
 
 Rows or whole sections present in only one artifact are *skipped* (listed
 as "only in baseline/candidate"), never treated as regressions — adding,
@@ -133,6 +136,9 @@ def main():
          table_rates(base_doc, "bench_history", ("scenario", "n", "phase")),
          table_rates(cand_doc, "bench_history", ("scenario", "n", "phase")),
          True),
+        ("bench_recursive (GFLOPS/ratio, higher is better)",
+         table_rates(base_doc, "bench_recursive", ("scenario", "n")),
+         table_rates(cand_doc, "bench_recursive", ("scenario", "n")), True),
     ]
     for title, base, cand, higher in sections:
         if not base and not cand:

@@ -54,6 +54,9 @@ def main():
                     help="CSV from bench_async --smoke (online performance "
                          "model: auto-path GFLOPS cold vs warm-from-"
                          "persisted-history)")
+    ap.add_argument("--recursive-csv",
+                    help="CSV from bench_recursive --smoke (flat executor "
+                         "vs task-recursive descent, GFLOPS per size)")
     args = ap.parse_args()
 
     doc = {
@@ -78,6 +81,8 @@ def main():
         doc["bench_async"] = load_table_csv(args.async_csv)
     if args.history_csv:
         doc["bench_history"] = load_table_csv(args.history_csv)
+    if args.recursive_csv:
+        doc["bench_recursive"] = load_table_csv(args.recursive_csv)
 
     with open(args.out, "w") as f:
         json.dump(doc, f, indent=2, sort_keys=True)

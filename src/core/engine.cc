@@ -8,9 +8,11 @@
 #include <functional>
 #include <limits>
 
+#include "src/arch/cache_info.h"
 #include "src/arch/calibrate.h"
 #include "src/gemm/fused.h"
 #include "src/gemm/gemm.h"
+#include "src/model/perf_model.h"
 #include "src/util/env.h"
 #include "src/util/timer.h"
 
@@ -233,6 +235,15 @@ std::string env_history_path() {
   return path != nullptr ? std::string(path) : std::string();
 }
 
+index_t env_recurse_cutoff() {
+  // Explicit 0 disables descent; unset falls back to the analytic default
+  // for the detected cache topology.
+  const std::optional<long> v =
+      parse_env_long("FMM_RECURSE_CUTOFF", 0, 1L << 30);
+  if (v.has_value()) return static_cast<index_t>(*v);
+  return recommended_recurse_cutoff(arch::cache_topology());
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -310,6 +321,12 @@ Engine::Engine(const Options& opts)
   if (history_enabled_ && !history_path_.empty()) {
     history_load_status_ = history_.load(history_path_);
   }
+
+  if (opts.recurse_cutoff > 0) {
+    recurse_cutoff_ = static_cast<index_t>(opts.recurse_cutoff);
+  } else if (opts.recurse_cutoff == 0) {
+    recurse_cutoff_ = env_recurse_cutoff();
+  }  // negative: descent disabled, recurse_cutoff_ stays 0
 
   if (opts.calibrate_now) calibrate();
 }
@@ -663,11 +680,64 @@ Status Engine::exec_strided(const Plan* plan, const StridedBatch& sb,
 // busy pool, so nested calls never wait on the queue).
 // ---------------------------------------------------------------------------
 
+RecursiveExec Engine::recursive_ctx(const GemmConfig& cfg) {
+  RecursiveExec ctx;
+  ctx.pool = &pool();
+  ctx.buffers = &recurse_buffers_;
+  ctx.cutoff = recurse_cutoff_;
+  // Leaves run serially — the node's task fan-out is the parallelism — and
+  // share the executor cache with every other path.  The cached executor's
+  // slot pool grows to the worker count once, so concurrent leaf tasks
+  // never serialize on workspace leases (nor stall behind a parent call
+  // that holds a slot of the same executor).
+  GemmConfig leaf_cfg = cfg;
+  leaf_cfg.num_threads = 1;
+  const int slot_target = std::max(1, ctx.pool->workers());
+  ctx.leaf = [this, leaf_cfg, slot_target](const Plan* plan, MatView c,
+                                           ConstMatView a, ConstMatView b) {
+    if (plan == nullptr) {
+      gemm(c, a, b, gemm_workspace(), leaf_cfg);
+      return;
+    }
+    auto exec = executor_for(*plan, c.rows(), c.cols(), a.cols(), leaf_cfg);
+    exec->ensure_slots(slot_target);
+    exec->run(c, a, b);
+  };
+  return ctx;
+}
+
 TaskFuture Engine::submit_single(const Plan* plan, MatView c, ConstMatView a,
                                  ConstMatView b, const GemmConfig& cfg,
                                  std::shared_ptr<const AutoChoice>* executed) {
   Status st = validate_triple(c, a, b);
   if (!st.ok()) return TaskFuture::ready(std::move(st));
+  const index_t m = c.rows(), n = c.cols(), k = a.cols();
+  if (recurse_cutoff_ > 0 && std::min({m, n, k}) > recurse_cutoff_) {
+    // Large shape: resolve the plan now (for the auto path the ranking is
+    // noise next to an out-of-cutoff multiply) so the recursive task graph
+    // can be built host-side instead of inside a queued task.
+    const Plan* rplan = plan;
+    std::shared_ptr<const AutoChoice> choice;
+    if (rplan == nullptr) {
+      choice = choice_handle(m, n, k);
+      if (!choice->use_gemm) rplan = &*choice->plan;
+    }
+    if (rplan != nullptr && should_recurse(*rplan, m, n, k, recurse_cutoff_)) {
+      if (executed != nullptr && choice) *executed = choice;
+      recursive_runs_.fetch_add(1, std::memory_order_relaxed);
+      const RecursiveExec ctx = recursive_ctx(cfg);
+      if (TaskPool::on_worker_thread()) {
+        // Nested synchronous call from a task body: the bitwise-identical
+        // sequential twin (building a graph and blocking this worker on
+        // its finalizer could deadlock a fully busy pool).
+        run_recursive_sequential(ctx, *rplan, c, a, b);
+        return TaskFuture::ready(Status{});
+      }
+      return submit_recursive(ctx, *rplan, c, a, b);
+    }
+    // The model picked plain GEMM (or the plan does not qualify): fall
+    // through to the flat path, which re-resolves the cached choice.
+  }
   if (TaskPool::on_worker_thread()) {
     return TaskFuture::ready(exec_single(plan, c, a, b, cfg, executed));
   }
@@ -927,6 +997,7 @@ Engine::CacheStats Engine::stats() const {
   s.history_keys = history_.size();
   s.history_hits = history_hits_.load(std::memory_order_relaxed);
   s.history_overrides = history_overrides_.load(std::memory_order_relaxed);
+  s.recursive_runs = recursive_runs_.load(std::memory_order_relaxed);
   return s;
 }
 

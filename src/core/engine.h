@@ -77,6 +77,7 @@
 #include <vector>
 
 #include "src/core/executor.h"
+#include "src/core/recursive.h"
 #include "src/core/task_pool.h"
 #include "src/model/history.h"
 #include "src/model/selector.h"
@@ -190,6 +191,14 @@ class Engine {
     // Observations before a measured rate may override the analytic
     // ranking.  0 = FMM_HISTORY_MIN env, else 10.
     std::size_t history_min_observations = 0;
+    // Task-recursive descent cutoff (src/core/recursive.h): multiplies
+    // whose every dimension exceeds the cutoff expand one fast-algorithm
+    // level into TaskPool tasks and recurse, handing each product below
+    // the cutoff to a cached serial executor leaf.  > 0 = that leaf size;
+    // 0 = FMM_RECURSE_CUTOFF env (where 0 disables), else the analytic
+    // default from the detected cache topology
+    // (recommended_recurse_cutoff); < 0 disables descent entirely.
+    long long recurse_cutoff = 0;
   };
 
   struct CacheStats {
@@ -207,6 +216,8 @@ class Engine {
     std::uint64_t history_hits = 0;      // rankings that used measured data
     std::uint64_t history_overrides = 0; // rankings where measured flipped
                                          // the analytic winner
+    std::uint64_t recursive_runs = 0;    // multiplies that descended into
+                                         // the task-recursive path
   };
 
   static constexpr std::size_t kDefaultCacheCapacity = 32;
@@ -319,6 +330,8 @@ class Engine {
   std::size_t choice_capacity() const { return choice_cap_; }
   // Resolved async worker count (0 = pool default: hardware concurrency).
   int workers() const { return workers_; }
+  // Resolved task-recursive leaf cutoff (0 = descent disabled).
+  index_t recurse_cutoff() const { return recurse_cutoff_; }
   const GemmConfig& config() const { return cfg_; }
   const std::string& history_path() const { return history_path_; }
 
@@ -348,6 +361,12 @@ class Engine {
   Status exec_strided(const Plan* plan, const StridedBatch& sb,
                       const GemmConfig& cfg);
   TaskPool& pool();
+  // The leaf/buffer/cutoff bundle the recursive descent runs with under
+  // `cfg`: leaves execute serially through the executor cache (plain GEMM
+  // for nullptr plans and fringes), growing the cached executor's slot
+  // pool to the worker count so concurrent leaf tasks never serialize on
+  // workspace leases.
+  RecursiveExec recursive_ctx(const GemmConfig& cfg);
   void ensure_plan_space_locked();
   // Builds the gemm footprint key under a per-call config.
   HistoryKey gemm_key_for(index_t m, index_t n, index_t k,
@@ -389,6 +408,13 @@ class Engine {
 
   // Online performance model: the store itself, the resolved knobs (fixed
   // at construction), and the ranking counters.
+  // Task-recursive descent: resolved cutoff, the S/T/M intermediate
+  // allocator shared by every descent this engine runs, and the count of
+  // multiplies that took the recursive path.
+  index_t recurse_cutoff_ = 0;
+  BufferPool recurse_buffers_;
+  std::atomic<std::uint64_t> recursive_runs_{0};
+
   PerfHistory history_;
   bool history_enabled_ = true;
   std::string history_path_;

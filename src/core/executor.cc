@@ -172,22 +172,43 @@ FmmExecutor::FmmExecutor(const Plan& plan, index_t m, index_t n, index_t k,
   const int pool = slots > 0 ? slots : nth_;
   slots_.reserve(static_cast<std::size_t>(pool));
   for (int s = 0; s < pool; ++s) {
-    auto slot = std::make_unique<Slot>();
-    slot->ws.ensure(bp_, nth_, std::max(max_a_, 1), std::max(max_b_, 1),
-                    std::max(max_c_, 1));
-    if (m1_ > 0 && plan_.variant != Variant::kABC) {
-      slot->m_buf = Matrix(ms_, ns_);
-    }
-    if (m1_ > 0 && plan_.variant == Variant::kNaive) {
-      slot->ta = Matrix(ms_, ks_);
-      slot->tb = Matrix(ks_, ns_);
-    }
-    slot->a_terms.resize(static_cast<std::size_t>(std::max(max_a_, 1)));
-    slot->b_terms.resize(static_cast<std::size_t>(std::max(max_b_, 1)));
-    slot->c_terms.resize(static_cast<std::size_t>(std::max(max_c_, 1)));
-    slots_.push_back(std::move(slot));
+    slots_.push_back(make_slot());
     free_.push_back(slots_.back().get());
   }
+}
+
+std::unique_ptr<FmmExecutor::Slot> FmmExecutor::make_slot() {
+  auto slot = std::make_unique<Slot>();
+  slot->ws.ensure(bp_, nth_, std::max(max_a_, 1), std::max(max_b_, 1),
+                  std::max(max_c_, 1));
+  if (m1_ > 0 && plan_.variant != Variant::kABC) {
+    slot->m_buf = Matrix(ms_, ns_);
+  }
+  if (m1_ > 0 && plan_.variant == Variant::kNaive) {
+    slot->ta = Matrix(ms_, ks_);
+    slot->tb = Matrix(ks_, ns_);
+  }
+  slot->a_terms.resize(static_cast<std::size_t>(std::max(max_a_, 1)));
+  slot->b_terms.resize(static_cast<std::size_t>(std::max(max_b_, 1)));
+  slot->c_terms.resize(static_cast<std::size_t>(std::max(max_c_, 1)));
+  return slot;
+}
+
+void FmmExecutor::ensure_slots(int target) {
+  if (target <= 0) return;
+  // Cap the growth: slots are full workspace sets, and a pool wider than
+  // the host's concurrent-leaf fan-out is pure memory waste.
+  target = std::min(target, 64);
+  std::size_t added = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    while (slots_.size() < static_cast<std::size_t>(target)) {
+      slots_.push_back(make_slot());
+      free_.push_back(slots_.back().get());
+      ++added;
+    }
+  }
+  if (added > 0) cv_.notify_all();
 }
 
 FmmExecutor::~FmmExecutor() = default;

@@ -145,6 +145,16 @@ class FmmExecutor {
   void set_timing_hook(TimingHook hook) { hook_ = std::move(hook); }
   bool has_timing_hook() const { return static_cast<bool>(hook_); }
 
+  // Grows the workspace-slot pool to at least `target` leases (never
+  // shrinks; capped at 64).  Nested execution needs this: when many
+  // TaskPool workers funnel recursive-leaf runs through one cached
+  // executor compiled with a small slot count (Engine slots = 1, say),
+  // the leases would serialize the leaves — or, with the parent call
+  // itself holding a slot, stall them behind it.  Growing the pool keeps
+  // leaf tasks concurrent without recompiling.  Safe to call while other
+  // threads run(); idempotent once the pool is large enough.
+  void ensure_slots(int target);
+
   const Plan& plan() const { return plan_; }
   index_t m() const { return m_; }
   index_t n() const { return n_; }
@@ -185,6 +195,7 @@ class FmmExecutor {
     }
   };
 
+  std::unique_ptr<Slot> make_slot();
   Slot* acquire_slot();
   Slot* try_acquire_slot();
   void release_slot(Slot* slot);

@@ -1,0 +1,425 @@
+#include "src/core/recursive.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "src/core/executor.h"  // peel_pieces
+
+namespace fmm {
+
+// ---------------------------------------------------------------------------
+// BufferPool.
+// ---------------------------------------------------------------------------
+
+void BufferPool::Lease::reset() {
+  if (pool_ == nullptr) return;
+  BufferPool* p = pool_;
+  pool_ = nullptr;
+  p->put_back(std::move(buf_));
+}
+
+BufferPool::Lease BufferPool::acquire(std::size_t elems) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    // Smallest sufficient free buffer; a node's products cycle through
+    // three sizes, so exact reuse is the common case.
+    std::size_t best = free_.size();
+    for (std::size_t i = 0; i < free_.size(); ++i) {
+      if (free_[i].size() < elems) continue;
+      if (best == free_.size() || free_[i].size() < free_[best].size()) {
+        best = i;
+      }
+    }
+    if (best != free_.size()) {
+      AlignedBuffer<double> buf = std::move(free_[best]);
+      free_[best] = std::move(free_.back());
+      free_.pop_back();
+      ++outstanding_;
+      return Lease(this, std::move(buf));
+    }
+  }
+  // Nothing fits: allocate (outside the lock) instead of waiting — a task
+  // blocking here while holding other leases could wedge the pool.
+  AlignedBuffer<double> buf(std::max<std::size_t>(elems, 1));
+  const std::size_t bytes = buf.size() * sizeof(double);
+  std::lock_guard<std::mutex> lk(mu_);
+  ++outstanding_;
+  live_bytes_ += bytes;
+  peak_bytes_ = std::max(peak_bytes_, live_bytes_);
+  return Lease(this, std::move(buf));
+}
+
+void BufferPool::put_back(AlignedBuffer<double> buf) {
+  std::lock_guard<std::mutex> lk(mu_);
+  --outstanding_;
+  if (free_.size() < kMaxFree) {
+    free_.push_back(std::move(buf));
+  } else {
+    live_bytes_ -= buf.size() * sizeof(double);
+  }
+}
+
+std::size_t BufferPool::free_buffers() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return free_.size();
+}
+
+std::size_t BufferPool::outstanding() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return outstanding_;
+}
+
+std::size_t BufferPool::peak_bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return peak_bytes_;
+}
+
+// ---------------------------------------------------------------------------
+// Descent predicate.
+// ---------------------------------------------------------------------------
+
+bool should_recurse(const Plan& plan, index_t m, index_t n, index_t k,
+                    index_t cutoff) {
+  if (cutoff <= 0 || plan.num_levels() < 1) return false;
+  if (m <= cutoff || n <= cutoff || k <= cutoff) return false;
+  const FmmAlgorithm& alg = plan.levels.front();
+  // A non-empty divisible interior at the outermost level; anything less
+  // is all fringe and belongs to the flat executor.
+  return m >= alg.mt && k >= alg.kt && n >= alg.nt;
+}
+
+// ---------------------------------------------------------------------------
+// Node expansion.  Both drivers (task graph and sequential) run the exact
+// same operation sequence per C element — prep_product and the per-p
+// ascending-r update order are the shared single source of truth — which is
+// what makes them bitwise identical.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct GatherTerm {
+  const double* ptr;
+  double coeff;
+};
+
+// Serial dense dst[rows x cols] = Σ_t coeff_t * src_t (src row stride lds);
+// term order is block-index-ascending in both drivers.
+void lin_comb_serial(const GatherTerm* terms, int num_terms, index_t lds,
+                     index_t rows, index_t cols, double* dst) {
+  for (index_t i = 0; i < rows; ++i) {
+    double* d = dst + i * cols;
+    const double* s0 = terms[0].ptr + i * lds;
+    const double c0 = terms[0].coeff;
+    for (index_t j = 0; j < cols; ++j) d[j] = c0 * s0[j];
+    for (int t = 1; t < num_terms; ++t) {
+      const double* st = terms[t].ptr + i * lds;
+      const double ct = terms[t].coeff;
+      for (index_t j = 0; j < cols; ++j) d[j] += ct * st[j];
+    }
+  }
+}
+
+// Serial dst += w * src (the C_p quadrant update).
+void scaled_add_serial(double w, ConstMatView src, MatView dst) {
+  const index_t rows = src.rows(), cols = src.cols();
+  for (index_t i = 0; i < rows; ++i) {
+    const double* s = src.row(i);
+    double* d = dst.row(i);
+    for (index_t j = 0; j < cols; ++j) d[j] += w * s[j];
+  }
+}
+
+// Shared state of one expanded fast-algorithm step.  Task bodies hold it
+// via shared_ptr (std::function requires copyable callables); the per-r
+// buffer slots are written by prep tasks and cleared by release tasks, with
+// every access ordered by the tag dependencies.
+struct Node {
+  RecursiveExec ctx;
+  FmmAlgorithm alg;                   // the consumed outermost level
+  std::shared_ptr<const Plan> child;  // remaining levels (null: GEMM leaves)
+  bool descend = false;               // products recurse one level further
+  MatView c;
+  ConstMatView a, b;
+  index_t ms = 0, ks = 0, ns = 0;     // quadrant sizes
+  int depth = 0;
+
+  struct RBuf {
+    BufferPool::Lease s, t, m;
+    ConstMatView sv, tv;  // S_r / T_r (aliased quadrant or pooled buffer)
+    MatView mv;           // M_r
+  };
+  std::vector<RBuf> rb;
+};
+
+// Gathers S_r and T_r (aliasing a single +1.0-coefficient quadrant rather
+// than copying it) and zeroes M_r into node.rb[r].
+void prep_product(Node& node, int r) {
+  const FmmAlgorithm& alg = node.alg;
+  Node::RBuf& rb = node.rb[static_cast<std::size_t>(r)];
+  const index_t ms = node.ms, ks = node.ks, ns = node.ns;
+  std::vector<GatherTerm> terms;
+
+  const index_t lda = node.a.stride();
+  terms.reserve(static_cast<std::size_t>(alg.rows_u()));
+  for (int i = 0; i < alg.rows_u(); ++i) {
+    const double coef = alg.u(i, r);
+    if (coef == 0.0) continue;
+    terms.push_back(
+        {node.a.data() + (i / alg.kt) * ms * lda + (i % alg.kt) * ks, coef});
+  }
+  if (terms.size() == 1 && terms[0].coeff == 1.0) {
+    rb.sv = ConstMatView(terms[0].ptr, ms, ks, lda);
+  } else {
+    rb.s = node.ctx.buffers->acquire(static_cast<std::size_t>(ms * ks));
+    if (terms.empty()) {
+      std::memset(rb.s.data(), 0, static_cast<std::size_t>(ms * ks) * sizeof(double));
+    } else {
+      lin_comb_serial(terms.data(), static_cast<int>(terms.size()), lda, ms,
+                      ks, rb.s.data());
+    }
+    rb.sv = ConstMatView(rb.s.data(), ms, ks, ks);
+  }
+
+  const index_t ldb = node.b.stride();
+  terms.clear();
+  for (int j = 0; j < alg.rows_v(); ++j) {
+    const double coef = alg.v(j, r);
+    if (coef == 0.0) continue;
+    terms.push_back(
+        {node.b.data() + (j / alg.nt) * ks * ldb + (j % alg.nt) * ns, coef});
+  }
+  if (terms.size() == 1 && terms[0].coeff == 1.0) {
+    rb.tv = ConstMatView(terms[0].ptr, ks, ns, ldb);
+  } else {
+    rb.t = node.ctx.buffers->acquire(static_cast<std::size_t>(ks * ns));
+    if (terms.empty()) {
+      std::memset(rb.t.data(), 0, static_cast<std::size_t>(ks * ns) * sizeof(double));
+    } else {
+      lin_comb_serial(terms.data(), static_cast<int>(terms.size()), ldb, ks,
+                      ns, rb.t.data());
+    }
+    rb.tv = ConstMatView(rb.t.data(), ks, ns, ns);
+  }
+
+  rb.m = node.ctx.buffers->acquire(static_cast<std::size_t>(ms * ns));
+  std::memset(rb.m.data(), 0, static_cast<std::size_t>(ms * ns) * sizeof(double));
+  rb.mv = MatView(rb.m.data(), ms, ns, ns);
+}
+
+// Builds one expanded step plus its children on ctx.pool.  The finalizer
+// task carries `done_tag` and its future is the node's completion.
+TaskFuture build_node(const RecursiveExec& ctx,
+                      std::shared_ptr<const Plan> plan, MatView c,
+                      ConstMatView a, ConstMatView b, int depth,
+                      TaskTag done_tag) {
+  TaskPool& pool = *ctx.pool;
+  const FmmAlgorithm& alg = plan->levels.front();
+  const index_t m = c.rows(), n = c.cols(), k = a.cols();
+  const index_t m1 = m - m % alg.mt;
+  const index_t k1 = k - k % alg.kt;
+  const index_t n1 = n - n % alg.nt;
+  const int R = alg.R;
+
+  auto node = std::make_shared<Node>();
+  node->ctx = ctx;
+  node->alg = alg;
+  if (plan->num_levels() > 1) {
+    Plan childp = make_plan(
+        std::vector<FmmAlgorithm>(plan->levels.begin() + 1,
+                                  plan->levels.end()),
+        plan->variant);
+    childp.kernel = plan->kernel;
+    node->child = std::make_shared<const Plan>(std::move(childp));
+  }
+  node->c = c;
+  node->a = a;
+  node->b = b;
+  node->ms = m1 / alg.mt;
+  node->ks = k1 / alg.kt;
+  node->ns = n1 / alg.nt;
+  node->depth = depth;
+  node->rb.resize(static_cast<std::size_t>(R));
+  node->descend = node->child != nullptr &&
+                  should_recurse(*node->child, node->ms, node->ns, node->ks,
+                                 ctx.cutoff);
+
+  // The memory throttle: at most `window` products of this node hold
+  // buffers at once (prep_r waits for release[r - window]).
+  const int window = std::min(
+      R, ctx.window > 0 ? ctx.window : std::max(2, pool.workers()));
+
+  std::vector<TaskTag> m_done(static_cast<std::size_t>(R));
+  std::vector<TaskTag> rel(static_cast<std::size_t>(R));
+  for (int r = 0; r < R; ++r) {
+    m_done[static_cast<std::size_t>(r)] = pool.fresh_tag();
+    rel[static_cast<std::size_t>(r)] = pool.fresh_tag();
+  }
+
+  // Prep (and, for leaves, compute) tasks.  Deeper nodes run at higher
+  // priority so open subtrees drain before new products start.
+  for (int r = 0; r < R; ++r) {
+    TaskOptions po;
+    po.priority = depth;
+    if (r >= window) po.deps.push_back(rel[static_cast<std::size_t>(r - window)]);
+    const TaskTag mt = m_done[static_cast<std::size_t>(r)];
+    // A leaf prep *is* the product, so it carries the m_done tag itself; a
+    // descending prep submits the child graph whose finalizer carries it.
+    if (!node->descend) po.tag = mt;
+    pool.submit(
+        [node, r, mt] {
+          prep_product(*node, r);
+          Node::RBuf& rb = node->rb[static_cast<std::size_t>(r)];
+          if (node->descend) {
+            build_node(node->ctx, node->child, rb.mv, rb.sv, rb.tv,
+                       node->depth + 1, mt);
+          } else {
+            node->ctx.leaf(node->child.get(), rb.mv, rb.sv, rb.tv);
+          }
+        },
+        std::move(po));
+  }
+
+  // C updates: per quadrant p one chain of tasks, r ascending, serialized
+  // by tag deps — the fixed per-element accumulation order that makes the
+  // graph deterministic under any schedule.
+  std::vector<std::vector<TaskTag>> consumers(static_cast<std::size_t>(R));
+  std::vector<TaskTag> chain_last;
+  for (int p = 0; p < alg.rows_w(); ++p) {
+    const MatView cp = c.block((p / alg.nt) * node->ms,
+                               (p % alg.nt) * node->ns, node->ms, node->ns);
+    TaskTag prev = kNoTag;
+    for (int r = 0; r < R; ++r) {
+      const double w = alg.w(p, r);
+      if (w == 0.0) continue;
+      TaskOptions uo;
+      uo.tag = pool.fresh_tag();
+      uo.priority = depth;
+      uo.deps.push_back(m_done[static_cast<std::size_t>(r)]);
+      if (prev != kNoTag) uo.deps.push_back(prev);
+      consumers[static_cast<std::size_t>(r)].push_back(uo.tag);
+      prev = uo.tag;
+      pool.submit(
+          [node, w, r, cp] {
+            scaled_add_serial(w, node->rb[static_cast<std::size_t>(r)].mv, cp);
+          },
+          std::move(uo));
+    }
+    if (prev != kNoTag) chain_last.push_back(prev);
+  }
+
+  // Release tasks recycle S/T/M once every consumer of M_r has run.
+  for (int r = 0; r < R; ++r) {
+    TaskOptions ro;
+    ro.tag = rel[static_cast<std::size_t>(r)];
+    ro.priority = depth;
+    ro.deps = consumers[static_cast<std::size_t>(r)].empty()
+                  ? std::vector<TaskTag>{m_done[static_cast<std::size_t>(r)]}
+                  : consumers[static_cast<std::size_t>(r)];
+    pool.submit(
+        [node, r] { node->rb[static_cast<std::size_t>(r)] = Node::RBuf{}; },
+        std::move(ro));
+  }
+
+  // Fringe GEMMs.  The k fringe writes the interior C region and must
+  // follow every update chain; the n/m fringes write disjoint regions and
+  // run free.
+  std::vector<TaskTag> fin_deps = chain_last;
+  for (const PeelPiece& p : peel_pieces(m, n, k, m1, n1, k1)) {
+    if (p.m1 <= p.m0 || p.n1 <= p.n0 || p.k1 <= p.k0) continue;
+    TaskOptions po;
+    po.tag = pool.fresh_tag();
+    po.priority = depth;
+    if (p.k0 > 0) po.deps = chain_last;
+    fin_deps.push_back(po.tag);
+    const MatView cp = c.block(p.m0, p.n0, p.m1 - p.m0, p.n1 - p.n0);
+    const ConstMatView ap = a.block(p.m0, p.k0, p.m1 - p.m0, p.k1 - p.k0);
+    const ConstMatView bp = b.block(p.k0, p.n0, p.k1 - p.k0, p.n1 - p.n0);
+    pool.submit([node, cp, ap, bp] { node->ctx.leaf(nullptr, cp, ap, bp); },
+                std::move(po));
+  }
+
+  TaskOptions fo;
+  fo.tag = done_tag;
+  fo.priority = depth;
+  fo.deps = std::move(fin_deps);
+  return pool.submit([] { return Status{}; }, std::move(fo));
+}
+
+// The sequential twin: identical decomposition and operation order, inline.
+void run_node_sequential(const RecursiveExec& ctx, const Plan& plan,
+                         MatView c, ConstMatView a, ConstMatView b,
+                         int depth) {
+  const FmmAlgorithm& alg = plan.levels.front();
+  const index_t m = c.rows(), n = c.cols(), k = a.cols();
+  const index_t m1 = m - m % alg.mt;
+  const index_t k1 = k - k % alg.kt;
+  const index_t n1 = n - n % alg.nt;
+  const int R = alg.R;
+
+  Node node;
+  node.ctx = ctx;
+  node.alg = alg;
+  if (plan.num_levels() > 1) {
+    Plan childp = make_plan(
+        std::vector<FmmAlgorithm>(plan.levels.begin() + 1, plan.levels.end()),
+        plan.variant);
+    childp.kernel = plan.kernel;
+    node.child = std::make_shared<const Plan>(std::move(childp));
+  }
+  node.c = c;
+  node.a = a;
+  node.b = b;
+  node.ms = m1 / alg.mt;
+  node.ks = k1 / alg.kt;
+  node.ns = n1 / alg.nt;
+  node.depth = depth;
+  node.rb.resize(static_cast<std::size_t>(R));
+  node.descend =
+      node.child != nullptr &&
+      should_recurse(*node.child, node.ms, node.ns, node.ks, ctx.cutoff);
+
+  for (int r = 0; r < R; ++r) {
+    prep_product(node, r);
+    Node::RBuf& rb = node.rb[static_cast<std::size_t>(r)];
+    if (node.descend) {
+      run_node_sequential(ctx, *node.child, rb.mv, rb.sv, rb.tv, depth + 1);
+    } else {
+      ctx.leaf(node.child.get(), rb.mv, rb.sv, rb.tv);
+    }
+    for (int p = 0; p < alg.rows_w(); ++p) {
+      const double w = alg.w(p, r);
+      if (w == 0.0) continue;
+      scaled_add_serial(w, rb.mv,
+                        c.block((p / alg.nt) * node.ms,
+                                (p % alg.nt) * node.ns, node.ms, node.ns));
+    }
+    rb = Node::RBuf{};  // recycle before the next product
+  }
+
+  for (const PeelPiece& p : peel_pieces(m, n, k, m1, n1, k1)) {
+    if (p.m1 <= p.m0 || p.n1 <= p.n0 || p.k1 <= p.k0) continue;
+    ctx.leaf(nullptr, c.block(p.m0, p.n0, p.m1 - p.m0, p.n1 - p.n0),
+             a.block(p.m0, p.k0, p.m1 - p.m0, p.k1 - p.k0),
+             b.block(p.k0, p.n0, p.k1 - p.k0, p.n1 - p.n0));
+  }
+}
+
+}  // namespace
+
+TaskFuture submit_recursive(const RecursiveExec& ctx, const Plan& plan,
+                            MatView c, ConstMatView a, ConstMatView b) {
+  assert(ctx.pool != nullptr && ctx.buffers != nullptr && ctx.leaf);
+  assert(should_recurse(plan, c.rows(), c.cols(), a.cols(), ctx.cutoff));
+  return build_node(ctx, std::make_shared<const Plan>(plan), c, a, b,
+                    /*depth=*/0, ctx.pool->fresh_tag());
+}
+
+void run_recursive_sequential(const RecursiveExec& ctx, const Plan& plan,
+                              MatView c, ConstMatView a, ConstMatView b) {
+  assert(ctx.buffers != nullptr && ctx.leaf);
+  assert(should_recurse(plan, c.rows(), c.cols(), a.cols(), ctx.cutoff));
+  run_node_sequential(ctx, plan, c, a, b, /*depth=*/0);
+}
+
+}  // namespace fmm

@@ -1,5 +1,6 @@
 #include "src/gemm/blocking.h"
 
+#include "src/gemm/fused.h"  // resolve_threads
 #include "src/util/env.h"
 
 namespace fmm {
@@ -33,7 +34,7 @@ index_t env_block(const char* name) {
 
 AutoBlocking derive_blocking(const KernelInfo& kernel,
                              const arch::CacheTopology& topo,
-                             index_t kc_pinned) {
+                             index_t kc_pinned, int threads) {
   constexpr double kWord = sizeof(double);
   AutoBlocking ab;
 
@@ -61,14 +62,18 @@ AutoBlocking derive_blocking(const KernelInfo& kernel,
   // single-threaded GEMM can productively fill an otherwise idle L3, and
   // the paper's own n_C = 4092 claims a third of its 25 MiB slice.  Two
   // guards: an 8 MiB cap (bounds the workspace footprint on huge-L3 server
-  // parts, where far-L3 hit latency stops paying for itself anyway), and
-  // at most four per-core shares when the slice is split among very many
-  // cores (concurrent work competes for it).  No (or unknown) L3: the cap.
+  // parts, where far-L3 hit latency stops paying for itself anyway), and a
+  // per-core-share cap when the slice is split among very many cores:
+  // this call's resolved thread count says how many of those sharing cores
+  // *we* occupy (never fewer than four shares — a serial GEMM may still
+  // fill an idle L3 — and never more than the slice actually has).  No (or
+  // unknown) L3: the cap.
   constexpr double kBPanelCap = 8.0 * 1024 * 1024;
   const double l3 = static_cast<double>(topo.l3_bytes);
   const int sharing = std::max(topo.l3_sharing, 1);
+  const int shares = std::min(std::max(threads, 4), sharing);
   const double budget =
-      l3 > 0 ? std::min({l3 / 3.0, kBPanelCap, 4.0 * l3 / sharing})
+      l3 > 0 ? std::min({l3 / 3.0, kBPanelCap, shares * l3 / sharing})
              : kBPanelCap;
   ab.nc = floor_multiple_clamped(budget / (ab.kc * kWord), kernel.nr,
                                  kernel.nr, round_up(16384, kernel.nr));
@@ -88,8 +93,8 @@ BlockingParams resolve_blocking(const GemmConfig& cfg) {
   if (mc == 0 || kc == 0 || nc == 0) {
     // A pinned kc reshapes the derived mc/nc (the A-tile and B-panel must
     // fit the caches at the kc that actually runs).
-    const AutoBlocking ab =
-        derive_blocking(*bp.kernel, arch::cache_topology(), kc);
+    const AutoBlocking ab = derive_blocking(*bp.kernel, arch::cache_topology(),
+                                            kc, resolve_threads(cfg));
     if (mc == 0) mc = ab.mc;
     if (kc == 0) kc = ab.kc;
     if (nc == 0) nc = ab.nc;

@@ -77,11 +77,15 @@ struct BlockingParams {
 //        mR and clamped to [mR, 1536];
 //   n_C: the k_C x n_C packed B-panel is cooperatively shared by every
 //        core on the L3 slice, so it budgets one third of the *whole*
-//        slice (not a per-core share), capped at 8 MiB and at four
-//        per-core shares on heavily shared slices, floored to nR.
+//        slice (not a per-core share), capped at 8 MiB and — on heavily
+//        shared slices — at min(max(threads, 4), l3_sharing) per-core
+//        shares: a wide parallel call may claim as many shares as cores
+//        it occupies, a serial one still gets four (filling an idle L3
+//        pays even single-threaded), floored to nR.
 // `kc_pinned` > 0 (an explicit config or FMM_KC value) replaces the k_C
 // derivation and reshapes m_C/n_C so the fit invariants hold for the k_C
-// that actually runs.
+// that actually runs.  `threads` is the resolved thread count of the call
+// the blocking serves (resolve_blocking passes it automatically).
 struct AutoBlocking {
   index_t mc = 0;
   index_t kc = 0;
@@ -89,7 +93,7 @@ struct AutoBlocking {
 };
 AutoBlocking derive_blocking(const KernelInfo& kernel,
                              const arch::CacheTopology& topo,
-                             index_t kc_pinned = 0);
+                             index_t kc_pinned = 0, int threads = 1);
 
 // Resolves a GemmConfig against the running machine: picks the kernel
 // (cfg.kernel or the cpuid-dispatched default), then per cache-block field

@@ -191,4 +191,13 @@ ModelParams calibrate(const GemmConfig& cfg) {
   return p;
 }
 
+index_t recommended_recurse_cutoff(const arch::CacheTopology& topo) {
+  const double l3 =
+      topo.l3_bytes > 0 ? static_cast<double>(topo.l3_bytes) : 8.0 * (1 << 20);
+  const double fit = std::sqrt(l3 / (3.0 * sizeof(double)));
+  index_t cutoff = static_cast<index_t>(fit);
+  cutoff -= cutoff % 64;
+  return std::clamp<index_t>(cutoff, 256, 4096);
+}
+
 }  // namespace fmm

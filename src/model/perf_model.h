@@ -82,4 +82,13 @@ ModelBreakdown predict_breakdown(const ModelInput& in, const ModelParams& p);
 // calls only re-run the two GEMM fits.
 ModelParams calibrate(const GemmConfig& cfg = GemmConfig{});
 
+// The analytic default for the task-recursive leaf cutoff
+// (src/core/recursive.h): the largest square-ish leaf whose three operands
+// still fit the (total) L3 — n = sqrt(l3_bytes / (3 * 8)) — floored to a
+// multiple of 64 and clamped to [256, 4096].  Below the lower clamp the
+// per-node task and buffer overhead swamps the leaf work; above the upper
+// clamp a leaf is DRAM-bound no matter what the topology claims.  An
+// unknown L3 (l3_bytes <= 0) assumes 8 MiB.
+index_t recommended_recurse_cutoff(const arch::CacheTopology& topo);
+
 }  // namespace fmm

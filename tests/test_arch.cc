@@ -194,6 +194,31 @@ TEST(DeriveBlocking, HeavilySharedL3CapsTheBPanelAtFourCoreShares) {
   EXPECT_EQ(ivy.nc, 4092);
 }
 
+TEST(DeriveBlocking, ThreadCountWidensTheSharedSliceBudget) {
+  // The same 64-way-shared slice, sized for a 16-thread call: the pack may
+  // claim 16 per-core shares instead of the serial caller's 4 — a wider
+  // B-panel, still inside the 16-share budget and the whole slice.
+  const KernelInfo* k = find_kernel("portable");
+  ASSERT_NE(k, nullptr);
+  const arch::CacheTopology topo =
+      make_topology(32 * kKiB, 256 * kKiB, 32 * kMiB, 64);
+  const AutoBlocking serial = derive_blocking(*k, topo, 0, /*threads=*/1);
+  const AutoBlocking wide = derive_blocking(*k, topo, 0, /*threads=*/16);
+  EXPECT_GT(wide.nc, serial.nc);
+  EXPECT_LE(wide.kc * wide.nc * 8, 16 * topo.l3_bytes / topo.l3_sharing);
+  // More threads than sharing cores claims at most the whole slice's
+  // third/cap budget — never more than l3_sharing shares.
+  const AutoBlocking over = derive_blocking(*k, topo, 0, /*threads=*/256);
+  const AutoBlocking all = derive_blocking(*k, topo, 0, /*threads=*/64);
+  EXPECT_EQ(over.nc, all.nc);
+  // Lightly shared topologies are thread-count-invariant: Ivy Bridge
+  // (10-way) keeps the paper's 4092 at any width, because the 8 MiB cap
+  // binds before the share budget does.
+  const arch::CacheTopology ivy = arch::ivy_bridge_topology();
+  EXPECT_EQ(derive_blocking(*k, ivy, 0, 1).nc, 4092);
+  EXPECT_EQ(derive_blocking(*k, ivy, 0, 16).nc, 4092);
+}
+
 TEST(DeriveBlocking, ThinTileKernelGetsItsOwnDivisibleBlocking) {
   const KernelInfo* thin = find_kernel("portable_4x12");
   ASSERT_NE(thin, nullptr);

@@ -1,0 +1,429 @@
+// Task-recursive multi-level execution (src/core/recursive.h): the
+// BufferPool allocator, the descent predicate and cutoff resolution, the
+// determinism contract (graph == sequential twin, bitwise, under any worker
+// count), peeling/degenerate shapes under recursion, and the nested-call /
+// slot-pool regressions.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/core/catalog.h"
+#include "src/core/engine.h"
+#include "src/core/recursive.h"
+#include "src/gemm/gemm.h"
+#include "src/model/perf_model.h"
+#include "tests/test_support.h"
+
+namespace fmm {
+namespace {
+
+using test::degenerate_shapes;
+using test::random_problem;
+using test::RandomProblem;
+using test::tol_for;
+
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_ = old != nullptr;
+    if (had_) old_ = old;
+    if (value != nullptr) {
+      setenv(name, value, 1);
+    } else {
+      unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_) {
+      setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string old_;
+  bool had_ = false;
+};
+
+Plan one_level_plan(Variant v = Variant::kABC) {
+  return make_plan({catalog::best(2, 2, 2)}, v);
+}
+
+Plan two_level_plan(Variant v = Variant::kABC) {
+  return make_plan({catalog::best(2, 2, 2), catalog::best(2, 2, 2)}, v);
+}
+
+void expect_bitwise_equal(const Matrix& x, const Matrix& y) {
+  ASSERT_EQ(x.rows(), y.rows());
+  ASSERT_EQ(x.cols(), y.cols());
+  EXPECT_EQ(std::memcmp(x.data(), y.data(),
+                        static_cast<std::size_t>(x.rows() * x.cols()) *
+                            sizeof(double)),
+            0);
+}
+
+// A standalone RecursiveExec whose leaves are plain serial GEMMs — no
+// Engine, no executor cache — for the graph-vs-sequential oracle tests.
+// Only valid for plans fully consumed by the descent (child == nullptr at
+// every leaf).
+RecursiveExec gemm_leaf_ctx(TaskPool* pool, BufferPool* buffers,
+                            index_t cutoff) {
+  RecursiveExec ctx;
+  ctx.pool = pool;
+  ctx.buffers = buffers;
+  ctx.cutoff = cutoff;
+  ctx.leaf = [](const Plan* plan, MatView c, ConstMatView a, ConstMatView b) {
+    ASSERT_EQ(plan, nullptr) << "descent did not consume every level";
+    static thread_local GemmWorkspace ws;
+    GemmConfig cfg;
+    cfg.num_threads = 1;
+    gemm(c, a, b, ws, cfg);
+  };
+  return ctx;
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool.
+// ---------------------------------------------------------------------------
+
+TEST(RecursiveBufferPool, LeaseRoundTripAndReuse) {
+  BufferPool pool;
+  EXPECT_EQ(pool.free_buffers(), 0u);
+  EXPECT_EQ(pool.outstanding(), 0u);
+  {
+    BufferPool::Lease a = pool.acquire(100);
+    BufferPool::Lease b = pool.acquire(50);
+    EXPECT_TRUE(a.engaged());
+    EXPECT_NE(a.data(), nullptr);
+    EXPECT_EQ(pool.outstanding(), 2u);
+  }
+  EXPECT_EQ(pool.outstanding(), 0u);
+  EXPECT_EQ(pool.free_buffers(), 2u);
+  const std::size_t peak = pool.peak_bytes();
+  EXPECT_GE(peak, 150 * sizeof(double));
+
+  // A request the 100-element buffer satisfies must reuse it (and prefer
+  // it over nothing): no new allocation, peak unchanged.
+  {
+    BufferPool::Lease c = pool.acquire(80);
+    EXPECT_EQ(pool.free_buffers(), 1u);
+    EXPECT_EQ(pool.peak_bytes(), peak);
+  }
+  EXPECT_EQ(pool.free_buffers(), 2u);
+
+  // A request nothing satisfies allocates instead of blocking.
+  BufferPool::Lease big = pool.acquire(1000);
+  EXPECT_TRUE(big.engaged());
+  EXPECT_EQ(pool.free_buffers(), 2u);
+  EXPECT_GT(pool.peak_bytes(), peak);
+}
+
+TEST(RecursiveBufferPool, ResetReturnsEarlyAndMoveTransfers) {
+  BufferPool pool;
+  BufferPool::Lease a = pool.acquire(16);
+  BufferPool::Lease b = std::move(a);
+  EXPECT_FALSE(a.engaged());  // NOLINT(bugprone-use-after-move): tested
+  EXPECT_TRUE(b.engaged());
+  EXPECT_EQ(pool.outstanding(), 1u);
+  b.reset();
+  EXPECT_FALSE(b.engaged());
+  EXPECT_EQ(pool.outstanding(), 0u);
+  EXPECT_EQ(pool.free_buffers(), 1u);
+  b.reset();  // idempotent
+  EXPECT_EQ(pool.free_buffers(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Descent predicate and cutoff resolution.
+// ---------------------------------------------------------------------------
+
+TEST(RecursiveCutoff, ShouldRecursePredicate) {
+  const Plan plan = one_level_plan();
+  EXPECT_TRUE(should_recurse(plan, 64, 64, 64, 32));
+  // Every dimension must be strictly above the cutoff...
+  EXPECT_FALSE(should_recurse(plan, 64, 64, 64, 64));
+  EXPECT_FALSE(should_recurse(plan, 64, 32, 64, 32));
+  // ...the cutoff positive...
+  EXPECT_FALSE(should_recurse(plan, 64, 64, 64, 0));
+  // ...and the outermost level must have a non-empty interior (<3,3,3> at
+  // m = 2 clears the cutoff but cannot form a quadrant grid).
+  const Plan plan3 = make_plan({catalog::best(3, 3, 3)}, Variant::kABC);
+  EXPECT_FALSE(should_recurse(plan3, 2, 64, 64, 1));
+  EXPECT_TRUE(should_recurse(plan3, 64, 64, 64, 32));
+  EXPECT_TRUE(should_recurse(plan, 3, 64, 64, 2));  // 1-wide quadrants OK
+}
+
+TEST(RecursiveCutoff, OptionsBeatEnvBeatsDefault) {
+  ScopedEnv env("FMM_RECURSE_CUTOFF", "555");
+  {
+    Engine::Options o;
+    o.recurse_cutoff = 777;
+    Engine e(o);
+    EXPECT_EQ(e.recurse_cutoff(), 777);
+  }
+  {
+    Engine e;  // Options 0 defers to the env
+    EXPECT_EQ(e.recurse_cutoff(), 555);
+  }
+  {
+    Engine::Options o;
+    o.recurse_cutoff = -1;  // explicit disable beats the env
+    Engine e(o);
+    EXPECT_EQ(e.recurse_cutoff(), 0);
+  }
+}
+
+TEST(RecursiveCutoff, EnvZeroDisablesUnsetUsesModelDefault) {
+  {
+    ScopedEnv env("FMM_RECURSE_CUTOFF", "0");
+    Engine e;
+    EXPECT_EQ(e.recurse_cutoff(), 0);
+  }
+  {
+    ScopedEnv env("FMM_RECURSE_CUTOFF", nullptr);
+    Engine e;
+    EXPECT_EQ(e.recurse_cutoff(),
+              recommended_recurse_cutoff(arch::cache_topology()));
+  }
+}
+
+TEST(RecursiveCutoff, RecommendedCutoffTracksL3AndClamps) {
+  arch::CacheTopology topo;
+  topo.l3_bytes = 25 * (1L << 20);  // the paper's Ivy Bridge slice
+  const index_t ivy = recommended_recurse_cutoff(topo);
+  EXPECT_EQ(ivy, 1024);  // sqrt(25 MiB / 24) ~ 1045, floored to 64
+  topo.l3_bytes = 1L << 20;
+  EXPECT_EQ(recommended_recurse_cutoff(topo), 256);  // lower clamp
+  topo.l3_bytes = 1L << 30;
+  EXPECT_EQ(recommended_recurse_cutoff(topo), 4096);  // upper clamp
+  topo.l3_bytes = 0;  // unknown: 8 MiB assumption
+  const index_t unknown = recommended_recurse_cutoff(topo);
+  EXPECT_EQ(unknown % 64, 0);
+  EXPECT_GE(unknown, 256);
+  EXPECT_LE(unknown, 1024);
+}
+
+// ---------------------------------------------------------------------------
+// Correctness and the determinism contract.
+// ---------------------------------------------------------------------------
+
+// With the cutoff at the problem size no descent happens: the engine runs
+// the flat executor and the result is bitwise identical to a
+// descent-disabled engine.
+TEST(RecursiveExecution, CutoffAtProblemSizeIsBitwiseFlat) {
+  const Plan plan = two_level_plan();
+  const index_t n = 64;
+  RandomProblem p = random_problem(n, n, n, 42);
+  Matrix c_flat = p.c.clone();
+
+  Engine::Options ro;
+  ro.recurse_cutoff = n;  // min(m, n, k) > cutoff is false: flat path
+  Engine recursive(ro);
+  ASSERT_TRUE(recursive.multiply(plan, p.c.view(), p.a.view(), p.b.view()).ok());
+  EXPECT_EQ(recursive.stats().recursive_runs, 0u);
+
+  Engine::Options fo;
+  fo.recurse_cutoff = -1;
+  Engine flat(fo);
+  ASSERT_TRUE(flat.multiply(plan, c_flat.view(), p.a.view(), p.b.view()).ok());
+  expect_bitwise_equal(p.c, c_flat);
+}
+
+TEST(RecursiveExecution, DescentMatchesReferenceTwoLevel) {
+  const Plan plan = two_level_plan();
+  Engine::Options o;
+  o.recurse_cutoff = 20;  // 96 -> 48 -> GEMM leaves at 24
+  o.workers = 4;
+  Engine e(o);
+  const index_t n = 96;
+  RandomProblem p = random_problem(n, n, n, 7);
+  ASSERT_TRUE(e.multiply(plan, p.c.view(), p.a.view(), p.b.view()).ok());
+  EXPECT_GE(e.stats().recursive_runs, 1u);
+  ref_gemm(p.want.view(), p.a.view(), p.b.view());
+  EXPECT_LE(max_abs_diff(p.c.view(), p.want.view()), tol_for(n, 2));
+}
+
+// Flat and recursive execution associate the per-level sums differently,
+// so they agree to tolerance (bitwise identity holds only without descent).
+TEST(RecursiveExecution, FlatVsRecursiveWithinTolerance) {
+  const Plan plan = two_level_plan();
+  const index_t n = 88;
+  RandomProblem p = random_problem(n, n, n, 11);
+  Matrix c_flat = p.c.clone();
+
+  Engine::Options ro;
+  ro.recurse_cutoff = 20;
+  Engine recursive(ro);
+  ASSERT_TRUE(recursive.multiply(plan, p.c.view(), p.a.view(), p.b.view()).ok());
+  EXPECT_GE(recursive.stats().recursive_runs, 1u);
+
+  Engine::Options fo;
+  fo.recurse_cutoff = -1;
+  Engine flat(fo);
+  ASSERT_TRUE(flat.multiply(plan, c_flat.view(), p.a.view(), p.b.view()).ok());
+  EXPECT_LE(max_abs_diff(p.c.view(), c_flat.view()), tol_for(n, 2));
+}
+
+// The core contract: the task graph produces bitwise-identical results
+// across worker counts, across runs, and against the sequential twin.
+TEST(RecursiveExecution, BitwiseDeterministicAcrossSchedules) {
+  const Plan plan = one_level_plan();
+  const index_t n = 60;  // 60 -> 30 GEMM leaves
+  const index_t cutoff = 16;
+  RandomProblem p = random_problem(n, n, n, 23);
+  BufferPool buffers;
+
+  Matrix c_seq = p.c.clone();
+  {
+    RecursiveExec ctx = gemm_leaf_ctx(nullptr, &buffers, cutoff);
+    run_recursive_sequential(ctx, plan, c_seq.view(), p.a.view(), p.b.view());
+  }
+
+  for (int workers : {1, 2, 8}) {
+    for (int rep = 0; rep < 2; ++rep) {
+      SCOPED_TRACE("workers=" + std::to_string(workers) +
+                   " rep=" + std::to_string(rep));
+      Matrix c = p.c.clone();
+      TaskPool pool(workers);
+      RecursiveExec ctx = gemm_leaf_ctx(&pool, &buffers, cutoff);
+      TaskFuture f =
+          submit_recursive(ctx, plan, c.view(), p.a.view(), p.b.view());
+      f.wait();
+      ASSERT_TRUE(f.status().ok());
+      expect_bitwise_equal(c, c_seq);
+    }
+  }
+
+  // And the answer is actually right.
+  ref_gemm(p.want.view(), p.a.view(), p.b.view());
+  EXPECT_LE(max_abs_diff(c_seq.view(), p.want.view()), tol_for(n, 1));
+}
+
+// Nested synchronous multiply from a TaskPool worker takes the sequential
+// twin — same bits as the host-thread graph, no deadlock.
+TEST(RecursiveNested, OnWorkerSequentialMatchesHostGraph) {
+  const Plan plan = two_level_plan();
+  Engine::Options o;
+  o.recurse_cutoff = 20;
+  o.workers = 2;
+  Engine e(o);
+  const index_t n = 96;
+  RandomProblem p = random_problem(n, n, n, 31);
+  Matrix c_nested = p.c.clone();
+
+  ASSERT_TRUE(e.multiply(plan, p.c.view(), p.a.view(), p.b.view()).ok());
+
+  TaskPool tp(1);  // a foreign pool: its worker still counts as "on worker"
+  Status nested_st;
+  TaskFuture f = tp.submit([&] {
+    nested_st = e.multiply(plan, c_nested.view(), p.a.view(), p.b.view());
+  });
+  f.wait();
+  ASSERT_TRUE(f.status().ok());
+  ASSERT_TRUE(nested_st.ok());
+  expect_bitwise_equal(p.c, c_nested);
+}
+
+// ---------------------------------------------------------------------------
+// Peeling and degenerate shapes under recursion.
+// ---------------------------------------------------------------------------
+
+TEST(RecursiveExecution, NonDivisibleDimsPeelAtEveryLevel) {
+  Engine::Options o;
+  o.recurse_cutoff = 10;
+  Engine e(o);
+  const Plan plan2 = two_level_plan();
+  const Plan plan1 = one_level_plan();
+  struct Shape {
+    index_t m, n, k;
+  };
+  for (const Shape& s : {Shape{97, 89, 101}, Shape{65, 97, 33},
+                         Shape{47, 47, 47}, Shape{96, 95, 94}}) {
+    RandomProblem p = random_problem(s.m, s.n, s.k, 1000 + s.m);
+    ASSERT_TRUE(e.multiply(plan2, p.c.view(), p.a.view(), p.b.view()).ok());
+    ref_gemm(p.want.view(), p.a.view(), p.b.view());
+    EXPECT_LE(max_abs_diff(p.c.view(), p.want.view()), tol_for(s.k, 2))
+        << "m=" << s.m << " n=" << s.n << " k=" << s.k;
+
+    RandomProblem q = random_problem(s.m, s.n, s.k, 2000 + s.m);
+    ASSERT_TRUE(e.multiply(plan1, q.c.view(), q.a.view(), q.b.view()).ok());
+    ref_gemm(q.want.view(), q.a.view(), q.b.view());
+    EXPECT_LE(max_abs_diff(q.c.view(), q.want.view()), tol_for(s.k, 1))
+        << "m=" << s.m << " n=" << s.n << " k=" << s.k;
+  }
+  EXPECT_GE(e.stats().recursive_runs, 8u);
+}
+
+TEST(RecursiveExecution, OneWideQuadrantsAndDegenerateShapes) {
+  Engine::Options o;
+  o.recurse_cutoff = 2;  // aggressively recurse even tiny shapes
+  Engine e(o);
+  const Plan plan = one_level_plan();
+
+  // k = 3 above cutoff 2: ks = 1 quadrants, GEMM leaves with k = 1.
+  {
+    RandomProblem p = random_problem(18, 18, 3, 5);
+    ASSERT_TRUE(e.multiply(plan, p.c.view(), p.a.view(), p.b.view()).ok());
+    ref_gemm(p.want.view(), p.a.view(), p.b.view());
+    EXPECT_LE(max_abs_diff(p.c.view(), p.want.view()), tol_for(3, 1));
+  }
+
+  // Degenerate 0/1-dim shapes route around the descent entirely.
+  for (const auto& s : degenerate_shapes()) {
+    RandomProblem p = random_problem(s[0], s[1], s[2], 90 + s[0]);
+    ASSERT_TRUE(e.multiply(plan, p.c.view(), p.a.view(), p.b.view()).ok());
+    ref_gemm(p.want.view(), p.a.view(), p.b.view());
+    EXPECT_LE(max_abs_diff(p.c.view(), p.want.view()), tol_for(s[2], 1))
+        << "m=" << s[0] << " n=" << s[1] << " k=" << s[2];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Workspace-slot pool under nested execution (the slots=1 regression).
+// ---------------------------------------------------------------------------
+
+TEST(RecursiveSlots, EnsureSlotsGrowsAndNeverShrinks) {
+  const Plan plan = one_level_plan();
+  FmmExecutor exec(plan, 32, 32, 32, GemmConfig{}, /*slots=*/1);
+  EXPECT_EQ(exec.num_slots(), 1);
+  exec.ensure_slots(4);
+  EXPECT_EQ(exec.num_slots(), 4);
+  exec.ensure_slots(2);  // never shrinks
+  EXPECT_EQ(exec.num_slots(), 4);
+  exec.ensure_slots(0);  // no-op
+  EXPECT_EQ(exec.num_slots(), 4);
+
+  // Still computes correctly after growth.
+  RandomProblem p = random_problem(32, 32, 32, 77);
+  exec.run(p.c.view(), p.a.view(), p.b.view());
+  ref_gemm(p.want.view(), p.a.view(), p.b.view());
+  EXPECT_LE(max_abs_diff(p.c.view(), p.want.view()), tol_for(32, 1));
+}
+
+// An engine pinned to one workspace slot per executor must still complete
+// recursive execution with concurrent leaf tasks — ensure_slots grows the
+// leaf executor's pool to the worker count, so the single-slot setting
+// cannot serialize (or wedge) the leaves.
+TEST(RecursiveSlots, SingleSlotEngineCompletesRecursion) {
+  const Plan plan = two_level_plan();
+  Engine::Options o;
+  o.slots = 1;
+  o.workers = 4;
+  o.recurse_cutoff = 20;
+  Engine e(o);
+  const index_t n = 96;
+  RandomProblem p = random_problem(n, n, n, 13);
+  ASSERT_TRUE(e.multiply(plan, p.c.view(), p.a.view(), p.b.view()).ok());
+  EXPECT_GE(e.stats().recursive_runs, 1u);
+  ref_gemm(p.want.view(), p.a.view(), p.b.view());
+  EXPECT_LE(max_abs_diff(p.c.view(), p.want.view()), tol_for(n, 2));
+}
+
+}  // namespace
+}  // namespace fmm
