@@ -362,5 +362,56 @@ int main(int argc, char** argv) {
   std::printf("engine batch vs per-call on shared-B serving shapes "
               "(K>=8, n<=128): %s\n",
               sharedb_claim ? ">=1.2x everywhere" : "NOT uniformly >=1.2x");
+
+  // -------------------------------------------------------------------------
+  // Element types: single-core serving throughput of the two precisions
+  // through the same Engine explicit-plan path.  The f32 family packs twice
+  // the lanes per FMA and moves half the bytes, so its effective GFLOP/s
+  // should land well above f64 (the bench-smoke gate asserts >= 1.6x on
+  // vectorized kernels; the ratio is informational under FMM_KERNEL=
+  // portable, where both dtypes run scalar).
+  // -------------------------------------------------------------------------
+  GemmConfig one = cfg;
+  one.num_threads = 1;
+  // Larger sizes than the batch tables: single-core at n<=128 is dominated
+  // by per-call plan overhead, which is dtype-independent and would mask
+  // the precision gap the gate is about.
+  const std::vector<index_t> fsizes =
+      opts.smoke ? std::vector<index_t>{512, 768}
+                 : std::vector<index_t>{256, 512, 1024};
+  std::printf("\nElement types: f32 vs f64, single core (effective GFLOPS)\n\n");
+  TablePrinter ftable({"n", "f64", "f32", "f32/f64"});
+  for (index_t s : fsizes) {
+    const double flops = 2.0 * static_cast<double>(s) * s * s;
+
+    Matrix a64 = Matrix::random(s, s, 50);
+    Matrix b64 = Matrix::random(s, s, 51);
+    Matrix c64 = Matrix::zero(s, s);
+    auto run64 = [&] {
+      (void)engine.multiply(plan, c64.view(), a64.view(), b64.view(), one);
+    };
+    run64();
+    const double t64 = best_time_of(reps, run64);
+
+    std::vector<float> a32(static_cast<std::size_t>(s) * s);
+    std::vector<float> b32(a32.size());
+    std::vector<float> c32(a32.size(), 0.0f);
+    for (std::size_t i = 0; i < a32.size(); ++i) {
+      a32[i] = static_cast<float>(a64.data()[i]);
+      b32[i] = static_cast<float>(b64.data()[i]);
+    }
+    MatViewF32 cv(c32.data(), s, s, s);
+    ConstMatViewF32 av(a32.data(), s, s, s);
+    ConstMatViewF32 bv(b32.data(), s, s, s);
+    auto run32 = [&] { (void)engine.multiply(plan, cv, av, bv, one); };
+    run32();
+    const double t32 = best_time_of(reps, run32);
+
+    ftable.add_row({TablePrinter::fmt((long long)s),
+                    TablePrinter::fmt(flops / t64 * 1e-9, 1),
+                    TablePrinter::fmt(flops / t32 * 1e-9, 1),
+                    TablePrinter::fmt(t64 / t32, 2)});
+  }
+  emit(ftable, opts, "f32");
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include <string>
+#include <vector>
 
 #include "src/gemm/gemm.h"
 #include "src/gemm/kernel.h"
@@ -18,15 +19,17 @@
 namespace fmm {
 namespace {
 
+template <typename T>
 void BM_Microkernel(benchmark::State& state, const KernelInfo* kern) {
   const index_t kc = state.range(0);
-  AlignedBuffer<double> a(static_cast<std::size_t>(kern->mr) * kc);
-  AlignedBuffer<double> b(static_cast<std::size_t>(kern->nr) * kc);
-  alignas(64) double acc[kMaxAccElems];
-  for (std::size_t i = 0; i < a.size(); ++i) a[i] = 1.0;
-  for (std::size_t i = 0; i < b.size(); ++i) b[i] = 2.0;
+  AlignedBuffer<T> a(static_cast<std::size_t>(kern->mr) * kc);
+  AlignedBuffer<T> b(static_cast<std::size_t>(kern->nr) * kc);
+  alignas(64) T acc[kMaxAccElemsOf<T>];
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = T(1);
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = T(2);
+  const auto fn = kernel_fn<T>(*kern);
   for (auto _ : state) {
-    kern->fn(kc, a.data(), b.data(), acc);
+    fn(kc, a.data(), b.data(), acc);
     benchmark::DoNotOptimize(acc[0]);
   }
   state.counters["GFLOPS"] = benchmark::Counter(
@@ -103,6 +106,33 @@ void BM_Gemm(benchmark::State& state, const KernelInfo* kern) {
       benchmark::Counter::kIsRate);
 }
 
+void BM_GemmF32(benchmark::State& state, const KernelInfo* kern) {
+  const index_t s = state.range(0);
+  const int threads = static_cast<int>(state.range(1));
+  std::vector<float> a(static_cast<std::size_t>(s) * s);
+  std::vector<float> b(a.size());
+  std::vector<float> c(a.size(), 0.0f);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<float>((i % 97) * 0.01);
+    b[i] = static_cast<float>((i % 89) * 0.02);
+  }
+  GemmWorkspaceF32 ws;
+  GemmConfig cfg;
+  cfg.num_threads = threads;
+  cfg.kernel = kern;  // nullptr = f32 dispatch default
+  MatViewF32 cv(c.data(), s, s, s);
+  ConstMatViewF32 av(a.data(), s, s, s);
+  ConstMatViewF32 bv(b.data(), s, s, s);
+  gemm(cv, av, bv, ws, cfg);  // warm up + workspace alloc
+  for (auto _ : state) {
+    gemm(cv, av, bv, ws, cfg);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * s * s * s * state.iterations() * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+
 void BM_GemmRankK(benchmark::State& state) {
   // The paper's special shape: m = n large, k small.
   const index_t mn = 2048, k = state.range(0);
@@ -124,25 +154,33 @@ void BM_GemmRankK(benchmark::State& state) {
 BENCHMARK(BM_GemmRankK)->Arg(256)->Arg(512)->Arg(1024)->Unit(benchmark::kMillisecond);
 
 void register_per_kernel_benchmarks() {
+  // Per-dtype rows: the f64 family keeps its historical names, the f32
+  // family is "f32_"-prefixed so JSON diffs line the two dtypes up.
   for (const KernelInfo& kern : kernel_registry()) {
     if (!kern.supported()) continue;
+    const bool f32 = kern.dtype == DType::kF32;
+    const std::string tag = (f32 ? "f32_" : "") + std::string(kern.name);
     benchmark::RegisterBenchmark(
-        ("BM_Microkernel/" + std::string(kern.name)).c_str(), BM_Microkernel,
-        &kern)
+        ("BM_Microkernel/" + tag).c_str(),
+        f32 ? BM_Microkernel<float> : BM_Microkernel<double>, &kern)
         ->Arg(64)
         ->Arg(256)
         ->Arg(1024);
-    benchmark::RegisterBenchmark(
-        ("BM_Gemm/" + std::string(kern.name)).c_str(), BM_Gemm, &kern)
+    benchmark::RegisterBenchmark(("BM_Gemm/" + tag).c_str(),
+                                 f32 ? BM_GemmF32 : BM_Gemm, &kern)
         ->Args({512, 1})
         ->Args({1024, 1})
         ->Unit(benchmark::kMillisecond);
   }
-  // The dispatch default (what plain users get), at larger sizes/threads.
+  // The dispatch defaults (what plain users get), at larger sizes/threads.
   benchmark::RegisterBenchmark("BM_Gemm/default", BM_Gemm, nullptr)
       ->Args({2048, 1})
       ->Args({1024, 0})
       ->Args({2048, 0})
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("BM_Gemm/f32_default", BM_GemmF32, nullptr)
+      ->Args({2048, 1})
+      ->Args({1024, 0})
       ->Unit(benchmark::kMillisecond);
 }
 

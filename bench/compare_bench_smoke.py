@@ -21,6 +21,8 @@ baseline (usually the latest main-branch artifact):
   * bench_recursive: CSV rows matched by (scenario, n); the flat
     single-executor path vs cutoff-based task-recursive descent, same
     higher-is-better semantics.
+  * bench_f32: CSV rows matched by n; single-core f64 vs f32 serving
+    throughput and the f32/f64 ratio, same higher-is-better semantics.
 
 Rows or whole sections present in only one artifact are *skipped* (listed
 as "only in baseline/candidate"), never treated as regressions — adding,
@@ -139,6 +141,9 @@ def main():
         ("bench_recursive (GFLOPS/ratio, higher is better)",
          table_rates(base_doc, "bench_recursive", ("scenario", "n")),
          table_rates(cand_doc, "bench_recursive", ("scenario", "n")), True),
+        ("bench_f32 (GFLOPS/ratio, higher is better)",
+         table_rates(base_doc, "bench_f32", ("n",)),
+         table_rates(cand_doc, "bench_f32", ("n",)), True),
     ]
     for title, base, cand, higher in sections:
         if not base and not cand:

@@ -57,6 +57,10 @@ def main():
     ap.add_argument("--recursive-csv",
                     help="CSV from bench_recursive --smoke (flat executor "
                          "vs task-recursive descent, GFLOPS per size)")
+    ap.add_argument("--f32-csv",
+                    help="CSV from bench_batch --smoke (the f32 table: "
+                         "single-core f64 vs f32 GFLOPS and the f32/f64 "
+                         "throughput ratio per size)")
     args = ap.parse_args()
 
     doc = {
@@ -83,6 +87,16 @@ def main():
         doc["bench_history"] = load_table_csv(args.history_csv)
     if args.recursive_csv:
         doc["bench_recursive"] = load_table_csv(args.recursive_csv)
+    if args.f32_csv:
+        rows = load_table_csv(args.f32_csv)
+        doc["bench_f32"] = rows
+        # Surface the headline ratio in the merge log so the CI step's
+        # output answers "how much faster is f32" without opening the JSON.
+        ratios = [float(r["f32/f64"]) for r in rows if r.get("f32/f64")]
+        if ratios:
+            print(f"f32/f64 single-core throughput ratio: "
+                  f"min {min(ratios):.2f} max {max(ratios):.2f}",
+                  file=sys.stderr)
 
     with open(args.out, "w") as f:
         json.dump(doc, f, indent=2, sort_keys=True)

@@ -22,7 +22,7 @@ namespace {
 
 struct CalibState {
   std::mutex mu;
-  std::map<std::string, double> rates;  // kernel name -> GFLOP/s
+  std::map<std::string, double> rates;  // kernel_cache_key() -> GFLOP/s
   bool file_loaded = false;
   int timing_runs = 0;
   // Programmatic cache-path override (beats FMM_CALIB_CACHE when set).
@@ -121,20 +121,24 @@ void append_cache_file_locked(CalibState& s, const std::string& kernel,
 // count doubles until one batch takes >= 0.5 ms, then the best of three
 // batches is kept — a few milliseconds per kernel even for the scalar
 // fallback, tens of microseconds of measured work for the vector kernels.
-double time_kernel_gflops(const KernelInfo& kern) {
+template <typename T>
+double time_kernel_gflops_t(const KernelInfo& kern) {
+  const auto fn = kernel_fn<T>(kern);
   const index_t kc = derive_blocking(kern, cache_topology()).kc;
-  AlignedBuffer<double> a(static_cast<std::size_t>(kern.mr) * kc);
-  AlignedBuffer<double> b(static_cast<std::size_t>(kern.nr) * kc);
-  alignas(64) double acc[kMaxAccElems];
-  for (std::size_t i = 0; i < a.size(); ++i) a[i] = 1.0 + 1e-9 * i;
-  for (std::size_t i = 0; i < b.size(); ++i) b[i] = 1.0 - 1e-9 * i;
+  AlignedBuffer<T> a(static_cast<std::size_t>(kern.mr) * kc);
+  AlignedBuffer<T> b(static_cast<std::size_t>(kern.nr) * kc);
+  alignas(64) T acc[kMaxAccElemsOf<T>];
+  for (std::size_t i = 0; i < a.size(); ++i)
+    a[i] = static_cast<T>(1.0 + 1e-9 * i);
+  for (std::size_t i = 0; i < b.size(); ++i)
+    b[i] = static_cast<T>(1.0 - 1e-9 * i);
 
   const double flops_per_call = 2.0 * kern.mr * kern.nr * kc;
   long reps = 16;
   double elapsed = 0.0;
   for (;;) {
     Timer t;
-    for (long r = 0; r < reps; ++r) kern.fn(kc, a.data(), b.data(), acc);
+    for (long r = 0; r < reps; ++r) fn(kc, a.data(), b.data(), acc);
     elapsed = t.seconds();
     if (elapsed >= 0.5e-3 || reps >= (1L << 20)) break;
     reps *= 2;
@@ -142,12 +146,17 @@ double time_kernel_gflops(const KernelInfo& kern) {
   double best = elapsed;
   for (int batch = 0; batch < 2; ++batch) {
     Timer t;
-    for (long r = 0; r < reps; ++r) kern.fn(kc, a.data(), b.data(), acc);
+    for (long r = 0; r < reps; ++r) fn(kc, a.data(), b.data(), acc);
     best = std::min(best, t.seconds());
   }
-  volatile double sink = acc[0];
+  volatile double sink = static_cast<double>(acc[0]);
   (void)sink;
   return flops_per_call * reps / best * 1e-9;
+}
+
+double time_kernel_gflops(const KernelInfo& kern) {
+  return kern.dtype == DType::kF32 ? time_kernel_gflops_t<float>(kern)
+                                   : time_kernel_gflops_t<double>(kern);
 }
 
 }  // namespace
@@ -166,13 +175,14 @@ double kernel_gflops(const KernelInfo& kern) {
   CalibState& s = state();
   std::lock_guard<std::mutex> lock(s.mu);
   if (!s.file_loaded) load_cache_file_locked(s);
-  if (auto it = s.rates.find(kern.name); it != s.rates.end()) {
+  const std::string key = kernel_cache_key(kern);
+  if (auto it = s.rates.find(key); it != s.rates.end()) {
     return it->second;
   }
   const double gflops = time_kernel_gflops(kern);
   ++s.timing_runs;
-  s.rates.emplace(kern.name, gflops);
-  append_cache_file_locked(s, kern.name, gflops);
+  s.rates.emplace(key, gflops);
+  append_cache_file_locked(s, key, gflops);
   return gflops;
 }
 
@@ -214,6 +224,29 @@ double measured_tau_b() {
     volatile double sink = y[123];
     (void)sink;
     // Three 8-byte streams per iteration (read x, read y, write y).
+    return best / (3.0 * static_cast<double>(words));
+  }();
+  return tau_b;
+}
+
+double measured_tau_b(DType dtype) {
+  if (dtype == DType::kF64) return measured_tau_b();
+  // Same nominal ~12 GB/s stream rate, 4-byte elements.
+  if (!calibration_enabled()) return 4.0 / 12e9;
+  static const double tau_b = [] {
+    // Same 128 MiB working set as the f64 triad, in 4-byte elements.
+    const std::size_t words = 1u << 25;
+    AlignedBuffer<float> x(words), y(words);
+    for (std::size_t i = 0; i < words; ++i) {
+      x[i] = static_cast<float>(i & 1023);
+      y[i] = 0.0f;
+    }
+    double best = best_time_of(3, [&] {
+      for (std::size_t i = 0; i < words; ++i) y[i] = 2.0f * x[i] + y[i];
+    });
+    volatile float sink = y[123];
+    (void)sink;
+    // Three 4-byte streams per iteration (read x, read y, write y).
     return best / (3.0 * static_cast<double>(words));
   }();
   return tau_b;

@@ -28,9 +28,12 @@
 
 namespace fmm::arch {
 
-// Sustained double-precision GFLOP/s of `kern` on L1-resident panels.
-// First call per kernel performs an adaptive timing loop (~1-3 ms);
-// subsequent calls return the cached value.  Thread-safe.
+// Sustained GFLOP/s of `kern` on L1-resident panels, timed at the kernel's
+// own element type (kern.dtype).  First call per kernel performs an
+// adaptive timing loop (~1-3 ms); subsequent calls return the cached
+// value.  Cache rows (in-memory and in FMM_CALIB_CACHE) are keyed by
+// kernel_cache_key(), so f32 and f64 rates never mix even for same-named
+// kernels.  Thread-safe.
 double kernel_gflops(const KernelInfo& kern);
 
 // The pre-calibration estimate: the registry's static flops/cycle hint at
@@ -40,11 +43,14 @@ double kernel_gflops_hint(const KernelInfo& kern);
 // True unless FMM_CALIBRATE is set to 0/off/false.
 bool calibration_enabled();
 
-// Amortized seconds per 8-byte element streamed from DRAM on one core
-// (the model's τ_b): a >LLC triad, measured once per process and cached.
-// With FMM_CALIBRATE=0 the triad is skipped and the nominal ~12 GB/s
-// default is returned, consistent with the hint-based τ_a.
+// Amortized seconds per *element* streamed from DRAM on one core (the
+// model's τ_b), at the given element width: a >LLC triad over that element
+// type, measured once per process per dtype and cached.  f32 elements are
+// half the bytes, so τ_b(f32) ≈ τ_b(f64) / 2.  With FMM_CALIBRATE=0 the
+// triad is skipped and a nominal ~12 GB/s default is returned, consistent
+// with the hint-based τ_a.  The no-argument form is the f64 value.
 double measured_tau_b();
+double measured_tau_b(DType dtype);
 
 // The persisted-cache key for this machine: the CPU brand string with
 // whitespace collapsed to underscores (one whitespace-free token).  Shared

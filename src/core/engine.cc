@@ -42,6 +42,7 @@ std::size_t key_hash(const Plan& plan, index_t m, index_t n, index_t k,
                      const GemmConfig& cfg) {
   std::size_t h = 0xfeedface;
   h = hash_combine(h, static_cast<std::size_t>(plan.variant));
+  h = hash_combine(h, static_cast<std::size_t>(plan.dtype));
   h = hash_combine(h, std::hash<const void*>{}(plan.kernel));
   const FmmAlgorithm& f = plan.flat;
   h = hash_combine(h, static_cast<std::size_t>(f.mt));
@@ -73,7 +74,15 @@ std::string shape_str(index_t m, index_t n, index_t k) {
          " k=" + std::to_string(k);
 }
 
-Status validate_triple(MatView c, ConstMatView a, ConstMatView b) {
+// The history footprint salt per element type: 0 for f64 keeps every
+// pre-existing persisted key unchanged; f32 keys can never collide with
+// the f64 key of the same plan and shape.
+constexpr std::uint64_t dtype_history_salt(DType dtype) {
+  return dtype == DType::kF32 ? 0x6633326b65797aull : 0;
+}
+
+template <typename T>
+Status validate_triple(MatViewT<T> c, ConstMatViewT<T> a, ConstMatViewT<T> b) {
   if (c.rows() < 0 || c.cols() < 0 || a.rows() < 0 || a.cols() < 0 ||
       b.rows() < 0 || b.cols() < 0) {
     return Status::error(StatusCode::kInvalidShape,
@@ -101,8 +110,8 @@ Status validate_triple(MatView c, ConstMatView a, ConstMatView b) {
   if (!b.empty() && b.data() == nullptr) {
     return Status::error(StatusCode::kInvalidArgument, "null B data");
   }
-  if (!c.empty() && (static_cast<const double*>(c.data()) == a.data() ||
-                     static_cast<const double*>(c.data()) == b.data())) {
+  if (!c.empty() && (static_cast<const T*>(c.data()) == a.data() ||
+                     static_cast<const T*>(c.data()) == b.data())) {
     return Status::error(StatusCode::kAliasing,
                          "C aliases an input operand");
   }
@@ -110,7 +119,8 @@ Status validate_triple(MatView c, ConstMatView a, ConstMatView b) {
 }
 
 // Normalizes the dense-default row strides in place, then validates.
-Status validate_strided(StridedBatch& sb) {
+template <typename T>
+Status validate_strided(StridedBatchT<T>& sb) {
   if (sb.m < 0 || sb.n < 0 || sb.k < 0) {
     return Status::error(StatusCode::kInvalidShape,
                          "negative batch dimension: " +
@@ -161,8 +171,8 @@ Status validate_strided(StridedBatch& sb) {
           "(m-1)*ldc + n, or interleaved: (count-1)*stride_c + n <= ldc)");
     }
   }
-  if (c_nonempty && (static_cast<const double*>(sb.c) == sb.a ||
-                     static_cast<const double*>(sb.c) == sb.b)) {
+  if (c_nonempty && (static_cast<const T*>(sb.c) == sb.a ||
+                     static_cast<const T*>(sb.c) == sb.b)) {
     return Status::error(StatusCode::kAliasing,
                          "C base aliases an input base");
   }
@@ -170,9 +180,10 @@ Status validate_strided(StridedBatch& sb) {
 }
 
 // Duplicate-C detection across a per-item batch (exact base pointers).
-Status check_distinct_outputs(const BatchItem* items, std::size_t count) {
+template <typename T>
+Status check_distinct_outputs(const BatchItemT<T>* items, std::size_t count) {
   if (count < 2) return Status{};
-  std::vector<const double*> ptrs;
+  std::vector<const T*> ptrs;
   ptrs.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     if (!items[i].c.empty()) ptrs.push_back(items[i].c.data());
@@ -187,9 +198,10 @@ Status check_distinct_outputs(const BatchItem* items, std::size_t count) {
 
 // The auto path's GEMM fallback workspace: grow-only packing buffers,
 // reusable across engines but never across concurrent callers — exactly
-// what thread_local provides.
-GemmWorkspace& gemm_workspace() {
-  static thread_local GemmWorkspace ws;
+// what thread_local provides.  One workspace per element type per thread.
+template <typename T>
+GemmWorkspaceT<T>& gemm_workspace() {
+  static thread_local GemmWorkspaceT<T> ws;
   return ws;
 }
 
@@ -251,13 +263,16 @@ index_t env_recurse_cutoff() {
 // ---------------------------------------------------------------------------
 
 // One cached compiled executor.  `plan` and `cfg` are the *requested* key
-// values (the executor itself records the resolved kernel/blocking).
+// values (the executor itself records the resolved kernel/blocking).  The
+// executor is stored type-erased (FmmExecutorT<double> or <float>); the
+// plan's dtype — compared by same_execution, part of the key — says which,
+// so a hit always casts back to the type it was compiled as.
 struct Engine::Entry {
   std::size_t hash = 0;
   Plan plan;
   index_t m = 0, n = 0, k = 0;
   GemmConfig cfg;
-  std::shared_ptr<FmmExecutor> exec;
+  std::shared_ptr<void> exec;
   std::uint64_t tick = 0;
 };
 
@@ -267,7 +282,10 @@ struct Engine::Shard {
 };
 
 struct Engine::ChoiceEntry {
-  std::array<index_t, 3> key{};
+  // (m, n, k, dtype): the auto decision is per element type, so f32 and
+  // f64 requests for one shape can never share (or evict into) each
+  // other's cached choice.
+  std::array<index_t, 4> key{};
   std::shared_ptr<const AutoChoice> choice;
   std::uint64_t tick = 0;
   // History revision the decision was computed under; a hit with a stale
@@ -367,9 +385,12 @@ Engine& default_engine() {
 // Executor cache.
 // ---------------------------------------------------------------------------
 
-std::shared_ptr<FmmExecutor> Engine::executor_for(const Plan& plan, index_t m,
-                                                  index_t n, index_t k,
-                                                  const GemmConfig& cfg) {
+template <typename T>
+std::shared_ptr<FmmExecutorT<T>> Engine::executor_for(const Plan& plan,
+                                                      index_t m, index_t n,
+                                                      index_t k,
+                                                      const GemmConfig& cfg) {
+  assert(plan.dtype == DTypeOf<T>::value);
   const std::size_t hash = key_hash(plan, m, n, k, cfg);
   Shard& shard = *shards_[hash % shards_.size()];
   {
@@ -379,7 +400,9 @@ std::shared_ptr<FmmExecutor> Engine::executor_for(const Plan& plan, index_t m,
           e.cfg == cfg && same_execution(e.plan, plan)) {
         e.tick = tick_.fetch_add(1, std::memory_order_relaxed);
         hits_.fetch_add(1, std::memory_order_relaxed);
-        return e.exec;  // shared_ptr copy: no allocation
+        // shared_ptr copy: no allocation.  The dtype key match guarantees
+        // the erased pointer is an FmmExecutorT<T>.
+        return std::static_pointer_cast<FmmExecutorT<T>>(e.exec);
       }
     }
   }
@@ -387,24 +410,25 @@ std::shared_ptr<FmmExecutor> Engine::executor_for(const Plan& plan, index_t m,
   // Miss: compile outside the shard lock (compilation allocates and can
   // take a while; concurrent misses on other keys must not serialize).
   misses_.fetch_add(1, std::memory_order_relaxed);
-  auto exec = std::make_shared<FmmExecutor>(plan, m, n, k, cfg, slots_);
+  auto exec = std::make_shared<FmmExecutorT<T>>(plan, m, n, k, cfg, slots_);
 
   // Observation hook, installed before the executor is published to the
   // cache (set_timing_hook is not synchronized against in-flight runs).
-  // The key is fixed at compile time: footprint of the plan, buckets of
-  // the compiled shape, and the *resolved* kernel/threads the executor
-  // froze.  One hook invocation = one observation (a batch counts its
-  // items), so effective GFLOP/s is items * flops / seconds.
+  // The key is fixed at compile time: footprint of the plan (dtype-salted),
+  // buckets of the compiled shape, and the *resolved* kernel/threads the
+  // executor froze (the kernel's cache key, so same-named f32/f64 kernels
+  // stay distinct).  One hook invocation = one observation (a batch counts
+  // its items), so effective GFLOP/s is items * flops / seconds.
   const double item_flops =
       2.0 * static_cast<double>(m) * static_cast<double>(n) *
       static_cast<double>(k);
   if (history_enabled_ && item_flops > 0.0) {
     HistoryKey hkey;
-    hkey.footprint = plan_footprint(plan);
+    hkey.footprint = plan_footprint(plan) ^ dtype_history_salt(plan.dtype);
     hkey.mb = shape_bucket(m);
     hkey.nb = shape_bucket(n);
     hkey.kb = shape_bucket(k);
-    hkey.kernel = exec->config().kernel->name;
+    hkey.kernel = kernel_cache_key(*exec->config().kernel);
     hkey.threads = exec->threads();
     exec->set_timing_hook(
         [this, hkey = std::move(hkey), item_flops](double seconds,
@@ -423,7 +447,7 @@ std::shared_ptr<FmmExecutor> Engine::executor_for(const Plan& plan, index_t m,
     if (e.hash == hash && e.m == m && e.n == n && e.k == k && e.cfg == cfg &&
         same_execution(e.plan, plan)) {
       e.tick = tick_.fetch_add(1, std::memory_order_relaxed);
-      return e.exec;
+      return std::static_pointer_cast<FmmExecutorT<T>>(e.exec);
     }
   }
   if (shard.entries.size() >= cap_per_shard_) {
@@ -455,8 +479,14 @@ void Engine::ensure_plan_space_locked() {
 }
 
 std::shared_ptr<const AutoChoice> Engine::choice_handle(index_t m, index_t n,
-                                                     index_t k) {
-  const std::array<index_t, 3> key{m, n, k};
+                                                        index_t k) {
+  return choice_handle(m, n, k, DType::kF64);
+}
+
+std::shared_ptr<const AutoChoice> Engine::choice_handle(index_t m, index_t n,
+                                                        index_t k,
+                                                        DType dtype) {
+  const std::array<index_t, 4> key{m, n, k, static_cast<index_t>(dtype)};
   // The history revision this decision is computed under, captured before
   // the cache scan: observations recorded during ranking bump it, which
   // marks our own insert stale — correct, the data changed under us.
@@ -473,7 +503,7 @@ std::shared_ptr<const AutoChoice> Engine::choice_handle(index_t m, index_t n,
       }
     }
     ensure_plan_space_locked();
-    params = params_;
+    params = dtype == DType::kF32 ? params_f32_ : params_;
     gen = params_gen_;
   }
 
@@ -481,8 +511,8 @@ std::shared_ptr<const AutoChoice> Engine::choice_handle(index_t m, index_t n,
   // the expensive part, and space_ is immutable once built.
   choice_misses_.fetch_add(1, std::memory_order_relaxed);
   auto choice = std::make_shared<AutoChoice>();
-  const double gemm_analytic = predict_gemm_time(m, n, k, cfg_, params);
-  auto ranked = rank_by_model(m, n, k, space_, params, cfg_);
+  const double gemm_analytic = predict_gemm_time(m, n, k, cfg_, params, dtype);
+  auto ranked = rank_by_model(m, n, k, space_, params, cfg_, dtype);
 
   // Analytic winner (the model's own pick): -1 = gemm, else ranked index.
   const int analytic_winner =
@@ -503,7 +533,7 @@ std::shared_ptr<const AutoChoice> Engine::choice_handle(index_t m, index_t n,
   const double flops = 2.0 * static_cast<double>(m) *
                        static_cast<double>(n) * static_cast<double>(k);
   if (history_enabled_ && flops > 0.0) {
-    if (auto g = history_.confident_gflops(gemm_history_key(m, n, k))) {
+    if (auto g = history_.confident_gflops(gemm_key_for(m, n, k, cfg_, dtype))) {
       best_time = flops / (*g * 1e9);
       best_measured = true;
       best_gflops = *g;
@@ -582,11 +612,17 @@ AutoChoice Engine::choice_for(index_t m, index_t n, index_t k) {
   return *choice_handle(m, n, k);
 }
 
+AutoChoice Engine::choice_for(index_t m, index_t n, index_t k, DType dtype) {
+  return *choice_handle(m, n, k, dtype);
+}
+
 Status Engine::calibrate() {
   ModelParams measured = fmm::calibrate(cfg_);
+  ModelParams measured_f32 = fmm::calibrate(cfg_, DType::kF32);
   {
     std::lock_guard<std::mutex> lk(choice_mu_);
     params_ = measured;
+    params_f32_ = measured_f32;
     // Decisions made under the old parameters are stale; the generation
     // bump also stops in-flight rankings from re-inserting one.
     ++params_gen_;
@@ -602,75 +638,86 @@ ModelParams Engine::params() const {
   return params_;
 }
 
+ModelParams Engine::params(DType dtype) const {
+  std::lock_guard<std::mutex> lk(choice_mu_);
+  return dtype == DType::kF32 ? params_f32_ : params_;
+}
+
 // ---------------------------------------------------------------------------
 // Execution bodies.  Operands are pre-validated by the submit_* layer; these
 // run either on a pool worker (async) or inline (nested calls from tasks).
 // ---------------------------------------------------------------------------
 
-Status Engine::exec_single(const Plan* plan, MatView c, ConstMatView a,
-                           ConstMatView b, const GemmConfig& cfg,
+template <typename T>
+Status Engine::exec_single(const Plan* plan, MatViewT<T> c, ConstMatViewT<T> a,
+                           ConstMatViewT<T> b, const GemmConfig& cfg,
                            std::shared_ptr<const AutoChoice>* executed) {
+  constexpr DType kDt = DTypeOf<T>::value;
   const index_t m = c.rows(), n = c.cols(), k = a.cols();
   if (plan == nullptr) {
-    std::shared_ptr<const AutoChoice> choice = choice_handle(m, n, k);
+    std::shared_ptr<const AutoChoice> choice = choice_handle(m, n, k, kDt);
     if (executed != nullptr) *executed = choice;
     if (choice->use_gemm) {
       // The gemm fallback bypasses FmmExecutor and its timing hook, so the
       // auto path observes it here (explicit-plan calls have no gemm arm).
       Timer t;
-      gemm(c, a, b, gemm_workspace(), cfg);
-      record_gemm(m, n, k, cfg, t.seconds(), 1);
+      gemm(c, a, b, gemm_workspace<T>(), cfg);
+      record_gemm(m, n, k, cfg, kDt, t.seconds(), 1);
       return Status{};
     }
-    executor_for(*choice->plan, m, n, k, cfg)->run(c, a, b);
+    executor_for<T>(*choice->plan, m, n, k, cfg)->run(c, a, b);
     return Status{};
   }
-  executor_for(*plan, m, n, k, cfg)->run(c, a, b);
+  executor_for<T>(*plan, m, n, k, cfg)->run(c, a, b);
   return Status{};
 }
 
+template <typename T>
 Status Engine::exec_group(const Plan* plan, index_t m, index_t n, index_t k,
-                          const BatchItem* items, std::size_t count,
+                          const BatchItemT<T>* items, std::size_t count,
                           const GemmConfig& cfg) {
+  constexpr DType kDt = DTypeOf<T>::value;
   const Plan* group_plan = plan;
   std::shared_ptr<const AutoChoice> choice;
   if (group_plan == nullptr) {
-    choice = choice_handle(m, n, k);
+    choice = choice_handle(m, n, k, kDt);
     if (choice->use_gemm) {
       Timer t;
       for (std::size_t i = 0; i < count; ++i) {
-        gemm(items[i].c, items[i].a, items[i].b, gemm_workspace(), cfg);
+        gemm(items[i].c, items[i].a, items[i].b, gemm_workspace<T>(), cfg);
       }
-      record_gemm(m, n, k, cfg, t.seconds(), count);
+      record_gemm(m, n, k, cfg, kDt, t.seconds(), count);
       return Status{};
     }
     group_plan = &*choice->plan;
   }
-  executor_for(*group_plan, m, n, k, cfg)->run_batch(items, count);
+  executor_for<T>(*group_plan, m, n, k, cfg)->run_batch(items, count);
   return Status{};
 }
 
-Status Engine::exec_strided(const Plan* plan, const StridedBatch& sb,
+template <typename T>
+Status Engine::exec_strided(const Plan* plan, const StridedBatchT<T>& sb,
                             const GemmConfig& cfg) {
+  constexpr DType kDt = DTypeOf<T>::value;
   const Plan* batch_plan = plan;
   std::shared_ptr<const AutoChoice> choice;
   if (batch_plan == nullptr) {
-    choice = choice_handle(sb.m, sb.n, sb.k);
+    choice = choice_handle(sb.m, sb.n, sb.k, kDt);
     if (choice->use_gemm) {
       Timer t;
       for (std::size_t i = 0; i < sb.count; ++i) {
         const index_t off = static_cast<index_t>(i);
-        gemm(MatView(sb.c + off * sb.stride_c, sb.m, sb.n, sb.ldc),
-             ConstMatView(sb.a + off * sb.stride_a, sb.m, sb.k, sb.lda),
-             ConstMatView(sb.b + off * sb.stride_b, sb.k, sb.n, sb.ldb),
-             gemm_workspace(), cfg);
+        gemm(MatViewT<T>(sb.c + off * sb.stride_c, sb.m, sb.n, sb.ldc),
+             ConstMatViewT<T>(sb.a + off * sb.stride_a, sb.m, sb.k, sb.lda),
+             ConstMatViewT<T>(sb.b + off * sb.stride_b, sb.k, sb.n, sb.ldb),
+             gemm_workspace<T>(), cfg);
       }
-      record_gemm(sb.m, sb.n, sb.k, cfg, t.seconds(), sb.count);
+      record_gemm(sb.m, sb.n, sb.k, cfg, kDt, t.seconds(), sb.count);
       return Status{};
     }
     batch_plan = &*choice->plan;
   }
-  executor_for(*batch_plan, sb.m, sb.n, sb.k, cfg)->run_batch_strided(sb);
+  executor_for<T>(*batch_plan, sb.m, sb.n, sb.k, cfg)->run_batch_strided(sb);
   return Status{};
 }
 
@@ -680,8 +727,9 @@ Status Engine::exec_strided(const Plan* plan, const StridedBatch& sb,
 // busy pool, so nested calls never wait on the queue).
 // ---------------------------------------------------------------------------
 
-RecursiveExec Engine::recursive_ctx(const GemmConfig& cfg) {
-  RecursiveExec ctx;
+template <typename T>
+RecursiveExecT<T> Engine::recursive_ctx(const GemmConfig& cfg) {
+  RecursiveExecT<T> ctx;
   ctx.pool = &pool();
   ctx.buffers = &recurse_buffers_;
   ctx.cutoff = recurse_cutoff_;
@@ -693,24 +741,40 @@ RecursiveExec Engine::recursive_ctx(const GemmConfig& cfg) {
   GemmConfig leaf_cfg = cfg;
   leaf_cfg.num_threads = 1;
   const int slot_target = std::max(1, ctx.pool->workers());
-  ctx.leaf = [this, leaf_cfg, slot_target](const Plan* plan, MatView c,
-                                           ConstMatView a, ConstMatView b) {
+  ctx.leaf = [this, leaf_cfg, slot_target](const Plan* plan, MatViewT<T> c,
+                                           ConstMatViewT<T> a,
+                                           ConstMatViewT<T> b) {
     if (plan == nullptr) {
-      gemm(c, a, b, gemm_workspace(), leaf_cfg);
+      gemm(c, a, b, gemm_workspace<T>(), leaf_cfg);
       return;
     }
-    auto exec = executor_for(*plan, c.rows(), c.cols(), a.cols(), leaf_cfg);
+    auto exec = executor_for<T>(*plan, c.rows(), c.cols(), a.cols(), leaf_cfg);
     exec->ensure_slots(slot_target);
     exec->run(c, a, b);
   };
   return ctx;
 }
 
-TaskFuture Engine::submit_single(const Plan* plan, MatView c, ConstMatView a,
-                                 ConstMatView b, const GemmConfig& cfg,
+template <typename T>
+TaskFuture Engine::submit_single(const Plan* plan, MatViewT<T> c,
+                                 ConstMatViewT<T> a, ConstMatViewT<T> b,
+                                 const GemmConfig& cfg,
                                  std::shared_ptr<const AutoChoice>* executed) {
+  constexpr DType kDt = DTypeOf<T>::value;
   Status st = validate_triple(c, a, b);
   if (!st.ok()) return TaskFuture::ready(std::move(st));
+  // Element type is a plan property: stamp the request's dtype (and drop a
+  // wrong-dtype pinned kernel) on a local copy before any cache keying, so
+  // one Plan value serves both precisions without cross-dtype hits.
+  Plan stamped;
+  if (plan != nullptr && plan->dtype != kDt) {
+    stamped = *plan;
+    stamped.dtype = kDt;
+    if (stamped.kernel != nullptr && stamped.kernel->dtype != kDt) {
+      stamped.kernel = nullptr;
+    }
+    plan = &stamped;
+  }
   const index_t m = c.rows(), n = c.cols(), k = a.cols();
   if (recurse_cutoff_ > 0 && std::min({m, n, k}) > recurse_cutoff_) {
     // Large shape: resolve the plan now (for the auto path the ranking is
@@ -719,61 +783,76 @@ TaskFuture Engine::submit_single(const Plan* plan, MatView c, ConstMatView a,
     const Plan* rplan = plan;
     std::shared_ptr<const AutoChoice> choice;
     if (rplan == nullptr) {
-      choice = choice_handle(m, n, k);
+      choice = choice_handle(m, n, k, kDt);
       if (!choice->use_gemm) rplan = &*choice->plan;
     }
     if (rplan != nullptr && should_recurse(*rplan, m, n, k, recurse_cutoff_)) {
       if (executed != nullptr && choice) *executed = choice;
       recursive_runs_.fetch_add(1, std::memory_order_relaxed);
-      const RecursiveExec ctx = recursive_ctx(cfg);
+      const RecursiveExecT<T> ctx = recursive_ctx<T>(cfg);
       if (TaskPool::on_worker_thread()) {
         // Nested synchronous call from a task body: the bitwise-identical
         // sequential twin (building a graph and blocking this worker on
         // its finalizer could deadlock a fully busy pool).
-        run_recursive_sequential(ctx, *rplan, c, a, b);
+        run_recursive_sequential<T>(ctx, *rplan, c, a, b);
         return TaskFuture::ready(Status{});
       }
-      return submit_recursive(ctx, *rplan, c, a, b);
+      return submit_recursive<T>(ctx, *rplan, c, a, b);
     }
     // The model picked plain GEMM (or the plan does not qualify): fall
     // through to the flat path, which re-resolves the cached choice.
   }
   if (TaskPool::on_worker_thread()) {
-    return TaskFuture::ready(exec_single(plan, c, a, b, cfg, executed));
+    return TaskFuture::ready(exec_single<T>(plan, c, a, b, cfg, executed));
   }
   if (plan == nullptr) {
     return pool().submit([this, c, a, b, cfg, executed] {
-      return exec_single(nullptr, c, a, b, cfg, executed);
+      return exec_single<T>(nullptr, c, a, b, cfg, executed);
     });
   }
   // The plan is copied: the caller's need not outlive an async submit.
   return pool().submit([this, p = *plan, c, a, b, cfg, executed] {
-    return exec_single(&p, c, a, b, cfg, executed);
+    return exec_single<T>(&p, c, a, b, cfg, executed);
   });
 }
 
+template <typename T>
 TaskFuture Engine::submit_batch(const Plan* plan, const BatchSpec& batch,
                                 const GemmConfig& cfg) {
+  constexpr DType kDt = DTypeOf<T>::value;
+  if (batch.dtype() != kDt) {
+    return TaskFuture::ready(Status::error(
+        StatusCode::kInvalidArgument,
+        std::string("batch element type is ") + dtype_name(batch.dtype()) +
+            ", expected " + dtype_name(kDt)));
+  }
   std::shared_ptr<const Plan> plan_copy;
-  if (plan != nullptr) plan_copy = std::make_shared<const Plan>(*plan);
+  if (plan != nullptr) {
+    Plan p = *plan;
+    if (p.dtype != kDt) {
+      p.dtype = kDt;
+      if (p.kernel != nullptr && p.kernel->dtype != kDt) p.kernel = nullptr;
+    }
+    plan_copy = std::make_shared<const Plan>(std::move(p));
+  }
   const Plan* plan_ptr = plan_copy.get();
 
   if (batch.is_strided()) {
-    StridedBatch sb = batch.strided_desc();
+    StridedBatchT<T> sb = batch.strided_as<T>();
     Status st = validate_strided(sb);  // normalizes the dense defaults
     if (!st.ok()) return TaskFuture::ready(std::move(st));
     if (sb.count == 0 || sb.m == 0 || sb.n == 0) {
       return TaskFuture::ready(Status{});
     }
     if (TaskPool::on_worker_thread()) {
-      return TaskFuture::ready(exec_strided(plan_ptr, sb, cfg));
+      return TaskFuture::ready(exec_strided<T>(plan_ptr, sb, cfg));
     }
     return pool().submit([this, plan_copy, sb, cfg] {
-      return exec_strided(plan_copy.get(), sb, cfg);
+      return exec_strided<T>(plan_copy.get(), sb, cfg);
     });
   }
 
-  const BatchItem* items = batch.item_data();
+  const BatchItemT<T>* items = batch.items_as<T>();
   const std::size_t count = batch.size();
   if (count == 0) return TaskFuture::ready(Status{});
   if (items == nullptr) {
@@ -796,7 +875,7 @@ TaskFuture Engine::submit_batch(const Plan* plan, const BatchSpec& batch,
   // copied: the caller's array need not outlive an async submit.
   struct Group {
     index_t m, n, k;
-    std::vector<BatchItem> items;
+    std::vector<BatchItemT<T>> items;
   };
   std::vector<Group> groups;
   for (std::size_t i = 0; i < count; ++i) {
@@ -818,8 +897,8 @@ TaskFuture Engine::submit_batch(const Plan* plan, const BatchSpec& batch,
 
   if (TaskPool::on_worker_thread()) {
     for (const Group& g : groups) {
-      Status gs =
-          exec_group(plan_ptr, g.m, g.n, g.k, g.items.data(), g.items.size(), cfg);
+      Status gs = exec_group<T>(plan_ptr, g.m, g.n, g.k, g.items.data(),
+                                g.items.size(), cfg);
       if (!gs.ok()) return TaskFuture::ready(std::move(gs));
     }
     return TaskFuture::ready(Status{});
@@ -827,8 +906,8 @@ TaskFuture Engine::submit_batch(const Plan* plan, const BatchSpec& batch,
 
   if (groups.size() == 1) {
     return pool().submit([this, plan_copy, g = std::move(groups.front()), cfg] {
-      return exec_group(plan_copy.get(), g.m, g.n, g.k, g.items.data(),
-                        g.items.size(), cfg);
+      return exec_group<T>(plan_copy.get(), g.m, g.n, g.k, g.items.data(),
+                           g.items.size(), cfg);
     });
   }
 
@@ -844,8 +923,8 @@ TaskFuture Engine::submit_batch(const Plan* plan, const BatchSpec& batch,
     fin_opts.deps.push_back(opts.tag);
     pool().submit(
         [this, plan_copy, g = std::move(g), cfg] {
-          return exec_group(plan_copy.get(), g.m, g.n, g.k, g.items.data(),
-                            g.items.size(), cfg);
+          return exec_group<T>(plan_copy.get(), g.m, g.n, g.k, g.items.data(),
+                               g.items.size(), cfg);
         },
         std::move(opts));
   }
@@ -858,62 +937,100 @@ TaskFuture Engine::submit_batch(const Plan* plan, const BatchSpec& batch,
 
 Status Engine::multiply(const Plan& plan, MatView c, ConstMatView a,
                         ConstMatView b) {
-  return submit_single(&plan, c, a, b, cfg_, nullptr).status();
+  return submit_single<double>(&plan, c, a, b, cfg_, nullptr).status();
 }
 
 Status Engine::multiply(const Plan& plan, MatView c, ConstMatView a,
                         ConstMatView b, const GemmConfig& cfg) {
-  return submit_single(&plan, c, a, b, cfg, nullptr).status();
+  return submit_single<double>(&plan, c, a, b, cfg, nullptr).status();
 }
 
 Status Engine::multiply(MatView c, ConstMatView a, ConstMatView b) {
-  return submit_single(nullptr, c, a, b, cfg_, nullptr).status();
+  return submit_single<double>(nullptr, c, a, b, cfg_, nullptr).status();
 }
 
 Status Engine::multiply(MatView c, ConstMatView a, ConstMatView b,
                         std::shared_ptr<const AutoChoice>* executed) {
   // `executed` stays valid for the task's lifetime because this call waits.
-  return submit_single(nullptr, c, a, b, cfg_, executed).status();
+  return submit_single<double>(nullptr, c, a, b, cfg_, executed).status();
+}
+
+Status Engine::multiply(const Plan& plan, MatViewF32 c, ConstMatViewF32 a,
+                        ConstMatViewF32 b) {
+  return submit_single<float>(&plan, c, a, b, cfg_, nullptr).status();
+}
+
+Status Engine::multiply(const Plan& plan, MatViewF32 c, ConstMatViewF32 a,
+                        ConstMatViewF32 b, const GemmConfig& cfg) {
+  return submit_single<float>(&plan, c, a, b, cfg, nullptr).status();
+}
+
+Status Engine::multiply(MatViewF32 c, ConstMatViewF32 a, ConstMatViewF32 b) {
+  return submit_single<float>(nullptr, c, a, b, cfg_, nullptr).status();
+}
+
+Status Engine::multiply(MatViewF32 c, ConstMatViewF32 a, ConstMatViewF32 b,
+                        std::shared_ptr<const AutoChoice>* executed) {
+  return submit_single<float>(nullptr, c, a, b, cfg_, executed).status();
 }
 
 Status Engine::multiply(const Plan& plan, const BatchSpec& batch) {
-  return submit_batch(&plan, batch, cfg_).status();
+  return submit(plan, batch).status();
 }
 
 Status Engine::multiply(const Plan& plan, const BatchSpec& batch,
                         const GemmConfig& cfg) {
-  return submit_batch(&plan, batch, cfg).status();
+  return submit(plan, batch, cfg).status();
 }
 
 Status Engine::multiply(const BatchSpec& batch) {
-  return submit_batch(nullptr, batch, cfg_).status();
+  return submit(batch).status();
 }
 
 TaskFuture Engine::submit(const Plan& plan, MatView c, ConstMatView a,
                           ConstMatView b) {
-  return submit_single(&plan, c, a, b, cfg_, nullptr);
+  return submit_single<double>(&plan, c, a, b, cfg_, nullptr);
 }
 
 TaskFuture Engine::submit(const Plan& plan, MatView c, ConstMatView a,
                           ConstMatView b, const GemmConfig& cfg) {
-  return submit_single(&plan, c, a, b, cfg, nullptr);
+  return submit_single<double>(&plan, c, a, b, cfg, nullptr);
 }
 
 TaskFuture Engine::submit(MatView c, ConstMatView a, ConstMatView b) {
-  return submit_single(nullptr, c, a, b, cfg_, nullptr);
+  return submit_single<double>(nullptr, c, a, b, cfg_, nullptr);
+}
+
+TaskFuture Engine::submit(const Plan& plan, MatViewF32 c, ConstMatViewF32 a,
+                          ConstMatViewF32 b) {
+  return submit_single<float>(&plan, c, a, b, cfg_, nullptr);
+}
+
+TaskFuture Engine::submit(const Plan& plan, MatViewF32 c, ConstMatViewF32 a,
+                          ConstMatViewF32 b, const GemmConfig& cfg) {
+  return submit_single<float>(&plan, c, a, b, cfg, nullptr);
+}
+
+TaskFuture Engine::submit(MatViewF32 c, ConstMatViewF32 a, ConstMatViewF32 b) {
+  return submit_single<float>(nullptr, c, a, b, cfg_, nullptr);
 }
 
 TaskFuture Engine::submit(const Plan& plan, const BatchSpec& batch) {
-  return submit_batch(&plan, batch, cfg_);
+  return batch.dtype() == DType::kF32
+             ? submit_batch<float>(&plan, batch, cfg_)
+             : submit_batch<double>(&plan, batch, cfg_);
 }
 
 TaskFuture Engine::submit(const Plan& plan, const BatchSpec& batch,
                           const GemmConfig& cfg) {
-  return submit_batch(&plan, batch, cfg);
+  return batch.dtype() == DType::kF32 ? submit_batch<float>(&plan, batch, cfg)
+                                      : submit_batch<double>(&plan, batch, cfg);
 }
 
 TaskFuture Engine::submit(const BatchSpec& batch) {
-  return submit_batch(nullptr, batch, cfg_);
+  return batch.dtype() == DType::kF32
+             ? submit_batch<float>(nullptr, batch, cfg_)
+             : submit_batch<double>(nullptr, batch, cfg_);
 }
 
 // ---------------------------------------------------------------------------
@@ -926,41 +1043,41 @@ HistoryKey Engine::history_key(const Plan& plan, index_t m, index_t n,
   // blocking with the plan's pinned kernel (if any) overriding the config,
   // and the thread count from the config alone.
   HistoryKey key;
-  key.footprint = plan_footprint(plan);
+  key.footprint = plan_footprint(plan) ^ dtype_history_salt(plan.dtype);
   key.mb = shape_bucket(m);
   key.nb = shape_bucket(n);
   key.kb = shape_bucket(k);
   GemmConfig kcfg = cfg_;
   if (plan.kernel != nullptr) kcfg.kernel = plan.kernel;
-  key.kernel = resolve_blocking(kcfg).kernel->name;
+  key.kernel = kernel_cache_key(*resolve_blocking(kcfg, plan.dtype).kernel);
   key.threads = resolve_threads(cfg_);
   return key;
 }
 
 HistoryKey Engine::gemm_history_key(index_t m, index_t n, index_t k) const {
-  return gemm_key_for(m, n, k, cfg_);
+  return gemm_key_for(m, n, k, cfg_, DType::kF64);
 }
 
 HistoryKey Engine::gemm_key_for(index_t m, index_t n, index_t k,
-                                const GemmConfig& cfg) const {
+                                const GemmConfig& cfg, DType dtype) const {
   HistoryKey key;
-  key.footprint = kGemmFootprint;
+  key.footprint = kGemmFootprint ^ dtype_history_salt(dtype);
   key.mb = shape_bucket(m);
   key.nb = shape_bucket(n);
   key.kb = shape_bucket(k);
-  key.kernel = resolve_blocking(cfg).kernel->name;
+  key.kernel = kernel_cache_key(*resolve_blocking(cfg, dtype).kernel);
   key.threads = resolve_threads(cfg);
   return key;
 }
 
 void Engine::record_gemm(index_t m, index_t n, index_t k,
-                         const GemmConfig& cfg, double seconds,
+                         const GemmConfig& cfg, DType dtype, double seconds,
                          std::size_t items) {
   if (!history_enabled_ || seconds <= 0.0) return;
   const double flops = 2.0 * static_cast<double>(m) *
                        static_cast<double>(n) * static_cast<double>(k);
   if (flops <= 0.0) return;
-  history_.record(gemm_key_for(m, n, k, cfg),
+  history_.record(gemm_key_for(m, n, k, cfg, dtype),
                   static_cast<double>(items) * flops / seconds * 1e-9);
 }
 

@@ -108,6 +108,11 @@ struct AutoChoice {
 //                  (StridedBatch, executor.h); a single shape, expanded
 //                  index-by-index without materializing views.
 //
+// Both layouts exist for double (BatchItem / StridedBatch) and float
+// (BatchItemF32 / StridedBatchF32) operands; the factory overloads record
+// the element type and Engine::multiply dispatches on dtype().  A batch is
+// homogeneous in element type — mixed-precision traffic is separate calls.
+//
 // BatchSpec does not own the views or buffers; they must outlive the call.
 class BatchSpec {
  public:
@@ -129,18 +134,56 @@ class BatchSpec {
     s.count_ = sb.count;
     return s;
   }
+  static BatchSpec items(const BatchItemF32* items, std::size_t count) {
+    BatchSpec s;
+    s.items_ = items;
+    s.count_ = count;
+    s.dtype_ = DType::kF32;
+    return s;
+  }
+  static BatchSpec items(const std::vector<BatchItemF32>& v) {
+    return items(v.data(), v.size());
+  }
+  static BatchSpec strided(const StridedBatchF32& sb) {
+    BatchSpec s;
+    s.strided_f32_ = sb;
+    s.is_strided_ = true;
+    s.count_ = sb.count;
+    s.dtype_ = DType::kF32;
+    return s;
+  }
 
+  DType dtype() const { return dtype_; }
   bool is_strided() const { return is_strided_; }
   std::size_t size() const { return count_; }
-  const BatchItem* item_data() const { return items_; }
+  // Typed accessors; valid only when dtype() matches T.
+  template <typename T>
+  const BatchItemT<T>* items_as() const {
+    return static_cast<const BatchItemT<T>*>(items_);
+  }
+  template <typename T>
+  const StridedBatchT<T>& strided_as() const;
+  // Legacy f64 accessors.
+  const BatchItem* item_data() const { return items_as<double>(); }
   const StridedBatch& strided_desc() const { return strided_; }
 
  private:
-  const BatchItem* items_ = nullptr;
+  const void* items_ = nullptr;
   std::size_t count_ = 0;
   StridedBatch strided_{};
+  StridedBatchF32 strided_f32_{};
   bool is_strided_ = false;
+  DType dtype_ = DType::kF64;
 };
+
+template <>
+inline const StridedBatchT<double>& BatchSpec::strided_as<double>() const {
+  return strided_;
+}
+template <>
+inline const StridedBatchT<float>& BatchSpec::strided_as<float>() const {
+  return strided_f32_;
+}
 
 class Engine {
  public:
@@ -232,10 +275,18 @@ class Engine {
 
   // --- Explicit-plan path -------------------------------------------------
   // C += A * B through the cached executor for (plan, shape, config).
+  // Element type is a runtime plan property: the float overloads stamp
+  // DType::kF32 on their copy of the plan (double stamps kF64), so one
+  // Plan value may serve both precisions while the executor cache, choice
+  // cache and history keys stay strictly per-dtype.
   Status multiply(const Plan& plan, MatView c, ConstMatView a, ConstMatView b);
   // Per-call config override (keys the cache alongside the plan and shape).
   Status multiply(const Plan& plan, MatView c, ConstMatView a, ConstMatView b,
                   const GemmConfig& cfg);
+  Status multiply(const Plan& plan, MatViewF32 c, ConstMatViewF32 a,
+                  ConstMatViewF32 b);
+  Status multiply(const Plan& plan, MatViewF32 c, ConstMatViewF32 a,
+                  ConstMatViewF32 b, const GemmConfig& cfg);
 
   // --- Auto path ----------------------------------------------------------
   // C += A * B with the model-selected algorithm for the shape (cached
@@ -247,10 +298,15 @@ class Engine {
   // untouched when validation rejects the request.
   Status multiply(MatView c, ConstMatView a, ConstMatView b,
                   std::shared_ptr<const AutoChoice>* executed);
+  Status multiply(MatViewF32 c, ConstMatViewF32 a, ConstMatViewF32 b);
+  Status multiply(MatViewF32 c, ConstMatViewF32 a, ConstMatViewF32 b,
+                  std::shared_ptr<const AutoChoice>* executed);
 
   // --- Batches ------------------------------------------------------------
   // Every item through the one plan; cross-shape item batches are grouped
-  // by shape, one cached executor per group.
+  // by shape, one cached executor per group.  The BatchSpec carries its
+  // element type (see the f32 factory overloads above), so these entry
+  // points serve both precisions.
   Status multiply(const Plan& plan, const BatchSpec& batch);
   Status multiply(const Plan& plan, const BatchSpec& batch,
                   const GemmConfig& cfg);
@@ -271,6 +327,11 @@ class Engine {
   TaskFuture submit(const Plan& plan, MatView c, ConstMatView a,
                     ConstMatView b, const GemmConfig& cfg);
   TaskFuture submit(MatView c, ConstMatView a, ConstMatView b);
+  TaskFuture submit(const Plan& plan, MatViewF32 c, ConstMatViewF32 a,
+                    ConstMatViewF32 b);
+  TaskFuture submit(const Plan& plan, MatViewF32 c, ConstMatViewF32 a,
+                    ConstMatViewF32 b, const GemmConfig& cfg);
+  TaskFuture submit(MatViewF32 c, ConstMatViewF32 a, ConstMatViewF32 b);
   TaskFuture submit(const Plan& plan, const BatchSpec& batch);
   TaskFuture submit(const Plan& plan, const BatchSpec& batch,
                     const GemmConfig& cfg);
@@ -282,20 +343,27 @@ class Engine {
   // --- Auto-path inspection / control -------------------------------------
   // The decision multiply() would take for a shape (computed and cached on
   // first use).  Returned by value: the underlying cache entry may be
-  // evicted at any time.
+  // evicted at any time.  The dtype overloads rank within that element
+  // type's kernel family under its own model parameters; the dtype-less
+  // forms are the f64 decision.
   AutoChoice choice_for(index_t m, index_t n, index_t k);
+  AutoChoice choice_for(index_t m, index_t n, index_t k, DType dtype);
   // Allocation-free-on-hit variant: a shared snapshot of the cached
   // decision (stays valid across eviction; never null).  The hot-path form
   // for callers that query per call.
   std::shared_ptr<const AutoChoice> choice_handle(index_t m, index_t n,
                                                   index_t k);
-  // Measure machine parameters for the model (~1 s, once).  Clears the
-  // choice cache — decisions made under the old parameters are stale.
-  // Returns the calibration-cache file status (arch::calibration_file_
-  // status()): the parameters are always updated best-effort, a non-OK
-  // Status means the *persisted* rate cache is not working.
+  std::shared_ptr<const AutoChoice> choice_handle(index_t m, index_t n,
+                                                  index_t k, DType dtype);
+  // Measure machine parameters for the model (~1 s, once; both element
+  // types).  Clears the choice cache — decisions made under the old
+  // parameters are stale.  Returns the calibration-cache file status
+  // (arch::calibration_file_status()): the parameters are always updated
+  // best-effort, a non-OK Status means the *persisted* rate cache is not
+  // working.
   Status calibrate();
   ModelParams params() const;
+  ModelParams params(DType dtype) const;
 
   // --- Online performance model -------------------------------------------
   // The history store: measured per-(plan, shape-bucket, kernel, threads)
@@ -342,23 +410,33 @@ class Engine {
 
   // The compiled executor for (plan, m, n, k, cfg): cache hit or compile +
   // insert (with LRU eviction).  Never fails; allocation failures throw.
-  std::shared_ptr<FmmExecutor> executor_for(const Plan& plan, index_t m,
-                                            index_t n, index_t k,
-                                            const GemmConfig& cfg);
+  // The cache entry stores the executor type-erased; the plan's dtype
+  // (part of the key) discriminates, so a hit always casts back to the
+  // type it was compiled as.  Callers pass a plan already stamped with
+  // DTypeOf<T>::value.
+  template <typename T>
+  std::shared_ptr<FmmExecutorT<T>> executor_for(const Plan& plan, index_t m,
+                                                index_t n, index_t k,
+                                                const GemmConfig& cfg);
   // submit_* validate, then either queue the work or (on a pool worker
   // thread) run exec_* inline; every multiply/submit overload lands here.
-  TaskFuture submit_single(const Plan* plan, MatView c, ConstMatView a,
-                           ConstMatView b, const GemmConfig& cfg,
+  template <typename T>
+  TaskFuture submit_single(const Plan* plan, MatViewT<T> c, ConstMatViewT<T> a,
+                           ConstMatViewT<T> b, const GemmConfig& cfg,
                            std::shared_ptr<const AutoChoice>* executed);
+  template <typename T>
   TaskFuture submit_batch(const Plan* plan, const BatchSpec& batch,
                           const GemmConfig& cfg);
-  Status exec_single(const Plan* plan, MatView c, ConstMatView a,
-                     ConstMatView b, const GemmConfig& cfg,
+  template <typename T>
+  Status exec_single(const Plan* plan, MatViewT<T> c, ConstMatViewT<T> a,
+                     ConstMatViewT<T> b, const GemmConfig& cfg,
                      std::shared_ptr<const AutoChoice>* executed);
+  template <typename T>
   Status exec_group(const Plan* plan, index_t m, index_t n, index_t k,
-                    const BatchItem* items, std::size_t count,
+                    const BatchItemT<T>* items, std::size_t count,
                     const GemmConfig& cfg);
-  Status exec_strided(const Plan* plan, const StridedBatch& sb,
+  template <typename T>
+  Status exec_strided(const Plan* plan, const StridedBatchT<T>& sb,
                       const GemmConfig& cfg);
   TaskPool& pool();
   // The leaf/buffer/cutoff bundle the recursive descent runs with under
@@ -366,15 +444,17 @@ class Engine {
   // for nullptr plans and fringes), growing the cached executor's slot
   // pool to the worker count so concurrent leaf tasks never serialize on
   // workspace leases.
-  RecursiveExec recursive_ctx(const GemmConfig& cfg);
+  template <typename T>
+  RecursiveExecT<T> recursive_ctx(const GemmConfig& cfg);
   void ensure_plan_space_locked();
-  // Builds the gemm footprint key under a per-call config.
+  // Builds the gemm footprint key under a per-call config and element type
+  // (the f32 key is dtype-salted and names the f32 kernel's cache key).
   HistoryKey gemm_key_for(index_t m, index_t n, index_t k,
-                          const GemmConfig& cfg) const;
+                          const GemmConfig& cfg, DType dtype) const;
   // Records an auto-path gemm execution (the executor hook's twin for the
   // fallback that bypasses FmmExecutor).
   void record_gemm(index_t m, index_t n, index_t k, const GemmConfig& cfg,
-                   double seconds, std::size_t items);
+                   DType dtype, double seconds, std::size_t items);
 
   GemmConfig cfg_;
   int slots_ = 0;
@@ -400,7 +480,8 @@ class Engine {
   mutable std::mutex choice_mu_;
   bool space_built_ = false;
   std::vector<Plan> space_;
-  ModelParams params_;
+  ModelParams params_;                                     // f64
+  ModelParams params_f32_ = default_model_params(DType::kF32);
   std::uint64_t params_gen_ = 0;
   std::vector<ChoiceEntry> choices_;
   std::atomic<std::uint64_t> choice_hits_{0}, choice_misses_{0},

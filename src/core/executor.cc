@@ -15,30 +15,33 @@ namespace fmm {
 namespace {
 
 // Parallel C_view += w * M over rows (the scatter of AB/Naive variants).
-void scaled_add(double w, ConstMatView src, MatView dst) {
+template <typename T>
+void scaled_add(double w, ConstMatViewT<T> src, MatViewT<T> dst) {
   const index_t rows = src.rows(), cols = src.cols();
+  const T c = static_cast<T>(w);
   FMM_PRAGMA_OMP(parallel for schedule(static))
   for (index_t i = 0; i < rows; ++i) {
-    const double* s = src.row(i);
-    double* d = dst.row(i);
-    for (index_t j = 0; j < cols; ++j) d[j] += w * s[j];
+    const T* s = src.row(i);
+    T* d = dst.row(i);
+    for (index_t j = 0; j < cols; ++j) d[j] += c * s[j];
   }
 }
 
 // Parallel dst = Σ terms (the explicit operand sums of the Naive variant).
-void lin_comb(const LinTerm* terms, int num_terms, index_t lds, index_t rows,
-              index_t cols, MatView dst) {
+template <typename T>
+void lin_comb(const LinTermT<T>* terms, int num_terms, index_t lds,
+              index_t rows, index_t cols, MatViewT<T> dst) {
   FMM_PRAGMA_OMP(parallel for schedule(static))
   for (index_t i = 0; i < rows; ++i) {
-    double* d = dst.row(i);
+    T* d = dst.row(i);
     {
-      const double* s = terms[0].ptr + i * lds;
-      const double c = terms[0].coeff;
+      const T* s = terms[0].ptr + i * lds;
+      const T c = static_cast<T>(terms[0].coeff);
       for (index_t j = 0; j < cols; ++j) d[j] = c * s[j];
     }
     for (int t = 1; t < num_terms; ++t) {
-      const double* s = terms[t].ptr + i * lds;
-      const double c = terms[t].coeff;
+      const T* s = terms[t].ptr + i * lds;
+      const T c = static_cast<T>(terms[t].coeff);
       for (index_t j = 0; j < cols; ++j) d[j] += c * s[j];
     }
   }
@@ -58,27 +61,35 @@ std::vector<PeelPiece> peel_pieces(index_t m, index_t n, index_t k,
   return out;
 }
 
-// Per-lease workspace: everything one in-flight multiply mutates.
-struct FmmExecutor::Slot {
-  GemmWorkspace ws;
-  Matrix m_buf;  // M_r        (AB, Naive)
-  Matrix ta;     // Σ u_i A_i  (Naive)
-  Matrix tb;     // Σ v_j B_j  (Naive)
+// Per-lease workspace: everything one in-flight multiply mutates.  The
+// temporaries are dense AlignedBuffers viewed at the interior submatrix
+// shape (Matrix stays double-only; executors are typed).
+template <typename T>
+struct FmmExecutorT<T>::Slot {
+  GemmWorkspaceT<T> ws;
+  AlignedBuffer<T> m_buf;  // M_r (ms x ns)   (AB, Naive)
+  AlignedBuffer<T> ta;     // Σ u_i A_i (ms x ks)  (Naive)
+  AlignedBuffer<T> tb;     // Σ v_j B_j (ks x ns)  (Naive)
   // Pre-sized pointer/coefficient staging for one product r.
-  std::vector<LinTerm> a_terms, b_terms;
-  std::vector<OutTerm> c_terms;
+  std::vector<LinTermT<T>> a_terms, b_terms;
+  std::vector<OutTermT<T>> c_terms;
 };
 
-FmmExecutor::FmmExecutor(const Plan& plan, index_t m, index_t n, index_t k,
-                         const GemmConfig& cfg, int slots)
+template <typename T>
+FmmExecutorT<T>::FmmExecutorT(const Plan& plan, index_t m, index_t n,
+                              index_t k, const GemmConfig& cfg, int slots)
     : plan_(plan), m_(m), n_(n), k_(k) {
   assert(m >= 0 && n >= 0 && k >= 0);
+
+  // The executor's element type is authoritative: a plan handed to the f32
+  // executor always executes (and is keyed) as f32.
+  plan_.dtype = DTypeOf<T>::value;
 
   // Resolve the blocking once, with the plan's kernel threaded by value —
   // no GemmConfig is ever mutated after this constructor returns.
   GemmConfig resolve_cfg = cfg;
   if (plan_.kernel != nullptr) resolve_cfg.kernel = plan_.kernel;
-  bp_ = resolve_blocking(resolve_cfg);
+  bp_ = resolve_blocking(resolve_cfg, plan_.dtype);
   // Clamp the cache blocks to the problem so a small-shape executor carries
   // small workspaces.  The clamps never change the loop geometry (each
   // clamped block still covers its dimension in one step whenever the
@@ -157,7 +168,7 @@ FmmExecutor::FmmExecutor(const Plan& plan, index_t m, index_t n, index_t k,
                        ns_ <= bp_.nc;
   if (shared_b_possible_) {
     shared_b_panel_elems_ = round_up(ns_, bp_.nr) * ks_;
-    constexpr index_t kSharedBBudgetElems = (32ll << 20) / sizeof(double);
+    constexpr index_t kSharedBBudgetElems = (32ll << 20) / sizeof(T);
     if (shared_b_panel_elems_ * R > kSharedBBudgetElems) {
       shared_b_possible_ = false;
       shared_b_panel_elems_ = 0;
@@ -177,16 +188,17 @@ FmmExecutor::FmmExecutor(const Plan& plan, index_t m, index_t n, index_t k,
   }
 }
 
-std::unique_ptr<FmmExecutor::Slot> FmmExecutor::make_slot() {
+template <typename T>
+auto FmmExecutorT<T>::make_slot() -> std::unique_ptr<Slot> {
   auto slot = std::make_unique<Slot>();
   slot->ws.ensure(bp_, nth_, std::max(max_a_, 1), std::max(max_b_, 1),
                   std::max(max_c_, 1));
   if (m1_ > 0 && plan_.variant != Variant::kABC) {
-    slot->m_buf = Matrix(ms_, ns_);
+    slot->m_buf.resize(static_cast<std::size_t>(ms_) * ns_);
   }
   if (m1_ > 0 && plan_.variant == Variant::kNaive) {
-    slot->ta = Matrix(ms_, ks_);
-    slot->tb = Matrix(ks_, ns_);
+    slot->ta.resize(static_cast<std::size_t>(ms_) * ks_);
+    slot->tb.resize(static_cast<std::size_t>(ks_) * ns_);
   }
   slot->a_terms.resize(static_cast<std::size_t>(std::max(max_a_, 1)));
   slot->b_terms.resize(static_cast<std::size_t>(std::max(max_b_, 1)));
@@ -194,7 +206,8 @@ std::unique_ptr<FmmExecutor::Slot> FmmExecutor::make_slot() {
   return slot;
 }
 
-void FmmExecutor::ensure_slots(int target) {
+template <typename T>
+void FmmExecutorT<T>::ensure_slots(int target) {
   if (target <= 0) return;
   // Cap the growth: slots are full workspace sets, and a pool wider than
   // the host's concurrent-leaf fan-out is pure memory waste.
@@ -211,11 +224,14 @@ void FmmExecutor::ensure_slots(int target) {
   if (added > 0) cv_.notify_all();
 }
 
-FmmExecutor::~FmmExecutor() = default;
+template <typename T>
+FmmExecutorT<T>::~FmmExecutorT() = default;
 
-std::string FmmExecutor::name() const { return plan_.name(); }
+template <typename T>
+std::string FmmExecutorT<T>::name() const { return plan_.name(); }
 
-FmmExecutor::Slot* FmmExecutor::acquire_slot() {
+template <typename T>
+auto FmmExecutorT<T>::acquire_slot() -> Slot* {
   std::unique_lock<std::mutex> lk(mu_);
   cv_.wait(lk, [&] { return !free_.empty(); });
   Slot* s = free_.back();
@@ -223,7 +239,8 @@ FmmExecutor::Slot* FmmExecutor::acquire_slot() {
   return s;
 }
 
-FmmExecutor::Slot* FmmExecutor::try_acquire_slot() {
+template <typename T>
+auto FmmExecutorT<T>::try_acquire_slot() -> Slot* {
   std::lock_guard<std::mutex> lk(mu_);
   if (free_.empty()) return nullptr;
   Slot* s = free_.back();
@@ -231,7 +248,8 @@ FmmExecutor::Slot* FmmExecutor::try_acquire_slot() {
   return s;
 }
 
-void FmmExecutor::release_slot(Slot* slot) {
+template <typename T>
+void FmmExecutorT<T>::release_slot(Slot* slot) {
   {
     std::lock_guard<std::mutex> lk(mu_);
     free_.push_back(slot);
@@ -239,7 +257,9 @@ void FmmExecutor::release_slot(Slot* slot) {
   cv_.notify_one();
 }
 
-void FmmExecutor::run(MatView c, ConstMatView a, ConstMatView b) {
+template <typename T>
+void FmmExecutorT<T>::run(MatViewT<T> c, ConstMatViewT<T> a,
+                          ConstMatViewT<T> b) {
   if (!hook_) {
     run_unobserved(c, a, b);
     return;
@@ -248,7 +268,7 @@ void FmmExecutor::run(MatView c, ConstMatView a, ConstMatView b) {
   // this executor, not the algorithm, and would poison the history.
   Slot* s = acquire_slot();
   struct Release {
-    FmmExecutor* e;
+    FmmExecutorT* e;
     Slot* s;
     ~Release() { e->release_slot(s); }
   } rel{this, s};
@@ -257,18 +277,22 @@ void FmmExecutor::run(MatView c, ConstMatView a, ConstMatView b) {
   hook_(t.seconds(), 1);
 }
 
-void FmmExecutor::run_unobserved(MatView c, ConstMatView a, ConstMatView b) {
+template <typename T>
+void FmmExecutorT<T>::run_unobserved(MatViewT<T> c, ConstMatViewT<T> a,
+                                     ConstMatViewT<T> b) {
   Slot* s = acquire_slot();
   struct Release {
-    FmmExecutor* e;
+    FmmExecutorT* e;
     Slot* s;
     ~Release() { e->release_slot(s); }
   } rel{this, s};
   run_on_slot(*s, c, a, b, frozen_cfg_);
 }
 
-void FmmExecutor::run_on_slot(Slot& slot, MatView c, ConstMatView a,
-                              ConstMatView b, const GemmConfig& cfg) {
+template <typename T>
+void FmmExecutorT<T>::run_on_slot(Slot& slot, MatViewT<T> c,
+                                  ConstMatViewT<T> a, ConstMatViewT<T> b,
+                                  const GemmConfig& cfg) {
   assert(c.rows() == m_ && c.cols() == n_ && a.rows() == m_ && a.cols() == k_ &&
          b.rows() == k_ && b.cols() == n_);
   if (m_ == 0 || n_ == 0) return;
@@ -276,9 +300,10 @@ void FmmExecutor::run_on_slot(Slot& slot, MatView c, ConstMatView a,
   if (m1_ > 0) {
     const index_t lda = a.stride(), ldb = b.stride(), ldc = c.stride();
     const int R = plan_.R();
-    LinTerm* a_terms = slot.a_terms.data();
-    LinTerm* b_terms = slot.b_terms.data();
-    OutTerm* c_terms = slot.c_terms.data();
+    LinTermT<T>* a_terms = slot.a_terms.data();
+    LinTermT<T>* b_terms = slot.b_terms.data();
+    OutTermT<T>* c_terms = slot.c_terms.data();
+    const MatViewT<T> m_view(slot.m_buf.data(), ms_, ns_, ns_);
     for (int r = 0; r < R; ++r) {
       const int na = a_ofs_[r + 1] - a_ofs_[r];
       const int nb = b_ofs_[r + 1] - b_ofs_[r];
@@ -298,37 +323,38 @@ void FmmExecutor::run_on_slot(Slot& slot, MatView c, ConstMatView a,
 
       switch (plan_.variant) {
         case Variant::kABC: {
-          fused_multiply(ms_, ns_, ks_, a_terms, na, lda, b_terms, nb, ldb,
-                         c_terms, nc, ldc, slot.ws, cfg);
+          fused_multiply<T>(ms_, ns_, ks_, a_terms, na, lda, b_terms, nb, ldb,
+                            c_terms, nc, ldc, slot.ws, cfg);
           break;
         }
         case Variant::kAB: {
           // Packing still absorbs the A/B sums; M_r is an explicit buffer
           // (overwritten by the first k-block — no zero-fill pass).
-          OutTerm m_out{slot.m_buf.data(), 1.0};
-          fused_multiply(ms_, ns_, ks_, a_terms, na, lda, b_terms, nb, ldb,
-                         &m_out, 1, slot.m_buf.stride(), slot.ws, cfg,
-                         /*accumulate=*/false);
+          OutTermT<T> m_out{slot.m_buf.data(), 1.0};
+          fused_multiply<T>(ms_, ns_, ks_, a_terms, na, lda, b_terms, nb, ldb,
+                            &m_out, 1, ns_, slot.ws, cfg,
+                            /*accumulate=*/false);
           for (int p = 0; p < nc; ++p) {
-            scaled_add(c_terms[p].coeff, slot.m_buf.view(),
-                       MatView(c_terms[p].ptr, ms_, ns_, ldc));
+            scaled_add<T>(c_terms[p].coeff, m_view,
+                          MatViewT<T>(c_terms[p].ptr, ms_, ns_, ldc));
           }
           break;
         }
         case Variant::kNaive: {
           // Explicit temporaries for the operand sums, then a plain GEMM
           // overwriting M_r.
-          lin_comb(a_terms, na, lda, ms_, ks_, slot.ta.view());
-          lin_comb(b_terms, nb, ldb, ks_, ns_, slot.tb.view());
-          LinTerm ta{slot.ta.data(), 1.0};
-          LinTerm tb{slot.tb.data(), 1.0};
-          OutTerm m_out{slot.m_buf.data(), 1.0};
-          fused_multiply(ms_, ns_, ks_, &ta, 1, slot.ta.stride(), &tb, 1,
-                         slot.tb.stride(), &m_out, 1, slot.m_buf.stride(),
-                         slot.ws, cfg, /*accumulate=*/false);
+          lin_comb<T>(a_terms, na, lda, ms_, ks_,
+                      MatViewT<T>(slot.ta.data(), ms_, ks_, ks_));
+          lin_comb<T>(b_terms, nb, ldb, ks_, ns_,
+                      MatViewT<T>(slot.tb.data(), ks_, ns_, ns_));
+          LinTermT<T> ta{slot.ta.data(), 1.0};
+          LinTermT<T> tb{slot.tb.data(), 1.0};
+          OutTermT<T> m_out{slot.m_buf.data(), 1.0};
+          fused_multiply<T>(ms_, ns_, ks_, &ta, 1, ks_, &tb, 1, ns_, &m_out,
+                            1, ns_, slot.ws, cfg, /*accumulate=*/false);
           for (int p = 0; p < nc; ++p) {
-            scaled_add(c_terms[p].coeff, slot.m_buf.view(),
-                       MatView(c_terms[p].ptr, ms_, ns_, ldc));
+            scaled_add<T>(c_terms[p].coeff, m_view,
+                          MatViewT<T>(c_terms[p].ptr, ms_, ns_, ldc));
           }
           break;
         }
@@ -343,7 +369,9 @@ void FmmExecutor::run_on_slot(Slot& slot, MatView c, ConstMatView a,
   }
 }
 
-void FmmExecutor::run_batch(const BatchItem* items, std::size_t count) {
+template <typename T>
+void FmmExecutorT<T>::run_batch(const BatchItemT<T>* items,
+                                std::size_t count) {
   // Edge cases short-circuit before any batch bookkeeping (shared-B scan,
   // batch mutex, parallel region): an empty batch is a no-op, a single
   // item is exactly one run().
@@ -371,7 +399,8 @@ void FmmExecutor::run_batch(const BatchItem* items, std::size_t count) {
   hook_(t.seconds(), count);  // one observation: `count` multiplies
 }
 
-void FmmExecutor::run_batch_strided(const StridedBatch& sb) {
+template <typename T>
+void FmmExecutorT<T>::run_batch_strided(const StridedBatchT<T>& sb) {
   // Empty first: a default-constructed descriptor is the no-op value, like
   // run_batch(items, 0), and must not trip the shape assert.
   if (sb.count == 0) return;
@@ -383,7 +412,7 @@ void FmmExecutor::run_batch_strided(const StridedBatch& sb) {
   if (acc.sb.lda == 0) acc.sb.lda = k_;
   if (acc.sb.ldb == 0) acc.sb.ldb = n_;
   if (sb.count == 1) {
-    const BatchItem it = acc.at(0);
+    const BatchItemT<T> it = acc.at(0);
     run(it.c, it.a, it.b);
     return;
   }
@@ -399,8 +428,9 @@ void FmmExecutor::run_batch_strided(const StridedBatch& sb) {
   hook_(t.seconds(), sb.count);
 }
 
-void FmmExecutor::run_batch_impl(const BatchAccess& acc, std::size_t count,
-                                 bool shared_b) {
+template <typename T>
+void FmmExecutorT<T>::run_batch_impl(const BatchAccess& acc,
+                                     std::size_t count, bool shared_b) {
 #ifndef NDEBUG
   // Two items writing one C race silently (items execute concurrently in
   // the item-parallel regimes).  Debug builds reject such batches outright.
@@ -434,7 +464,7 @@ void FmmExecutor::run_batch_impl(const BatchAccess& acc, std::size_t count,
   const bool item_parallel = nth_ > 1 && ceil_div(rows_seen, bp_.mc) < nth_;
   if (!item_parallel) {
     for (std::size_t i = 0; i < count; ++i) {
-      const BatchItem it = acc.at(i);
+      const BatchItemT<T> it = acc.at(i);
       // Unobserved: the enclosing batch reports one aggregate observation.
       run_unobserved(it.c, it.a, it.b);
     }
@@ -454,7 +484,7 @@ void FmmExecutor::run_batch_impl(const BatchAccess& acc, std::size_t count,
     if (s != nullptr) {
       for (std::int64_t i = next.fetch_add(1); i < total;
            i = next.fetch_add(1)) {
-        const BatchItem it = acc.at(static_cast<std::size_t>(i));
+        const BatchItemT<T> it = acc.at(static_cast<std::size_t>(i));
         run_on_slot(*s, it.c, it.a, it.b, serial_cfg_);
       }
       if (s != mine) release_slot(s);
@@ -463,13 +493,14 @@ void FmmExecutor::run_batch_impl(const BatchAccess& acc, std::size_t count,
   release_slot(mine);
 }
 
-void FmmExecutor::run_batch_shared_b(const BatchAccess& acc,
-                                     std::size_t count) {
-  const ConstMatView b = acc.at(0).b;
+template <typename T>
+void FmmExecutorT<T>::run_batch_shared_b(const BatchAccess& acc,
+                                         std::size_t count) {
+  const ConstMatViewT<T> b = acc.at(0).b;
   const index_t ldb = b.stride();
   const int R = plan_.R();
   const int nr = bp_.nr;
-  double* bpack = shared_b_.data();
+  T* bpack = shared_b_.data();
 
   Slot* mine = acquire_slot();
   // Packing overlaps compute: thread 0 packs the per-r B~ panels *in r
@@ -495,8 +526,8 @@ void FmmExecutor::run_batch_shared_b(const BatchAccess& acc,
           s->b_terms[static_cast<std::size_t>(j)] = {
               b.data() + t.row * ldb + t.col, t.coeff};
         }
-        pack_b(s->b_terms.data(), nb, ldb, ks_, ns_, nr,
-               bpack + r * shared_b_panel_elems_);
+        pack_b<T>(s->b_terms.data(), nb, ldb, ks_, ns_, nr,
+                  bpack + r * shared_b_panel_elems_);
         panels_ready.store(r + 1, std::memory_order_release);
       }
     }
@@ -517,17 +548,19 @@ void FmmExecutor::run_batch_shared_b(const BatchAccess& acc,
 // finishes.  Loop structure and arithmetic order match the serial fused
 // driver exactly (single jc/pc block), so results are bitwise identical to
 // run().
-void FmmExecutor::run_item_prepacked(Slot& slot, const BatchItem& item,
-                                     const std::atomic<int>& panels_ready) {
+template <typename T>
+void FmmExecutorT<T>::run_item_prepacked(
+    Slot& slot, const BatchItemT<T>& item,
+    const std::atomic<int>& panels_ready) {
   assert(item.c.rows() == m_ && item.c.cols() == n_ && item.a.cols() == k_);
   const index_t lda = item.a.stride(), ldc = item.c.stride();
   const int mr = bp_.mr, nr = bp_.nr;
-  const MicrokernelFn ukr = bp_.kernel->fn;
-  double* apack = slot.ws.a_tile(0);
-  GemmWorkspace::TermScratch& scratch = slot.ws.terms(0);
-  LinTerm* a_local = scratch.a.data();
-  OutTerm* c_local = scratch.c.data();
-  alignas(64) double acc[kMaxAccElems];
+  const auto ukr = kernel_fn<T>(*bp_.kernel);
+  T* apack = slot.ws.a_tile(0);
+  typename GemmWorkspaceT<T>::TermScratch& scratch = slot.ws.terms(0);
+  LinTermT<T>* a_local = scratch.a.data();
+  OutTermT<T>* c_local = scratch.c.data();
+  alignas(64) T acc[kMaxAccElemsOf<T>];
 
   const int R = plan_.R();
   for (int r = 0; r < R; ++r) {
@@ -549,7 +582,7 @@ void FmmExecutor::run_item_prepacked(Slot& slot, const BatchItem& item,
       slot.c_terms[static_cast<std::size_t>(p)] = {
           item.c.data() + t.row * ldc + t.col, t.coeff};
     }
-    const double* bpack_r = shared_b_.data() + r * shared_b_panel_elems_;
+    const T* bpack_r = shared_b_.data() + r * shared_b_panel_elems_;
 
     for (index_t ic = 0; ic < ms_; ic += bp_.mc) {
       const index_t mc_eff = std::min<index_t>(bp_.mc, ms_ - ic);
@@ -557,14 +590,14 @@ void FmmExecutor::run_item_prepacked(Slot& slot, const BatchItem& item,
         a_local[i] = {slot.a_terms[static_cast<std::size_t>(i)].ptr + ic * lda,
                       slot.a_terms[static_cast<std::size_t>(i)].coeff};
       }
-      pack_a(a_local, na, lda, mc_eff, ks_, mr, apack);
+      pack_a<T>(a_local, na, lda, mc_eff, ks_, mr, apack);
 
       for (index_t jr = 0; jr < ns_; jr += nr) {
         const index_t n_sub = std::min<index_t>(nr, ns_ - jr);
-        const double* bpanel = bpack_r + (jr / nr) * nr * ks_;
+        const T* bpanel = bpack_r + (jr / nr) * nr * ks_;
         for (index_t ir = 0; ir < mc_eff; ir += mr) {
           const index_t m_sub = std::min<index_t>(mr, mc_eff - ir);
-          const double* apanel = apack + (ir / mr) * mr * ks_;
+          const T* apanel = apack + (ir / mr) * mr * ks_;
           ukr(ks_, apanel, bpanel, acc);
           for (int t = 0; t < nc; ++t) {
             c_local[t].ptr = slot.c_terms[static_cast<std::size_t>(t)].ptr +
@@ -578,5 +611,8 @@ void FmmExecutor::run_item_prepacked(Slot& slot, const BatchItem& item,
     }
   }
 }
+
+template class FmmExecutorT<double>;
+template class FmmExecutorT<float>;
 
 }  // namespace fmm

@@ -10,7 +10,7 @@
 // dominates (Benson & Ballard, SC'14: fast-matmul wins at modest sizes
 // exactly when framework overheads are amortized).
 //
-// FmmExecutor performs that derivation once, at construction, for one
+// FmmExecutorT<T> performs that derivation once, at construction, for one
 // (plan, m, n, k, config) tuple:
 //
 //   * blocking resolved and frozen (explicit values beat env re-reads),
@@ -32,6 +32,11 @@
 // themselves become the parallel dimension, each executed serially; when
 // every item also shares one B operand, the per-r packed B~ panels are
 // built once and reused across all items.
+//
+// The element type T (double or float; see src/gemm/dtype.h) selects which
+// kernel family the compiled executor dispatches into; FmmExecutor /
+// BatchItem / StridedBatch remain the f64 spellings.  Explicit
+// instantiations live in executor.cc.
 
 #include <atomic>
 #include <condition_variable>
@@ -64,10 +69,11 @@ std::vector<PeelPiece> peel_pieces(index_t m, index_t n, index_t k,
 
 // One operand triple of a batch.  Every item must match the executor's
 // compiled shape; strides may differ per item.
-struct BatchItem {
-  MatView c;
-  ConstMatView a;
-  ConstMatView b;
+template <typename T>
+struct BatchItemT {
+  MatViewT<T> c;
+  ConstMatViewT<T> a;
+  ConstMatViewT<T> b;
 };
 
 // A batch laid out as one base pointer plus a fixed element stride between
@@ -84,33 +90,40 @@ struct BatchItem {
 // write the same C and is rejected by the Engine validation layer.  The
 // items are expanded internally (a view is computed per index on the fly);
 // no per-item view array is ever materialized.
-struct StridedBatch {
+template <typename T>
+struct StridedBatchT {
   index_t m = 0, n = 0, k = 0;
   std::size_t count = 0;
-  double* c = nullptr;
-  const double* a = nullptr;
-  const double* b = nullptr;
+  T* c = nullptr;
+  const T* a = nullptr;
+  const T* b = nullptr;
   index_t ldc = 0, lda = 0, ldb = 0;                 // 0 = dense
   index_t stride_c = 0, stride_a = 0, stride_b = 0;  // item-to-item strides
 };
 
-class FmmExecutor {
+using BatchItem = BatchItemT<double>;
+using StridedBatch = StridedBatchT<double>;
+using BatchItemF32 = BatchItemT<float>;
+using StridedBatchF32 = StridedBatchT<float>;
+
+template <typename T>
+class FmmExecutorT {
  public:
   // Compiles `plan` for problems of exactly C (m x n) += A (m x k) *
   // B (k x n) under `cfg`.  `slots` is how many host threads can run()
   // concurrently without waiting; 0 sizes the pool to the resolved thread
   // count (which run_batch's item-parallel mode needs anyway).  All
   // allocation happens here.
-  explicit FmmExecutor(const Plan& plan, index_t m, index_t n, index_t k,
-                       const GemmConfig& cfg = GemmConfig{}, int slots = 0);
-  ~FmmExecutor();
+  explicit FmmExecutorT(const Plan& plan, index_t m, index_t n, index_t k,
+                        const GemmConfig& cfg = GemmConfig{}, int slots = 0);
+  ~FmmExecutorT();
 
-  FmmExecutor(const FmmExecutor&) = delete;
-  FmmExecutor& operator=(const FmmExecutor&) = delete;
+  FmmExecutorT(const FmmExecutorT&) = delete;
+  FmmExecutorT& operator=(const FmmExecutorT&) = delete;
 
   // C += A * B.  Operands must match the compiled shape.  Thread-safe;
   // zero allocation, zero re-derivation.
-  void run(MatView c, ConstMatView a, ConstMatView b);
+  void run(MatViewT<T> c, ConstMatViewT<T> a, ConstMatViewT<T> b);
 
   // Executes every item (C_i += A_i * B_i) against the compiled plan.
   // Items run in parallel (one per thread, serial inside) when the shape
@@ -120,8 +133,8 @@ class FmmExecutor {
   // short-circuit before any batch bookkeeping (no shared-B mutex, no
   // parallel region).  Debug builds assert that no two items write the
   // same C (a silently racy batch otherwise).
-  void run_batch(const BatchItem* items, std::size_t count);
-  void run_batch(const std::vector<BatchItem>& items) {
+  void run_batch(const BatchItemT<T>* items, std::size_t count);
+  void run_batch(const std::vector<BatchItemT<T>>& items) {
     run_batch(items.data(), items.size());
   }
 
@@ -130,7 +143,7 @@ class FmmExecutor {
   // materialized.  sb's shape must match the compiled shape (the Engine
   // validates; this layer asserts).  stride_b == 0 routes through the
   // shared-B prepacked fast path when the plan/shape allow it.
-  void run_batch_strided(const StridedBatch& sb);
+  void run_batch_strided(const StridedBatchT<T>& sb);
 
   // Observation hook for the online performance model (src/model/history.h):
   // called once per top-level run() with (wall seconds, 1), and once per
@@ -184,14 +197,14 @@ class FmmExecutor {
   // per item costs nothing next to a multiply, and avoids materializing
   // views for the strided layout).
   struct BatchAccess {
-    const BatchItem* items = nullptr;  // per-item mode when non-null
-    StridedBatch sb;                   // strided mode otherwise
-    BatchItem at(std::size_t i) const {
+    const BatchItemT<T>* items = nullptr;  // per-item mode when non-null
+    StridedBatchT<T> sb;                   // strided mode otherwise
+    BatchItemT<T> at(std::size_t i) const {
       if (items != nullptr) return items[i];
       const index_t off = static_cast<index_t>(i);
-      return {MatView(sb.c + off * sb.stride_c, sb.m, sb.n, sb.ldc),
-              ConstMatView(sb.a + off * sb.stride_a, sb.m, sb.k, sb.lda),
-              ConstMatView(sb.b + off * sb.stride_b, sb.k, sb.n, sb.ldb)};
+      return {MatViewT<T>(sb.c + off * sb.stride_c, sb.m, sb.n, sb.ldc),
+              ConstMatViewT<T>(sb.a + off * sb.stride_a, sb.m, sb.k, sb.lda),
+              ConstMatViewT<T>(sb.b + off * sb.stride_b, sb.k, sb.n, sb.ldb)};
     }
   };
 
@@ -201,18 +214,18 @@ class FmmExecutor {
   void release_slot(Slot* slot);
   // run() minus the timing hook: the batch paths' per-item workhorse (the
   // enclosing batch reports one aggregate observation instead).
-  void run_unobserved(MatView c, ConstMatView a, ConstMatView b);
+  void run_unobserved(MatViewT<T> c, ConstMatViewT<T> a, ConstMatViewT<T> b);
   // The full multiply (interior + peel) on one slot.  `cfg` is either the
   // frozen config or its serial twin (batch item-parallel mode).
-  void run_on_slot(Slot& slot, MatView c, ConstMatView a, ConstMatView b,
-                   const GemmConfig& cfg);
+  void run_on_slot(Slot& slot, MatViewT<T> c, ConstMatViewT<T> a,
+                   ConstMatViewT<T> b, const GemmConfig& cfg);
   void run_batch_impl(const BatchAccess& acc, std::size_t count,
                       bool shared_b);
   // Shared-B fast path with pack/compute overlap: one thread packs the
   // per-r B~ panels in order, publishing each through an atomic watermark;
   // the others consume items, gating each item's r step on that watermark.
   void run_batch_shared_b(const BatchAccess& acc, std::size_t count);
-  void run_item_prepacked(Slot& slot, const BatchItem& item,
+  void run_item_prepacked(Slot& slot, const BatchItemT<T>& item,
                           const std::atomic<int>& panels_ready);
 
   Plan plan_;
@@ -242,8 +255,14 @@ class FmmExecutor {
   // Shared-B batch fast path: all R packed B~ panels prepacked once.
   bool shared_b_possible_ = false;
   index_t shared_b_panel_elems_ = 0;  // elements per r
-  AlignedBuffer<double> shared_b_;
+  AlignedBuffer<T> shared_b_;
   std::mutex batch_mu_;  // guards shared_b_ across concurrent run_batch
 };
+
+extern template class FmmExecutorT<double>;
+extern template class FmmExecutorT<float>;
+
+using FmmExecutor = FmmExecutorT<double>;
+using FmmExecutorF32 = FmmExecutorT<float>;
 
 }  // namespace fmm

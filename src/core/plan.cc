@@ -52,15 +52,21 @@ std::string Plan::name() const {
     s += kernel->name;
     s += "]";
   }
+  // Only the non-default element type is spelled out, keeping historical
+  // f64 names (and everything keyed on them) unchanged.
+  if (dtype != DType::kF64) {
+    s += " ";
+    s += dtype_name(dtype);
+  }
   return s;
 }
 
 bool same_execution(const Plan& a, const Plan& b) {
   const FmmAlgorithm& x = a.flat;
   const FmmAlgorithm& y = b.flat;
-  return a.variant == b.variant && a.kernel == b.kernel && x.mt == y.mt &&
-         x.kt == y.kt && x.nt == y.nt && x.R == y.R && x.U == y.U &&
-         x.V == y.V && x.W == y.W;
+  return a.variant == b.variant && a.kernel == b.kernel &&
+         a.dtype == b.dtype && x.mt == y.mt && x.kt == y.kt && x.nt == y.nt &&
+         x.R == y.R && x.U == y.U && x.V == y.V && x.W == y.W;
 }
 
 Plan make_plan(std::vector<FmmAlgorithm> levels, Variant variant) {

@@ -15,6 +15,7 @@
 
 #include "src/core/algorithm.h"
 #include "src/core/partition.h"
+#include "src/gemm/dtype.h"
 
 namespace fmm {
 
@@ -34,6 +35,12 @@ struct Plan {
   // model-guided selector fills this per problem shape (selector.h).
   const KernelInfo* kernel = nullptr;
 
+  // Element type this plan executes in, a runtime property like the kernel.
+  // The Engine's typed entry points stamp it from the argument type, so a
+  // plan handed to multiply(float*, ...) always compiles an f32 executor;
+  // a non-null `kernel` must be of the same dtype.
+  DType dtype = DType::kF64;
+
   int Mt() const { return flat.mt; }  // Π m̃_l
   int Kt() const { return flat.kt; }  // Π k̃_l
   int Nt() const { return flat.nt; }  // Π ñ_l
@@ -51,7 +58,8 @@ struct Plan {
 };
 
 // Exact match on everything a compiled executor's arithmetic depends on:
-// the flat algorithm (dims + coefficients), variant, and requested kernel.
+// the flat algorithm (dims + coefficients), variant, requested kernel, and
+// element type.
 // Comparing the coefficient vectors outright costs the same order of work
 // as one per-call U/V/W term gather, with no fingerprint-collision risk —
 // this is the equality side of the Engine's executor-cache key (the hash

@@ -98,35 +98,48 @@ bool should_recurse(const Plan& plan, index_t m, index_t n, index_t k,
 
 namespace {
 
+// The BufferPool deals in doubles; a typed lease rounds its byte size up
+// to whole doubles so f32 intermediates share the same pool (the 64-byte
+// allocation alignment satisfies any element type).
+template <typename T>
+std::size_t lease_doubles(index_t elems) {
+  return (static_cast<std::size_t>(elems) * sizeof(T) + sizeof(double) - 1) /
+         sizeof(double);
+}
+
+template <typename T>
 struct GatherTerm {
-  const double* ptr;
+  const T* ptr;
   double coeff;
 };
 
 // Serial dense dst[rows x cols] = Σ_t coeff_t * src_t (src row stride lds);
 // term order is block-index-ascending in both drivers.
-void lin_comb_serial(const GatherTerm* terms, int num_terms, index_t lds,
-                     index_t rows, index_t cols, double* dst) {
+template <typename T>
+void lin_comb_serial(const GatherTerm<T>* terms, int num_terms, index_t lds,
+                     index_t rows, index_t cols, T* dst) {
   for (index_t i = 0; i < rows; ++i) {
-    double* d = dst + i * cols;
-    const double* s0 = terms[0].ptr + i * lds;
-    const double c0 = terms[0].coeff;
+    T* d = dst + i * cols;
+    const T* s0 = terms[0].ptr + i * lds;
+    const T c0 = static_cast<T>(terms[0].coeff);
     for (index_t j = 0; j < cols; ++j) d[j] = c0 * s0[j];
     for (int t = 1; t < num_terms; ++t) {
-      const double* st = terms[t].ptr + i * lds;
-      const double ct = terms[t].coeff;
+      const T* st = terms[t].ptr + i * lds;
+      const T ct = static_cast<T>(terms[t].coeff);
       for (index_t j = 0; j < cols; ++j) d[j] += ct * st[j];
     }
   }
 }
 
 // Serial dst += w * src (the C_p quadrant update).
-void scaled_add_serial(double w, ConstMatView src, MatView dst) {
+template <typename T>
+void scaled_add_serial(double w, ConstMatViewT<T> src, MatViewT<T> dst) {
   const index_t rows = src.rows(), cols = src.cols();
+  const T wv = static_cast<T>(w);
   for (index_t i = 0; i < rows; ++i) {
-    const double* s = src.row(i);
-    double* d = dst.row(i);
-    for (index_t j = 0; j < cols; ++j) d[j] += w * s[j];
+    const T* s = src.row(i);
+    T* d = dst.row(i);
+    for (index_t j = 0; j < cols; ++j) d[j] += wv * s[j];
   }
 }
 
@@ -134,31 +147,33 @@ void scaled_add_serial(double w, ConstMatView src, MatView dst) {
 // via shared_ptr (std::function requires copyable callables); the per-r
 // buffer slots are written by prep tasks and cleared by release tasks, with
 // every access ordered by the tag dependencies.
+template <typename T>
 struct Node {
-  RecursiveExec ctx;
+  RecursiveExecT<T> ctx;
   FmmAlgorithm alg;                   // the consumed outermost level
   std::shared_ptr<const Plan> child;  // remaining levels (null: GEMM leaves)
   bool descend = false;               // products recurse one level further
-  MatView c;
-  ConstMatView a, b;
+  MatViewT<T> c;
+  ConstMatViewT<T> a, b;
   index_t ms = 0, ks = 0, ns = 0;     // quadrant sizes
   int depth = 0;
 
   struct RBuf {
     BufferPool::Lease s, t, m;
-    ConstMatView sv, tv;  // S_r / T_r (aliased quadrant or pooled buffer)
-    MatView mv;           // M_r
+    ConstMatViewT<T> sv, tv;  // S_r / T_r (aliased quadrant or pooled buffer)
+    MatViewT<T> mv;           // M_r
   };
   std::vector<RBuf> rb;
 };
 
 // Gathers S_r and T_r (aliasing a single +1.0-coefficient quadrant rather
 // than copying it) and zeroes M_r into node.rb[r].
-void prep_product(Node& node, int r) {
+template <typename T>
+void prep_product(Node<T>& node, int r) {
   const FmmAlgorithm& alg = node.alg;
-  Node::RBuf& rb = node.rb[static_cast<std::size_t>(r)];
+  typename Node<T>::RBuf& rb = node.rb[static_cast<std::size_t>(r)];
   const index_t ms = node.ms, ks = node.ks, ns = node.ns;
-  std::vector<GatherTerm> terms;
+  std::vector<GatherTerm<T>> terms;
 
   const index_t lda = node.a.stride();
   terms.reserve(static_cast<std::size_t>(alg.rows_u()));
@@ -169,16 +184,17 @@ void prep_product(Node& node, int r) {
         {node.a.data() + (i / alg.kt) * ms * lda + (i % alg.kt) * ks, coef});
   }
   if (terms.size() == 1 && terms[0].coeff == 1.0) {
-    rb.sv = ConstMatView(terms[0].ptr, ms, ks, lda);
+    rb.sv = ConstMatViewT<T>(terms[0].ptr, ms, ks, lda);
   } else {
-    rb.s = node.ctx.buffers->acquire(static_cast<std::size_t>(ms * ks));
+    rb.s = node.ctx.buffers->acquire(lease_doubles<T>(ms * ks));
+    T* sp = reinterpret_cast<T*>(rb.s.data());
     if (terms.empty()) {
-      std::memset(rb.s.data(), 0, static_cast<std::size_t>(ms * ks) * sizeof(double));
+      std::memset(sp, 0, static_cast<std::size_t>(ms * ks) * sizeof(T));
     } else {
       lin_comb_serial(terms.data(), static_cast<int>(terms.size()), lda, ms,
-                      ks, rb.s.data());
+                      ks, sp);
     }
-    rb.sv = ConstMatView(rb.s.data(), ms, ks, ks);
+    rb.sv = ConstMatViewT<T>(sp, ms, ks, ks);
   }
 
   const index_t ldb = node.b.stride();
@@ -190,28 +206,31 @@ void prep_product(Node& node, int r) {
         {node.b.data() + (j / alg.nt) * ks * ldb + (j % alg.nt) * ns, coef});
   }
   if (terms.size() == 1 && terms[0].coeff == 1.0) {
-    rb.tv = ConstMatView(terms[0].ptr, ks, ns, ldb);
+    rb.tv = ConstMatViewT<T>(terms[0].ptr, ks, ns, ldb);
   } else {
-    rb.t = node.ctx.buffers->acquire(static_cast<std::size_t>(ks * ns));
+    rb.t = node.ctx.buffers->acquire(lease_doubles<T>(ks * ns));
+    T* tp = reinterpret_cast<T*>(rb.t.data());
     if (terms.empty()) {
-      std::memset(rb.t.data(), 0, static_cast<std::size_t>(ks * ns) * sizeof(double));
+      std::memset(tp, 0, static_cast<std::size_t>(ks * ns) * sizeof(T));
     } else {
       lin_comb_serial(terms.data(), static_cast<int>(terms.size()), ldb, ks,
-                      ns, rb.t.data());
+                      ns, tp);
     }
-    rb.tv = ConstMatView(rb.t.data(), ks, ns, ns);
+    rb.tv = ConstMatViewT<T>(tp, ks, ns, ns);
   }
 
-  rb.m = node.ctx.buffers->acquire(static_cast<std::size_t>(ms * ns));
-  std::memset(rb.m.data(), 0, static_cast<std::size_t>(ms * ns) * sizeof(double));
-  rb.mv = MatView(rb.m.data(), ms, ns, ns);
+  rb.m = node.ctx.buffers->acquire(lease_doubles<T>(ms * ns));
+  T* mp = reinterpret_cast<T*>(rb.m.data());
+  std::memset(mp, 0, static_cast<std::size_t>(ms * ns) * sizeof(T));
+  rb.mv = MatViewT<T>(mp, ms, ns, ns);
 }
 
 // Builds one expanded step plus its children on ctx.pool.  The finalizer
 // task carries `done_tag` and its future is the node's completion.
-TaskFuture build_node(const RecursiveExec& ctx,
-                      std::shared_ptr<const Plan> plan, MatView c,
-                      ConstMatView a, ConstMatView b, int depth,
+template <typename T>
+TaskFuture build_node(const RecursiveExecT<T>& ctx,
+                      std::shared_ptr<const Plan> plan, MatViewT<T> c,
+                      ConstMatViewT<T> a, ConstMatViewT<T> b, int depth,
                       TaskTag done_tag) {
   TaskPool& pool = *ctx.pool;
   const FmmAlgorithm& alg = plan->levels.front();
@@ -221,7 +240,7 @@ TaskFuture build_node(const RecursiveExec& ctx,
   const index_t n1 = n - n % alg.nt;
   const int R = alg.R;
 
-  auto node = std::make_shared<Node>();
+  auto node = std::make_shared<Node<T>>();
   node->ctx = ctx;
   node->alg = alg;
   if (plan->num_levels() > 1) {
@@ -269,7 +288,7 @@ TaskFuture build_node(const RecursiveExec& ctx,
     pool.submit(
         [node, r, mt] {
           prep_product(*node, r);
-          Node::RBuf& rb = node->rb[static_cast<std::size_t>(r)];
+          auto& rb = node->rb[static_cast<std::size_t>(r)];
           if (node->descend) {
             build_node(node->ctx, node->child, rb.mv, rb.sv, rb.tv,
                        node->depth + 1, mt);
@@ -286,8 +305,9 @@ TaskFuture build_node(const RecursiveExec& ctx,
   std::vector<std::vector<TaskTag>> consumers(static_cast<std::size_t>(R));
   std::vector<TaskTag> chain_last;
   for (int p = 0; p < alg.rows_w(); ++p) {
-    const MatView cp = c.block((p / alg.nt) * node->ms,
-                               (p % alg.nt) * node->ns, node->ms, node->ns);
+    const MatViewT<T> cp =
+        c.block((p / alg.nt) * node->ms, (p % alg.nt) * node->ns, node->ms,
+                node->ns);
     TaskTag prev = kNoTag;
     for (int r = 0; r < R; ++r) {
       const double w = alg.w(p, r);
@@ -301,7 +321,8 @@ TaskFuture build_node(const RecursiveExec& ctx,
       prev = uo.tag;
       pool.submit(
           [node, w, r, cp] {
-            scaled_add_serial(w, node->rb[static_cast<std::size_t>(r)].mv, cp);
+            scaled_add_serial<T>(w, node->rb[static_cast<std::size_t>(r)].mv,
+                                 cp);
           },
           std::move(uo));
     }
@@ -317,7 +338,9 @@ TaskFuture build_node(const RecursiveExec& ctx,
                   ? std::vector<TaskTag>{m_done[static_cast<std::size_t>(r)]}
                   : consumers[static_cast<std::size_t>(r)];
     pool.submit(
-        [node, r] { node->rb[static_cast<std::size_t>(r)] = Node::RBuf{}; },
+        [node, r] {
+          node->rb[static_cast<std::size_t>(r)] = typename Node<T>::RBuf{};
+        },
         std::move(ro));
   }
 
@@ -332,9 +355,9 @@ TaskFuture build_node(const RecursiveExec& ctx,
     po.priority = depth;
     if (p.k0 > 0) po.deps = chain_last;
     fin_deps.push_back(po.tag);
-    const MatView cp = c.block(p.m0, p.n0, p.m1 - p.m0, p.n1 - p.n0);
-    const ConstMatView ap = a.block(p.m0, p.k0, p.m1 - p.m0, p.k1 - p.k0);
-    const ConstMatView bp = b.block(p.k0, p.n0, p.k1 - p.k0, p.n1 - p.n0);
+    const MatViewT<T> cp = c.block(p.m0, p.n0, p.m1 - p.m0, p.n1 - p.n0);
+    const ConstMatViewT<T> ap = a.block(p.m0, p.k0, p.m1 - p.m0, p.k1 - p.k0);
+    const ConstMatViewT<T> bp = b.block(p.k0, p.n0, p.k1 - p.k0, p.n1 - p.n0);
     pool.submit([node, cp, ap, bp] { node->ctx.leaf(nullptr, cp, ap, bp); },
                 std::move(po));
   }
@@ -347,8 +370,9 @@ TaskFuture build_node(const RecursiveExec& ctx,
 }
 
 // The sequential twin: identical decomposition and operation order, inline.
-void run_node_sequential(const RecursiveExec& ctx, const Plan& plan,
-                         MatView c, ConstMatView a, ConstMatView b,
+template <typename T>
+void run_node_sequential(const RecursiveExecT<T>& ctx, const Plan& plan,
+                         MatViewT<T> c, ConstMatViewT<T> a, ConstMatViewT<T> b,
                          int depth) {
   const FmmAlgorithm& alg = plan.levels.front();
   const index_t m = c.rows(), n = c.cols(), k = a.cols();
@@ -357,7 +381,7 @@ void run_node_sequential(const RecursiveExec& ctx, const Plan& plan,
   const index_t n1 = n - n % alg.nt;
   const int R = alg.R;
 
-  Node node;
+  Node<T> node;
   node.ctx = ctx;
   node.alg = alg;
   if (plan.num_levels() > 1) {
@@ -381,7 +405,7 @@ void run_node_sequential(const RecursiveExec& ctx, const Plan& plan,
 
   for (int r = 0; r < R; ++r) {
     prep_product(node, r);
-    Node::RBuf& rb = node.rb[static_cast<std::size_t>(r)];
+    auto& rb = node.rb[static_cast<std::size_t>(r)];
     if (node.descend) {
       run_node_sequential(ctx, *node.child, rb.mv, rb.sv, rb.tv, depth + 1);
     } else {
@@ -390,11 +414,11 @@ void run_node_sequential(const RecursiveExec& ctx, const Plan& plan,
     for (int p = 0; p < alg.rows_w(); ++p) {
       const double w = alg.w(p, r);
       if (w == 0.0) continue;
-      scaled_add_serial(w, rb.mv,
-                        c.block((p / alg.nt) * node.ms,
-                                (p % alg.nt) * node.ns, node.ms, node.ns));
+      scaled_add_serial<T>(w, rb.mv,
+                           c.block((p / alg.nt) * node.ms,
+                                   (p % alg.nt) * node.ns, node.ms, node.ns));
     }
-    rb = Node::RBuf{};  // recycle before the next product
+    rb = typename Node<T>::RBuf{};  // recycle before the next product
   }
 
   for (const PeelPiece& p : peel_pieces(m, n, k, m1, n1, k1)) {
@@ -407,19 +431,40 @@ void run_node_sequential(const RecursiveExec& ctx, const Plan& plan,
 
 }  // namespace
 
-TaskFuture submit_recursive(const RecursiveExec& ctx, const Plan& plan,
-                            MatView c, ConstMatView a, ConstMatView b) {
+template <typename T>
+TaskFuture submit_recursive(const RecursiveExecT<T>& ctx, const Plan& plan,
+                            MatViewT<T> c, ConstMatViewT<T> a,
+                            ConstMatViewT<T> b) {
   assert(ctx.pool != nullptr && ctx.buffers != nullptr && ctx.leaf);
   assert(should_recurse(plan, c.rows(), c.cols(), a.cols(), ctx.cutoff));
   return build_node(ctx, std::make_shared<const Plan>(plan), c, a, b,
                     /*depth=*/0, ctx.pool->fresh_tag());
 }
 
-void run_recursive_sequential(const RecursiveExec& ctx, const Plan& plan,
-                              MatView c, ConstMatView a, ConstMatView b) {
+template <typename T>
+void run_recursive_sequential(const RecursiveExecT<T>& ctx, const Plan& plan,
+                              MatViewT<T> c, ConstMatViewT<T> a,
+                              ConstMatViewT<T> b) {
   assert(ctx.buffers != nullptr && ctx.leaf);
   assert(should_recurse(plan, c.rows(), c.cols(), a.cols(), ctx.cutoff));
   run_node_sequential(ctx, plan, c, a, b, /*depth=*/0);
 }
+
+template TaskFuture submit_recursive<double>(const RecursiveExecT<double>&,
+                                             const Plan&, MatViewT<double>,
+                                             ConstMatViewT<double>,
+                                             ConstMatViewT<double>);
+template TaskFuture submit_recursive<float>(const RecursiveExecT<float>&,
+                                            const Plan&, MatViewT<float>,
+                                            ConstMatViewT<float>,
+                                            ConstMatViewT<float>);
+template void run_recursive_sequential<double>(const RecursiveExecT<double>&,
+                                               const Plan&, MatViewT<double>,
+                                               ConstMatViewT<double>,
+                                               ConstMatViewT<double>);
+template void run_recursive_sequential<float>(const RecursiveExecT<float>&,
+                                              const Plan&, MatViewT<float>,
+                                              ConstMatViewT<float>,
+                                              ConstMatViewT<float>);
 
 }  // namespace fmm

@@ -127,19 +127,28 @@ class BufferPool {
 // serially (task-level parallelism is the node's job), must not block on
 // other tasks, and must be deterministic (same inputs -> same bits).  The
 // Engine's leaf routes plan leaves through its executor cache.
-using RecursiveLeafFn = std::function<void(
-    const Plan* plan, MatView c, ConstMatView a, ConstMatView b)>;
+template <typename T>
+using RecursiveLeafFnT = std::function<void(
+    const Plan* plan, MatViewT<T> c, ConstMatViewT<T> a, ConstMatViewT<T> b)>;
+using RecursiveLeafFn = RecursiveLeafFnT<double>;
+using RecursiveLeafFnF32 = RecursiveLeafFnT<float>;
 
 // Everything one recursive execution needs.  Copied into the node state;
-// the pointed-to pool/buffers/leaf must outlive the returned future.
-struct RecursiveExec {
+// the pointed-to pool/buffers/leaf must outlive the returned future.  The
+// BufferPool is shared across element types (it deals in raw 64-byte-
+// aligned allocations; f32 leases round their byte size up to whole
+// doubles), so mixed-precision serving shares one intermediate pool.
+template <typename T>
+struct RecursiveExecT {
   TaskPool* pool = nullptr;     // required by submit_recursive
   BufferPool* buffers = nullptr;
-  RecursiveLeafFn leaf;
+  RecursiveLeafFnT<T> leaf;
   index_t cutoff = 0;           // descend while min(m, n, k) > cutoff
   int window = 0;               // in-flight products per node; 0 = auto
                                 // (max(2, pool workers), capped at R)
 };
+using RecursiveExec = RecursiveExecT<double>;
+using RecursiveExecF32 = RecursiveExecT<float>;
 
 // True when (plan, m, n, k) qualifies for one step of task-recursive
 // descent under `cutoff`: a positive cutoff, at least one plan level, every
@@ -153,15 +162,55 @@ bool should_recurse(const Plan& plan, index_t m, index_t n, index_t k,
 // landed).  Callers must keep the operand buffers alive until then; `plan`
 // is copied.  Requires should_recurse(plan, ...) — callers route
 // non-qualifying shapes to a flat executor instead.
-TaskFuture submit_recursive(const RecursiveExec& ctx, const Plan& plan,
-                            MatView c, ConstMatView a, ConstMatView b);
+template <typename T>
+TaskFuture submit_recursive(const RecursiveExecT<T>& ctx, const Plan& plan,
+                            MatViewT<T> c, ConstMatViewT<T> a,
+                            ConstMatViewT<T> b);
 
 // The sequential twin: the same decomposition, leaf calls, and per-element
 // update order executed inline on the calling thread — bitwise identical
 // to the task graph.  Used for nested synchronous multiplies on pool
 // workers (blocking a worker on child tasks could deadlock a busy pool)
 // and as the determinism oracle in tests.  ctx.pool may be null.
-void run_recursive_sequential(const RecursiveExec& ctx, const Plan& plan,
-                              MatView c, ConstMatView a, ConstMatView b);
+template <typename T>
+void run_recursive_sequential(const RecursiveExecT<T>& ctx, const Plan& plan,
+                              MatViewT<T> c, ConstMatViewT<T> a,
+                              ConstMatViewT<T> b);
+
+// Non-template overloads so call sites can pass writable views where a
+// const view is expected (template deduction will not apply the implicit
+// MatView -> ConstMatView conversion).
+inline TaskFuture submit_recursive(const RecursiveExec& ctx, const Plan& plan,
+                                   MatView c, ConstMatView a, ConstMatView b) {
+  return submit_recursive<double>(ctx, plan, c, a, b);
+}
+inline TaskFuture submit_recursive(const RecursiveExecF32& ctx,
+                                   const Plan& plan, MatViewF32 c,
+                                   ConstMatViewF32 a, ConstMatViewF32 b) {
+  return submit_recursive<float>(ctx, plan, c, a, b);
+}
+inline void run_recursive_sequential(const RecursiveExec& ctx,
+                                     const Plan& plan, MatView c,
+                                     ConstMatView a, ConstMatView b) {
+  run_recursive_sequential<double>(ctx, plan, c, a, b);
+}
+inline void run_recursive_sequential(const RecursiveExecF32& ctx,
+                                     const Plan& plan, MatViewF32 c,
+                                     ConstMatViewF32 a, ConstMatViewF32 b) {
+  run_recursive_sequential<float>(ctx, plan, c, a, b);
+}
+
+extern template TaskFuture submit_recursive<double>(
+    const RecursiveExecT<double>&, const Plan&, MatViewT<double>,
+    ConstMatViewT<double>, ConstMatViewT<double>);
+extern template TaskFuture submit_recursive<float>(
+    const RecursiveExecT<float>&, const Plan&, MatViewT<float>,
+    ConstMatViewT<float>, ConstMatViewT<float>);
+extern template void run_recursive_sequential<double>(
+    const RecursiveExecT<double>&, const Plan&, MatViewT<double>,
+    ConstMatViewT<double>, ConstMatViewT<double>);
+extern template void run_recursive_sequential<float>(
+    const RecursiveExecT<float>&, const Plan&, MatViewT<float>,
+    ConstMatViewT<float>, ConstMatViewT<float>);
 
 }  // namespace fmm

@@ -35,7 +35,10 @@ index_t env_block(const char* name) {
 AutoBlocking derive_blocking(const KernelInfo& kernel,
                              const arch::CacheTopology& topo,
                              index_t kc_pinned, int threads) {
-  constexpr double kWord = sizeof(double);
+  // Cache budgets are in bytes; the element size follows the kernel's dtype
+  // (f32 panels hold twice the elements per byte, so the same caches admit
+  // wider blocks).
+  const double kWord = static_cast<double>(dtype_size(kernel.dtype));
   AutoBlocking ab;
 
   // k_C: A and B micro-panels (mR x k_C and nR x k_C) share L1d.  A caller
@@ -80,9 +83,13 @@ AutoBlocking derive_blocking(const KernelInfo& kernel,
   return ab;
 }
 
-BlockingParams resolve_blocking(const GemmConfig& cfg) {
+BlockingParams resolve_blocking(const GemmConfig& cfg, DType dtype) {
   BlockingParams bp;
-  bp.kernel = cfg.kernel != nullptr ? cfg.kernel : &active_kernel();
+  // A configured kernel of the wrong dtype cannot run this call; fall back
+  // to the dtype's default rather than feeding f64 panels to an f32 kernel.
+  bp.kernel = (cfg.kernel != nullptr && cfg.kernel->dtype == dtype)
+                  ? cfg.kernel
+                  : &active_kernel(dtype);
   bp.mr = bp.kernel->mr;
   bp.nr = bp.kernel->nr;
 

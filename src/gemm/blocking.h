@@ -96,9 +96,11 @@ AutoBlocking derive_blocking(const KernelInfo& kernel,
                              index_t kc_pinned = 0, int threads = 1);
 
 // Resolves a GemmConfig against the running machine: picks the kernel
-// (cfg.kernel or the cpuid-dispatched default), then per cache-block field
-// applies the precedence explicit > FMM_MC/FMM_KC/FMM_NC env > derived,
-// rounding mc/nc to the kernel's register tile.
-BlockingParams resolve_blocking(const GemmConfig& cfg);
+// (cfg.kernel when it matches the requested dtype, else that dtype's
+// cpuid-dispatched default), then per cache-block field applies the
+// precedence explicit > FMM_MC/FMM_KC/FMM_NC env > derived, rounding mc/nc
+// to the kernel's register tile.
+BlockingParams resolve_blocking(const GemmConfig& cfg,
+                                DType dtype = DType::kF64);
 
 }  // namespace fmm

@@ -1,0 +1,38 @@
+#pragma once
+
+// Element type as a runtime property.
+//
+// The serving stack carries the element type the same way it carries the
+// micro-kernel since PR 2: as a runtime value threaded from the registry
+// (KernelInfo::dtype) through blocking derivation, Plan/FmmExecutor, and
+// the Engine's cache keys.  Two types are supported — double (the paper's
+// baseline) and float (the serving workloads' dominant precision, with
+// twice the SIMD lanes per register).
+
+#include <cstddef>
+
+namespace fmm {
+
+enum class DType { kF64 = 0, kF32 = 1 };
+
+constexpr const char* dtype_name(DType t) {
+  return t == DType::kF32 ? "f32" : "f64";
+}
+
+constexpr std::size_t dtype_size(DType t) {
+  return t == DType::kF32 ? sizeof(float) : sizeof(double);
+}
+
+// Compile-time element type -> runtime tag.
+template <typename T>
+struct DTypeOf;
+template <>
+struct DTypeOf<double> {
+  static constexpr DType value = DType::kF64;
+};
+template <>
+struct DTypeOf<float> {
+  static constexpr DType value = DType::kF32;
+};
+
+}  // namespace fmm

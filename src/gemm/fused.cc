@@ -8,8 +8,9 @@
 
 namespace fmm {
 
-void GemmWorkspace::ensure(const BlockingParams& bp, int num_threads,
-                           int num_a, int num_b, int num_c) {
+template <typename T>
+void GemmWorkspaceT<T>::ensure(const BlockingParams& bp, int num_threads,
+                               int num_a, int num_b, int num_c) {
   b_packed_.resize(static_cast<std::size_t>(bp.kc) * bp.nc);
   if (static_cast<int>(a_tiles_.size()) < num_threads) {
     a_tiles_.resize(num_threads);
@@ -29,6 +30,9 @@ void GemmWorkspace::ensure(const BlockingParams& bp, int num_threads,
   }
 }
 
+template class GemmWorkspaceT<double>;
+template class GemmWorkspaceT<float>;
+
 int resolve_threads(const GemmConfig& cfg) {
   return cfg.num_threads > 0 ? cfg.num_threads : omp_get_max_threads();
 }
@@ -36,8 +40,9 @@ int resolve_threads(const GemmConfig& cfg) {
 namespace {
 
 // Shifts every term's base pointer by a (row, col) block offset.
-void offset_terms(const LinTerm* in, int n, index_t ld, index_t row,
-                  index_t col, LinTerm* out) {
+template <typename T>
+void offset_terms(const LinTermT<T>* in, int n, index_t ld, index_t row,
+                  index_t col, LinTermT<T>* out) {
   for (int i = 0; i < n; ++i) {
     out[i].ptr = in[i].ptr + row * ld + col;
     out[i].coeff = in[i].coeff;
@@ -46,11 +51,13 @@ void offset_terms(const LinTerm* in, int n, index_t ld, index_t row,
 
 }  // namespace
 
+template <typename T>
 void fused_multiply(index_t m, index_t n, index_t k,
-                    const LinTerm* a_terms, int num_a, index_t lda,
-                    const LinTerm* b_terms, int num_b, index_t ldb,
-                    const OutTerm* c_terms, int num_c, index_t ldc,
-                    GemmWorkspace& ws, const GemmConfig& cfg, bool accumulate) {
+                    const LinTermT<T>* a_terms, int num_a, index_t lda,
+                    const LinTermT<T>* b_terms, int num_b, index_t ldb,
+                    const OutTermT<T>* c_terms, int num_c, index_t ldc,
+                    GemmWorkspaceT<T>& ws, const GemmConfig& cfg,
+                    bool accumulate) {
   assert(cfg.valid());
   if (m <= 0 || n <= 0 || num_c == 0) return;
   if (k <= 0) {
@@ -58,21 +65,22 @@ void fused_multiply(index_t m, index_t n, index_t k,
       // C = 0 * anything: the overwrite contract still must clear targets.
       for (int t = 0; t < num_c; ++t) {
         for (index_t i = 0; i < m; ++i) {
-          double* row = c_terms[t].ptr + i * ldc;
-          for (index_t j = 0; j < n; ++j) row[j] = 0.0;
+          T* row = c_terms[t].ptr + i * ldc;
+          for (index_t j = 0; j < n; ++j) row[j] = T(0);
         }
       }
     }
     return;
   }
 
-  const BlockingParams bp = resolve_blocking(cfg);
+  const BlockingParams bp = resolve_blocking(cfg, DTypeOf<T>::value);
   const int mr = bp.mr;
   const int nr = bp.nr;
-  const MicrokernelFn ukr = bp.kernel->fn;
+  const auto ukr = kernel_fn<T>(*bp.kernel);
+  assert(ukr != nullptr);
   const int nth = resolve_threads(cfg);
   ws.ensure(bp, nth, num_a, num_b, num_c);
-  double* bpack = ws.b_packed();
+  T* bpack = ws.b_packed();
 
   // Parallelization mode (paper §5.1 / Smith et al. IPDPS'14): by default
   // the 3rd loop around the micro-kernel (i_c) carries the data
@@ -93,13 +101,13 @@ void fused_multiply(index_t m, index_t n, index_t k,
   FMM_PRAGMA_OMP(parallel num_threads(nth))
   {
     const int tid = omp_get_thread_num();
-    double* apack = ws.a_tile(jr_parallel ? 0 : tid);
+    T* apack = ws.a_tile(jr_parallel ? 0 : tid);
     // Pre-sized per-thread scratch (ws.ensure above): no allocation here.
-    GemmWorkspace::TermScratch& scratch = ws.terms(tid);
-    LinTerm* a_local = scratch.a.data();
-    LinTerm* b_local = scratch.b.data();
-    OutTerm* c_local = scratch.c.data();
-    alignas(64) double acc[kMaxAccElems];
+    typename GemmWorkspaceT<T>::TermScratch& scratch = ws.terms(tid);
+    LinTermT<T>* a_local = scratch.a.data();
+    LinTermT<T>* b_local = scratch.b.data();
+    OutTermT<T>* c_local = scratch.c.data();
+    alignas(64) T acc[kMaxAccElemsOf<T>];
 
     // 5th loop: jc over column blocks of width nc.
     for (index_t jc = 0; jc < n; jc += bp.nc) {
@@ -111,12 +119,12 @@ void fused_multiply(index_t m, index_t n, index_t k,
 
         // Cooperative pack of B~ = sum_j v_j B_j[pc:, jc:], one nr-wide
         // panel per iteration.  Implicit barrier publishes the buffer.
-        offset_terms(b_terms, num_b, ldb, pc, jc, b_local);
+        offset_terms<T>(b_terms, num_b, ldb, pc, jc, b_local);
         const index_t b_panels = ceil_div(nc_eff, nr);
         FMM_PRAGMA_OMP(for schedule(static))
         for (index_t q = 0; q < b_panels; ++q) {
-          pack_b_panel(b_local, num_b, ldb, kc_eff, nc_eff, nr, q,
-                       bpack + q * nr * kc_eff);
+          pack_b_panel<T>(b_local, num_b, ldb, kc_eff, nc_eff, nr, q,
+                          bpack + q * nr * kc_eff);
         }
 
         const index_t ic_blocks = ceil_div(m, mc_use);
@@ -126,15 +134,15 @@ void fused_multiply(index_t m, index_t n, index_t k,
           for (index_t icb = 0; icb < ic_blocks; ++icb) {
             const index_t ic = icb * mc_use;
             const index_t mc_eff = std::min<index_t>(mc_use, m - ic);
-            offset_terms(a_terms, num_a, lda, ic, pc, a_local);
-            pack_a(a_local, num_a, lda, mc_eff, kc_eff, mr, apack);
+            offset_terms<T>(a_terms, num_a, lda, ic, pc, a_local);
+            pack_a<T>(a_local, num_a, lda, mc_eff, kc_eff, mr, apack);
 
             for (index_t jr = 0; jr < nc_eff; jr += nr) {
               const index_t n_sub = std::min<index_t>(nr, nc_eff - jr);
-              const double* bpanel = bpack + (jr / nr) * nr * kc_eff;
+              const T* bpanel = bpack + (jr / nr) * nr * kc_eff;
               for (index_t ir = 0; ir < mc_eff; ir += mr) {
                 const index_t m_sub = std::min<index_t>(mr, mc_eff - ir);
-                const double* apanel = apack + (ir / mr) * mr * kc_eff;
+                const T* apanel = apack + (ir / mr) * mr * kc_eff;
                 ukr(kc_eff, apanel, bpanel, acc);
                 for (int t = 0; t < num_c; ++t) {
                   c_local[t].ptr =
@@ -155,22 +163,22 @@ void fused_multiply(index_t m, index_t n, index_t k,
           for (index_t icb = 0; icb < ic_blocks; ++icb) {
             const index_t ic = icb * mc_use;
             const index_t mc_eff = std::min<index_t>(mc_use, m - ic);
-            offset_terms(a_terms, num_a, lda, ic, pc, a_local);
+            offset_terms<T>(a_terms, num_a, lda, ic, pc, a_local);
             const index_t a_panels = ceil_div(mc_eff, mr);
             FMM_PRAGMA_OMP(for schedule(static))
             for (index_t p = 0; p < a_panels; ++p) {
-              pack_a_panel(a_local, num_a, lda, mc_eff, kc_eff, mr, p,
-                           apack + p * mr * kc_eff);
+              pack_a_panel<T>(a_local, num_a, lda, mc_eff, kc_eff, mr, p,
+                              apack + p * mr * kc_eff);
             }
             // Implicit barrier: the shared A-tile is complete.
             FMM_PRAGMA_OMP(for schedule(dynamic, 2))
             for (index_t jrb = 0; jrb < ceil_div(nc_eff, nr); ++jrb) {
               const index_t jr = jrb * nr;
               const index_t n_sub = std::min<index_t>(nr, nc_eff - jr);
-              const double* bpanel = bpack + jrb * nr * kc_eff;
+              const T* bpanel = bpack + jrb * nr * kc_eff;
               for (index_t ir = 0; ir < mc_eff; ir += mr) {
                 const index_t m_sub = std::min<index_t>(mr, mc_eff - ir);
-                const double* apanel = apack + (ir / mr) * mr * kc_eff;
+                const T* apanel = apack + (ir / mr) * mr * kc_eff;
                 ukr(kc_eff, apanel, bpanel, acc);
                 for (int t = 0; t < num_c; ++t) {
                   c_local[t].ptr =
@@ -188,5 +196,14 @@ void fused_multiply(index_t m, index_t n, index_t k,
     }
   }
 }
+
+template void fused_multiply<double>(
+    index_t, index_t, index_t, const LinTerm*, int, index_t, const LinTerm*,
+    int, index_t, const OutTerm*, int, index_t, GemmWorkspace&,
+    const GemmConfig&, bool);
+template void fused_multiply<float>(
+    index_t, index_t, index_t, const LinTermF32*, int, index_t,
+    const LinTermF32*, int, index_t, const OutTermF32*, int, index_t,
+    GemmWorkspaceF32&, const GemmConfig&, bool);
 
 }  // namespace fmm

@@ -1,5 +1,6 @@
 #include "src/gemm/kernel.h"
 
+#include <cassert>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -12,16 +13,16 @@ namespace {
 // Compile-time-tiled portable kernel: the inner loops unroll fully, which
 // keeps the scalar fallback respectable and gives the generic tiles a
 // deterministic reference implementation.
-template <int MR, int NR>
-void portable_microkernel(index_t k, const double* a_panel,
-                          const double* b_panel, double* acc) {
-  double local[MR * NR] = {0.0};
+template <typename T, int MR, int NR>
+void portable_microkernel(index_t k, const T* a_panel, const T* b_panel,
+                          T* acc) {
+  T local[MR * NR] = {};
   for (index_t kk = 0; kk < k; ++kk) {
-    const double* a = a_panel + kk * MR;
-    const double* b = b_panel + kk * NR;
+    const T* a = a_panel + kk * MR;
+    const T* b = b_panel + kk * NR;
     for (int j = 0; j < NR; ++j) {
-      const double bj = b[j];
-      double* out = local + j * MR;
+      const T bj = b[j];
+      T* out = local + j * MR;
       for (int r = 0; r < MR; ++r) out[r] += a[r] * bj;
     }
   }
@@ -38,157 +39,247 @@ bool cpu_has_avx2_fma() { return false; }
 bool cpu_has_avx512f() { return false; }
 #endif
 
+constexpr DType kF64 = DType::kF64;
+constexpr DType kF32 = DType::kF32;
+
 std::vector<KernelInfo> build_registry() {
   std::vector<KernelInfo> reg;
-  // Portable entries first: always supported, lowest throughput hints.
-  reg.push_back({"portable", "generic", 8, 6, &portable_microkernel<8, 6>,
-                 2.0, false, nullptr});
-  reg.push_back({"portable_4x12", "generic", 4, 12,
-                 &portable_microkernel<4, 12>, 1.8, false, nullptr});
+  // f64 family first; portable entries lead each family: always supported,
+  // lowest throughput hints.
+  reg.push_back({"portable", "generic", kF64, 8, 6,
+                 &portable_microkernel<double, 8, 6>, nullptr, 2.0, false,
+                 nullptr});
+  reg.push_back({"portable_4x12", "generic", kF64, 4, 12,
+                 &portable_microkernel<double, 4, 12>, nullptr, 1.8, false,
+                 nullptr});
 #if defined(FMM_HAVE_AVX2_TU)
-  reg.push_back({"avx2_8x6", "avx2", 8, 6, &detail::microkernel_avx2_8x6,
-                 16.0, true, &cpu_has_avx2_fma});
+  reg.push_back({"avx2_8x6", "avx2", kF64, 8, 6,
+                 &detail::microkernel_avx2_8x6, nullptr, 16.0, true,
+                 &cpu_has_avx2_fma});
   // Thinner tile: better edge utilization when the FMM submatrix rows are
   // not close to a multiple of 8; slightly lower peak (more broadcasts per
   // flop), hence the lower hint.
-  reg.push_back({"avx2_4x12", "avx2", 4, 12, &detail::microkernel_avx2_4x12,
-                 14.0, true, &cpu_has_avx2_fma});
+  reg.push_back({"avx2_4x12", "avx2", kF64, 4, 12,
+                 &detail::microkernel_avx2_4x12, nullptr, 14.0, true,
+                 &cpu_has_avx2_fma});
 #endif
 #if defined(FMM_HAVE_AVX512_TU)
-  reg.push_back({"avx512_8x6", "avx512", 8, 6,
-                 &detail::microkernel_avx512_8x6, 32.0, true,
+  reg.push_back({"avx512_8x6", "avx512", kF64, 8, 6,
+                 &detail::microkernel_avx512_8x6, nullptr, 32.0, true,
+                 &cpu_has_avx512f});
+#endif
+  // f32 family.  The portable f32 entry shares the "portable" name with its
+  // f64 sibling so FMM_KERNEL=portable pins the scalar fallback for *both*
+  // dtypes (the no-AVX2 CI leg relies on this); lookups are by (name, dtype).
+  reg.push_back({"portable", "generic", kF32, 8, 6, nullptr,
+                 &portable_microkernel<float, 8, 6>, 4.0, false, nullptr});
+#if defined(FMM_HAVE_AVX2_TU)
+  reg.push_back({"avx2_16x6", "avx2", kF32, 16, 6, nullptr,
+                 &detail::microkernel_avx2_16x6_f32, 32.0, true,
+                 &cpu_has_avx2_fma});
+#endif
+#if defined(FMM_HAVE_AVX512_TU)
+  reg.push_back({"avx512_16x6", "avx512", kF32, 16, 6, nullptr,
+                 &detail::microkernel_avx512_16x6_f32, 64.0, true,
                  &cpu_has_avx512f});
 #endif
   (void)cpu_has_avx512f;  // non-x86 / no-TU builds
   (void)cpu_has_avx2_fma;
+  for (const KernelInfo& k : reg) {
+    // Each entry must carry exactly the entry point of its dtype and fit
+    // that dtype's accumulator bound.
+    assert((k.dtype == kF64) == (k.fn != nullptr));
+    assert((k.dtype == kF32) == (k.fn_f32 != nullptr));
+    assert(k.mr <= (k.dtype == kF32 ? kMaxMRF32 : kMaxMR));
+    assert(k.nr <= (k.dtype == kF32 ? kMaxNRF32 : kMaxNR));
+    (void)k;
+  }
   return reg;
 }
 
-const KernelInfo& best_supported_kernel() {
+const KernelInfo& best_supported_kernel(DType dtype) {
   const std::vector<KernelInfo>& reg = kernel_registry();
-  const KernelInfo* best = &reg.front();  // portable: always supported
+  const KernelInfo* best = nullptr;
   for (const KernelInfo& k : reg) {
-    if (k.supported() && k.flops_per_cycle > best->flops_per_cycle) best = &k;
+    if (k.dtype != dtype || !k.supported()) continue;
+    if (best == nullptr || k.flops_per_cycle > best->flops_per_cycle)
+      best = &k;
   }
+  assert(best != nullptr);  // each family leads with an always-on portable
   return *best;
 }
 
 // Pure resolution: `pinned` reports whether the request named a usable
 // kernel (as opposed to falling back to the default).
-const KernelInfo& resolve_impl(const char* request, std::string* diag,
-                               bool* pinned) {
+const KernelInfo& resolve_impl(const char* request, DType dtype,
+                               std::string* diag, bool* pinned) {
   if (pinned) *pinned = false;
-  if (request == nullptr || *request == '\0') return best_supported_kernel();
-  const KernelInfo* k = find_kernel(request);
+  if (request == nullptr || *request == '\0')
+    return best_supported_kernel(dtype);
+  const KernelInfo* k = find_kernel(request, dtype);
   if (k == nullptr) {
     if (diag) {
-      *diag = std::string("FMM_KERNEL=") + request +
-              ": no such kernel, using default";
+      *diag = std::string("FMM_KERNEL=") + request + ": no such " +
+              dtype_name(dtype) + " kernel, using default";
     }
-    return best_supported_kernel();
+    return best_supported_kernel(dtype);
   }
   if (!k->supported()) {
     if (diag) {
       *diag = std::string("FMM_KERNEL=") + request +
               ": not supported by this CPU, using default";
     }
-    return best_supported_kernel();
+    return best_supported_kernel(dtype);
   }
   if (pinned) *pinned = true;
   return *k;
 }
 
-// The process-wide default, resolved once on first use.
+// The process-wide default of one dtype, resolved once on first use.
 struct ActiveState {
   const KernelInfo* kernel;
   bool pinned;
 };
 
-const ActiveState& active_state() {
-  static const ActiveState s = [] {
-    std::string diag;
-    bool pinned = false;
-    const KernelInfo& k = resolve_impl(std::getenv("FMM_KERNEL"), &diag,
-                                       &pinned);
-    if (!diag.empty()) std::fprintf(stderr, "fmm: %s\n", diag.c_str());
-    return ActiveState{&k, pinned};
-  }();
-  return s;
+ActiveState make_active(DType dtype) {
+  std::string diag;
+  bool pinned = false;
+  const KernelInfo& k =
+      resolve_impl(std::getenv("FMM_KERNEL"), dtype, &diag, &pinned);
+  if (!diag.empty()) std::fprintf(stderr, "fmm: %s\n", diag.c_str());
+  return ActiveState{&k, pinned};
 }
 
-}  // namespace
-
-const std::vector<KernelInfo>& kernel_registry() {
-  static const std::vector<KernelInfo> reg = build_registry();
-  return reg;
+const ActiveState& active_state(DType dtype) {
+  static const ActiveState s64 = make_active(kF64);
+  static const ActiveState s32 = make_active(kF32);
+  return dtype == kF32 ? s32 : s64;
 }
 
-const KernelInfo* find_kernel(const std::string& name) {
-  for (const KernelInfo& k : kernel_registry()) {
-    if (name == k.name) return &k;
-  }
-  return nullptr;
-}
-
-const KernelInfo& resolve_kernel(const char* request, std::string* diag) {
-  return resolve_impl(request, diag, nullptr);
-}
-
-const KernelInfo& resolve_active_kernel(std::string* diag) {
-  return resolve_impl(std::getenv("FMM_KERNEL"), diag, nullptr);
-}
-
-const KernelInfo& active_kernel() { return *active_state().kernel; }
-
-bool kernel_override_active() { return active_state().pinned; }
-
-void microkernel_generic(int mr, int nr, index_t k, const double* a_panel,
-                         const double* b_panel, double* acc) {
-  double local[kMaxAccElems] = {0.0};
+template <typename T>
+void microkernel_generic_impl(int mr, int nr, index_t k, const T* a_panel,
+                              const T* b_panel, T* acc) {
+  T local[kMaxAccElemsOf<T>] = {};
   for (index_t kk = 0; kk < k; ++kk) {
-    const double* a = a_panel + kk * mr;
-    const double* b = b_panel + kk * nr;
+    const T* a = a_panel + kk * mr;
+    const T* b = b_panel + kk * nr;
     for (int j = 0; j < nr; ++j) {
-      const double bj = b[j];
-      double* out = local + j * mr;
+      const T bj = b[j];
+      T* out = local + j * mr;
       for (int r = 0; r < mr; ++r) out[r] += a[r] * bj;
     }
   }
   for (int i = 0; i < mr * nr; ++i) acc[i] = local[i];
 }
 
-void microkernel_portable(index_t k, const double* a_panel,
-                          const double* b_panel, double* acc) {
-  portable_microkernel<8, 6>(k, a_panel, b_panel, acc);
-}
-
-void epilogue_update(const OutTerm* targets, int num_targets, index_t ldc,
-                     index_t m_sub, index_t n_sub, const double* acc, int mr,
-                     int nr, bool accumulate) {
+template <typename T>
+void epilogue_update_impl(const OutTermT<T>* targets, int num_targets,
+                          index_t ldc, index_t m_sub, index_t n_sub,
+                          const T* acc, int mr, int nr, bool accumulate) {
   for (int t = 0; t < num_targets; ++t) {
-    double* c = targets[t].ptr;
-    const double w = targets[t].coeff;
+    T* c = targets[t].ptr;
+    const T w = static_cast<T>(targets[t].coeff);
     if (accumulate) {
       // The fast path requires a *full* tile of the active kernel; edge
       // tiles of any kernel size take the masked loops.
       if (m_sub == mr && n_sub == nr) {
         for (int r = 0; r < mr; ++r) {
-          double* crow = c + r * ldc;
+          T* crow = c + r * ldc;
           for (int j = 0; j < nr; ++j) crow[j] += w * acc[j * mr + r];
         }
       } else {
         for (index_t r = 0; r < m_sub; ++r) {
-          double* crow = c + r * ldc;
+          T* crow = c + r * ldc;
           for (index_t j = 0; j < n_sub; ++j) crow[j] += w * acc[j * mr + r];
         }
       }
     } else {
       for (index_t r = 0; r < m_sub; ++r) {
-        double* crow = c + r * ldc;
+        T* crow = c + r * ldc;
         for (index_t j = 0; j < n_sub; ++j) crow[j] = w * acc[j * mr + r];
       }
     }
   }
+}
+
+}  // namespace
+
+std::string kernel_cache_key(const KernelInfo& kern) {
+  if (kern.dtype == kF32) return std::string("f32:") + kern.name;
+  return kern.name;
+}
+
+const std::vector<KernelInfo>& kernel_registry() {
+  static const std::vector<KernelInfo> reg = build_registry();
+  return reg;
+}
+
+const KernelInfo* find_kernel(const std::string& name, DType dtype) {
+  for (const KernelInfo& k : kernel_registry()) {
+    if (k.dtype == dtype && name == k.name) return &k;
+  }
+  return nullptr;
+}
+
+const KernelInfo& resolve_kernel(const char* request, std::string* diag) {
+  return resolve_impl(request, kF64, diag, nullptr);
+}
+
+const KernelInfo& resolve_kernel(const char* request, DType dtype,
+                                 std::string* diag) {
+  return resolve_impl(request, dtype, diag, nullptr);
+}
+
+const KernelInfo& resolve_active_kernel(std::string* diag) {
+  return resolve_impl(std::getenv("FMM_KERNEL"), kF64, diag, nullptr);
+}
+
+const KernelInfo& resolve_active_kernel(DType dtype, std::string* diag) {
+  return resolve_impl(std::getenv("FMM_KERNEL"), dtype, diag, nullptr);
+}
+
+const KernelInfo& active_kernel() { return *active_state(kF64).kernel; }
+
+const KernelInfo& active_kernel(DType dtype) {
+  return *active_state(dtype).kernel;
+}
+
+bool kernel_override_active(DType dtype) {
+  return active_state(dtype).pinned;
+}
+
+void microkernel_generic(int mr, int nr, index_t k, const double* a_panel,
+                         const double* b_panel, double* acc) {
+  microkernel_generic_impl<double>(mr, nr, k, a_panel, b_panel, acc);
+}
+
+void microkernel_generic(int mr, int nr, index_t k, const float* a_panel,
+                         const float* b_panel, float* acc) {
+  microkernel_generic_impl<float>(mr, nr, k, a_panel, b_panel, acc);
+}
+
+void microkernel_portable(index_t k, const double* a_panel,
+                          const double* b_panel, double* acc) {
+  portable_microkernel<double, 8, 6>(k, a_panel, b_panel, acc);
+}
+
+void microkernel_portable(index_t k, const float* a_panel,
+                          const float* b_panel, float* acc) {
+  portable_microkernel<float, 8, 6>(k, a_panel, b_panel, acc);
+}
+
+void epilogue_update(const OutTerm* targets, int num_targets, index_t ldc,
+                     index_t m_sub, index_t n_sub, const double* acc, int mr,
+                     int nr, bool accumulate) {
+  epilogue_update_impl<double>(targets, num_targets, ldc, m_sub, n_sub, acc,
+                               mr, nr, accumulate);
+}
+
+void epilogue_update(const OutTermF32* targets, int num_targets, index_t ldc,
+                     index_t m_sub, index_t n_sub, const float* acc, int mr,
+                     int nr, bool accumulate) {
+  epilogue_update_impl<float>(targets, num_targets, ldc, m_sub, n_sub, acc,
+                              mr, nr, accumulate);
 }
 
 }  // namespace fmm

@@ -6,11 +6,12 @@
 // micro-kernel; Benson & Ballard (arXiv:1409.2908) observe that the winning
 // register tile shifts with problem shape and hardware.  This module turns
 // the single compile-time kernel into a queryable *registry* of kernels,
-// each described by a KernelInfo: register tile (mR x nR), ISA, function
-// pointer, and a static throughput hint the selector can rank with.
+// each described by a KernelInfo: register tile (mR x nR), ISA, element
+// type, function pointer, and a static throughput hint the selector can
+// rank with.
 //
 // Contract shared by every kernel (identical to the old single kernel, but
-// with per-kernel tile sizes):
+// with per-kernel tile sizes and element type):
 //
 //   acc[j * mr + r] = sum_{kk < k} a_panel[kk * mr + r] * b_panel[kk * nr + j]
 //
@@ -19,11 +20,13 @@
 // it).  The epilogue then applies the block to one or many output
 // submatrices with per-target coefficients.
 //
-// Selection:
-//   * active_kernel() returns the process-wide *default*: the registered
-//     kernel with the highest throughput hint that this CPU supports
-//     (cpuid-based), overridable with the FMM_KERNEL environment variable
-//     (e.g. FMM_KERNEL=portable forces the scalar fallback).
+// Selection (per element type — the registry holds an f64 family and an f32
+// family, and every resolution step takes the dtype):
+//   * active_kernel(dtype) returns the process-wide *default*: the
+//     registered kernel of that dtype with the highest throughput hint that
+//     this CPU supports (cpuid-based), overridable with the FMM_KERNEL
+//     environment variable (e.g. FMM_KERNEL=portable forces the scalar
+//     fallback for both dtypes — the portable kernels share the name).
 //   * Explicit programmatic choices travel in Plan::kernel (strongest) and
 //     GemmConfig::kernel, and beat the environment — unit tests and
 //     benches must be able to exercise any kernel regardless of FMM_KERNEL.
@@ -33,30 +36,46 @@
 #include <string>
 #include <vector>
 
+#include "src/gemm/dtype.h"
 #include "src/gemm/term.h"
 #include "src/linalg/mat_view.h"
 
 namespace fmm {
 
-// Upper bounds over every registered kernel; size stack accumulators as
-// double acc[kMaxAccElems].
+// Upper bounds over every registered kernel, per element type; size stack
+// accumulators as `T acc[kMaxAccElemsOf<T>]`.  The f32 tiles are wider
+// (twice the lanes per vector register), so the f64 bound must never size
+// an f32 accumulator — build_registry() asserts every entry fits its own
+// dtype's bound.
 inline constexpr int kMaxMR = 16;
 inline constexpr int kMaxNR = 16;
 inline constexpr int kMaxAccElems = kMaxMR * kMaxNR;
+inline constexpr int kMaxMRF32 = 32;
+inline constexpr int kMaxNRF32 = 16;
+inline constexpr int kMaxAccElemsF32 = kMaxMRF32 * kMaxNRF32;
+
+template <typename T>
+inline constexpr int kMaxAccElemsOf = kMaxAccElems;
+template <>
+inline constexpr int kMaxAccElemsOf<float> = kMaxAccElemsF32;
 
 using MicrokernelFn = void (*)(index_t k, const double* a_panel,
                                const double* b_panel, double* acc);
+using MicrokernelF32Fn = void (*)(index_t k, const float* a_panel,
+                                  const float* b_panel, float* acc);
 
 struct KernelInfo {
-  const char* name;  // registry key, e.g. "avx2_8x6"
+  const char* name;  // registry key, e.g. "avx2_8x6"; unique per dtype
   const char* isa;   // "generic", "avx2", "avx512"
+  DType dtype;
   int mr;
   int nr;
-  MicrokernelFn fn;
-  // Rough sustained double-precision flops/cycle (portable ~2, AVX2 FMA
-  // ~16, AVX-512 ~32).  Used to pick the process-wide default kernel and
-  // as the pre-calibration fallback (FMM_CALIBRATE=0); actual ranking and
-  // the performance model consume *measured* rates from
+  MicrokernelFn fn;         // set iff dtype == kF64
+  MicrokernelF32Fn fn_f32;  // set iff dtype == kF32
+  // Rough sustained flops/cycle at this dtype (portable ~2, AVX2 FMA ~16
+  // f64 / ~32 f32, AVX-512 double that).  Used to pick the process-wide
+  // default kernel and as the pre-calibration fallback (FMM_CALIBRATE=0);
+  // actual ranking and the performance model consume *measured* rates from
   // src/arch/calibrate.h.
   double flops_per_cycle;
   bool vectorized;
@@ -65,39 +84,72 @@ struct KernelInfo {
   bool supported() const { return supported_fn == nullptr || supported_fn(); }
 };
 
-// Every kernel compiled into this binary, portable first.  Entries whose
-// ISA the running CPU lacks are present but report supported() == false.
+// Typed access to the kernel entry point; the caller must hold a kernel of
+// the matching dtype (resolve with find_kernel/active_kernel per dtype).
+template <typename T>
+auto kernel_fn(const KernelInfo& k);
+template <>
+inline auto kernel_fn<double>(const KernelInfo& k) {
+  return k.fn;
+}
+template <>
+inline auto kernel_fn<float>(const KernelInfo& k) {
+  return k.fn_f32;
+}
+
+// Key under which calibration/history caches store this kernel's rows.
+// The f64 names stay bare (persisted caches from before the f32 family
+// remain valid); f32 rows are "f32:"-qualified so same-named kernels of
+// the two dtypes never share a row.
+std::string kernel_cache_key(const KernelInfo& kern);
+
+// Every kernel compiled into this binary, f64 family first (portable at
+// index 0), then the f32 family.  Entries whose ISA the running CPU lacks
+// are present but report supported() == false.
 const std::vector<KernelInfo>& kernel_registry();
 
-// Registry lookup by name; nullptr when absent.
-const KernelInfo* find_kernel(const std::string& name);
+// Registry lookup by (name, dtype); nullptr when absent.  The one-argument
+// form keeps the historical f64 semantics.
+const KernelInfo* find_kernel(const std::string& name,
+                              DType dtype = DType::kF64);
 
 // Resolution used by active_kernel(): an empty/null request (or one that
-// names a missing/unsupported kernel) falls back to the best supported
-// kernel; a valid request pins that kernel.  When `diag` is non-null it
-// receives a human-readable note about any fallback taken.
+// names a missing/unsupported kernel *of this dtype*) falls back to the
+// best supported kernel of the dtype; a valid request pins that kernel.
+// When `diag` is non-null it receives a human-readable note about any
+// fallback taken.
 const KernelInfo& resolve_kernel(const char* request,
+                                 std::string* diag = nullptr);
+const KernelInfo& resolve_kernel(const char* request, DType dtype,
                                  std::string* diag = nullptr);
 
 // resolve_kernel(getenv("FMM_KERNEL")), re-read on every call (tests).
 const KernelInfo& resolve_active_kernel(std::string* diag = nullptr);
+const KernelInfo& resolve_active_kernel(DType dtype,
+                                        std::string* diag = nullptr);
 
-// The process-wide default kernel: resolve_active_kernel() evaluated once,
-// with any fallback diagnostic printed to stderr on first use.
+// The process-wide default kernel of each dtype: resolve_active_kernel()
+// evaluated once per dtype, with any fallback diagnostic printed to stderr
+// on first use.  The no-argument form is the f64 default.
 const KernelInfo& active_kernel();
+const KernelInfo& active_kernel(DType dtype);
 
-// True when FMM_KERNEL successfully pinned a kernel; the selector then
-// must not second-guess the override.
-bool kernel_override_active();
+// True when FMM_KERNEL successfully pinned a kernel of this dtype; the
+// selector then must not second-guess the override.
+bool kernel_override_active(DType dtype = DType::kF64);
 
-// Reference kernel for arbitrary tiles (1 <= mr <= kMaxMR, likewise nr):
+// Reference kernel for arbitrary tiles (1 <= mr <= the dtype's max tile):
 // the ground truth the equivalence tests compare every registry entry to.
 void microkernel_generic(int mr, int nr, index_t k, const double* a_panel,
                          const double* b_panel, double* acc);
+void microkernel_generic(int mr, int nr, index_t k, const float* a_panel,
+                         const float* b_panel, float* acc);
 
-// The portable 8x6 kernel (the registry's "portable" entry).
+// The portable 8x6 kernels (the registries' "portable" entries).
 void microkernel_portable(index_t k, const double* a_panel,
                           const double* b_panel, double* acc);
+void microkernel_portable(index_t k, const float* a_panel,
+                          const float* b_panel, float* acc);
 
 // Epilogue: for each target t, C_t[0:m_sub, 0:n_sub] += coeff_t * block
 // (accumulate == true) or = coeff_t * block (overwrite; used for the first
@@ -107,6 +159,9 @@ void microkernel_portable(index_t k, const double* a_panel,
 // non-8x6 kernel can never take the unmasked path on an edge tile.
 void epilogue_update(const OutTerm* targets, int num_targets, index_t ldc,
                      index_t m_sub, index_t n_sub, const double* acc, int mr,
+                     int nr, bool accumulate = true);
+void epilogue_update(const OutTermF32* targets, int num_targets, index_t ldc,
+                     index_t m_sub, index_t n_sub, const float* acc, int mr,
                      int nr, bool accumulate = true);
 
 }  // namespace fmm

@@ -17,11 +17,15 @@ void microkernel_avx2_8x6(index_t k, const double* a_panel,
                           const double* b_panel, double* acc);
 void microkernel_avx2_4x12(index_t k, const double* a_panel,
                            const double* b_panel, double* acc);
+void microkernel_avx2_16x6_f32(index_t k, const float* a_panel,
+                               const float* b_panel, float* acc);
 #endif
 
 #if defined(FMM_HAVE_AVX512_TU)
 void microkernel_avx512_8x6(index_t k, const double* a_panel,
                             const double* b_panel, double* acc);
+void microkernel_avx512_16x6_f32(index_t k, const float* a_panel,
+                                 const float* b_panel, float* acc);
 #endif
 
 }  // namespace detail

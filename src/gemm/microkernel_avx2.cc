@@ -90,6 +90,61 @@ void microkernel_avx2_4x12(index_t k, const double* a_panel,
   for (int j = 0; j < NR; ++j) _mm256_storeu_pd(acc + j * MR, c[j]);
 }
 
+// f32 16x6 kernel: the single-precision twin of the 8x6 dgemm layout — the
+// same 12 accumulators / 2 loads / 6 broadcasts per k, but each __m256 now
+// holds 8 floats, so the tile doubles to 16 rows and every FMA retires
+// twice the flops.
+void microkernel_avx2_16x6_f32(index_t k, const float* a_panel,
+                               const float* b_panel, float* acc) {
+  constexpr int MR = 16, NR = 6;
+  __m256 c00 = _mm256_setzero_ps(), c01 = _mm256_setzero_ps();
+  __m256 c10 = _mm256_setzero_ps(), c11 = _mm256_setzero_ps();
+  __m256 c20 = _mm256_setzero_ps(), c21 = _mm256_setzero_ps();
+  __m256 c30 = _mm256_setzero_ps(), c31 = _mm256_setzero_ps();
+  __m256 c40 = _mm256_setzero_ps(), c41 = _mm256_setzero_ps();
+  __m256 c50 = _mm256_setzero_ps(), c51 = _mm256_setzero_ps();
+
+  const float* a = a_panel;
+  const float* b = b_panel;
+  for (index_t kk = 0; kk < k; ++kk) {
+    const __m256 a0 = _mm256_loadu_ps(a);
+    const __m256 a1 = _mm256_loadu_ps(a + 8);
+    __m256 bj;
+    bj = _mm256_broadcast_ss(b + 0);
+    c00 = _mm256_fmadd_ps(a0, bj, c00);
+    c01 = _mm256_fmadd_ps(a1, bj, c01);
+    bj = _mm256_broadcast_ss(b + 1);
+    c10 = _mm256_fmadd_ps(a0, bj, c10);
+    c11 = _mm256_fmadd_ps(a1, bj, c11);
+    bj = _mm256_broadcast_ss(b + 2);
+    c20 = _mm256_fmadd_ps(a0, bj, c20);
+    c21 = _mm256_fmadd_ps(a1, bj, c21);
+    bj = _mm256_broadcast_ss(b + 3);
+    c30 = _mm256_fmadd_ps(a0, bj, c30);
+    c31 = _mm256_fmadd_ps(a1, bj, c31);
+    bj = _mm256_broadcast_ss(b + 4);
+    c40 = _mm256_fmadd_ps(a0, bj, c40);
+    c41 = _mm256_fmadd_ps(a1, bj, c41);
+    bj = _mm256_broadcast_ss(b + 5);
+    c50 = _mm256_fmadd_ps(a0, bj, c50);
+    c51 = _mm256_fmadd_ps(a1, bj, c51);
+    a += MR;
+    b += NR;
+  }
+  _mm256_storeu_ps(acc + 0 * MR + 0, c00);
+  _mm256_storeu_ps(acc + 0 * MR + 8, c01);
+  _mm256_storeu_ps(acc + 1 * MR + 0, c10);
+  _mm256_storeu_ps(acc + 1 * MR + 8, c11);
+  _mm256_storeu_ps(acc + 2 * MR + 0, c20);
+  _mm256_storeu_ps(acc + 2 * MR + 8, c21);
+  _mm256_storeu_ps(acc + 3 * MR + 0, c30);
+  _mm256_storeu_ps(acc + 3 * MR + 8, c31);
+  _mm256_storeu_ps(acc + 4 * MR + 0, c40);
+  _mm256_storeu_ps(acc + 4 * MR + 8, c41);
+  _mm256_storeu_ps(acc + 5 * MR + 0, c50);
+  _mm256_storeu_ps(acc + 5 * MR + 8, c51);
+}
+
 }  // namespace detail
 }  // namespace fmm
 

@@ -65,6 +65,58 @@ void microkernel_avx512_8x6(index_t k, const double* a_panel,
   _mm512_storeu_pd(acc + 5 * MR, _mm512_add_pd(c5, d5));
 }
 
+// f32 16x6: one zmm spans the full 16-row column, mirroring the f64 8x6
+// structure above — dual accumulator banks with k unrolled by 2 for
+// latency hiding, set1 broadcasts of B.
+void microkernel_avx512_16x6_f32(index_t k, const float* a_panel,
+                                 const float* b_panel, float* acc) {
+  constexpr int MR = 16, NR = 6;
+  __m512 c0 = _mm512_setzero_ps(), c1 = _mm512_setzero_ps();
+  __m512 c2 = _mm512_setzero_ps(), c3 = _mm512_setzero_ps();
+  __m512 c4 = _mm512_setzero_ps(), c5 = _mm512_setzero_ps();
+  __m512 d0 = _mm512_setzero_ps(), d1 = _mm512_setzero_ps();
+  __m512 d2 = _mm512_setzero_ps(), d3 = _mm512_setzero_ps();
+  __m512 d4 = _mm512_setzero_ps(), d5 = _mm512_setzero_ps();
+  const float* a = a_panel;
+  const float* b = b_panel;
+  index_t kk = 0;
+  for (; kk + 2 <= k; kk += 2) {
+    const __m512 a0 = _mm512_loadu_ps(a);
+    const __m512 a1 = _mm512_loadu_ps(a + MR);
+    c0 = _mm512_fmadd_ps(a0, _mm512_set1_ps(b[0]), c0);
+    c1 = _mm512_fmadd_ps(a0, _mm512_set1_ps(b[1]), c1);
+    c2 = _mm512_fmadd_ps(a0, _mm512_set1_ps(b[2]), c2);
+    c3 = _mm512_fmadd_ps(a0, _mm512_set1_ps(b[3]), c3);
+    c4 = _mm512_fmadd_ps(a0, _mm512_set1_ps(b[4]), c4);
+    c5 = _mm512_fmadd_ps(a0, _mm512_set1_ps(b[5]), c5);
+    d0 = _mm512_fmadd_ps(a1, _mm512_set1_ps(b[6]), d0);
+    d1 = _mm512_fmadd_ps(a1, _mm512_set1_ps(b[7]), d1);
+    d2 = _mm512_fmadd_ps(a1, _mm512_set1_ps(b[8]), d2);
+    d3 = _mm512_fmadd_ps(a1, _mm512_set1_ps(b[9]), d3);
+    d4 = _mm512_fmadd_ps(a1, _mm512_set1_ps(b[10]), d4);
+    d5 = _mm512_fmadd_ps(a1, _mm512_set1_ps(b[11]), d5);
+    a += 2 * MR;
+    b += 2 * NR;
+  }
+  for (; kk < k; ++kk) {
+    const __m512 a0 = _mm512_loadu_ps(a);
+    c0 = _mm512_fmadd_ps(a0, _mm512_set1_ps(b[0]), c0);
+    c1 = _mm512_fmadd_ps(a0, _mm512_set1_ps(b[1]), c1);
+    c2 = _mm512_fmadd_ps(a0, _mm512_set1_ps(b[2]), c2);
+    c3 = _mm512_fmadd_ps(a0, _mm512_set1_ps(b[3]), c3);
+    c4 = _mm512_fmadd_ps(a0, _mm512_set1_ps(b[4]), c4);
+    c5 = _mm512_fmadd_ps(a0, _mm512_set1_ps(b[5]), c5);
+    a += MR;
+    b += NR;
+  }
+  _mm512_storeu_ps(acc + 0 * MR, _mm512_add_ps(c0, d0));
+  _mm512_storeu_ps(acc + 1 * MR, _mm512_add_ps(c1, d1));
+  _mm512_storeu_ps(acc + 2 * MR, _mm512_add_ps(c2, d2));
+  _mm512_storeu_ps(acc + 3 * MR, _mm512_add_ps(c3, d3));
+  _mm512_storeu_ps(acc + 4 * MR, _mm512_add_ps(c4, d4));
+  _mm512_storeu_ps(acc + 5 * MR, _mm512_add_ps(c5, d5));
+}
+
 }  // namespace detail
 }  // namespace fmm
 

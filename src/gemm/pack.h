@@ -11,6 +11,10 @@
 //    row-major within the panel, i.e. out[q*nr*k + kk*nr + c].
 // Partial edge panels are zero-padded to full mr / nr so the micro-kernel
 // never needs edge cases; the epilogue masks the stores instead.
+//
+// Everything is templated on the element type (the dtype is a runtime plan
+// property; see src/gemm/dtype.h) with explicit double/float instantiations
+// in pack.cc — headers stay declaration-only.
 
 #include "src/gemm/blocking.h"
 #include "src/gemm/term.h"
@@ -19,23 +23,48 @@ namespace fmm {
 
 // Packs sum_i terms[i].coeff * terms[i].ptr[0:m, 0:k] (row stride `lda`)
 // into `out` in the packed-A layout described above, mr rows per panel.
-void pack_a(const LinTerm* terms, int num_terms, index_t lda, index_t m,
-            index_t k, int mr, double* out);
+template <typename T>
+void pack_a(const LinTermT<T>* terms, int num_terms, index_t lda, index_t m,
+            index_t k, int mr, T* out);
 
 // Packs one mr-row panel p of the sum (rows [p*mr, min(m, p*mr+mr))) into
 // out_panel (= base + p*mr*k).  Lets threads cooperate on a shared A-tile
 // when the problem has too few row blocks to parallelize the i_c loop.
-void pack_a_panel(const LinTerm* terms, int num_terms, index_t lda, index_t m,
-                  index_t k, int mr, index_t p, double* out_panel);
+template <typename T>
+void pack_a_panel(const LinTermT<T>* terms, int num_terms, index_t lda,
+                  index_t m, index_t k, int mr, index_t p, T* out_panel);
 
 // Packs one nr-wide column panel q of sum_j terms[j] (row stride `ldb`,
 // logical shape k x n) into out_panel (= base + q*nr*k of the full buffer).
 // Splitting per panel lets threads cooperate on the B-pack.
-void pack_b_panel(const LinTerm* terms, int num_terms, index_t ldb, index_t k,
-                  index_t n, int nr, index_t q, double* out_panel);
+template <typename T>
+void pack_b_panel(const LinTermT<T>* terms, int num_terms, index_t ldb,
+                  index_t k, index_t n, int nr, index_t q, T* out_panel);
 
 // Convenience: packs all panels of B (single-threaded; tests and Naive path).
-void pack_b(const LinTerm* terms, int num_terms, index_t ldb, index_t k,
-            index_t n, int nr, double* out);
+template <typename T>
+void pack_b(const LinTermT<T>* terms, int num_terms, index_t ldb, index_t k,
+            index_t n, int nr, T* out);
+
+extern template void pack_a<double>(const LinTerm*, int, index_t, index_t,
+                                    index_t, int, double*);
+extern template void pack_a<float>(const LinTermF32*, int, index_t, index_t,
+                                   index_t, int, float*);
+extern template void pack_a_panel<double>(const LinTerm*, int, index_t,
+                                          index_t, index_t, int, index_t,
+                                          double*);
+extern template void pack_a_panel<float>(const LinTermF32*, int, index_t,
+                                         index_t, index_t, int, index_t,
+                                         float*);
+extern template void pack_b_panel<double>(const LinTerm*, int, index_t,
+                                          index_t, index_t, int, index_t,
+                                          double*);
+extern template void pack_b_panel<float>(const LinTermF32*, int, index_t,
+                                         index_t, index_t, int, index_t,
+                                         float*);
+extern template void pack_b<double>(const LinTerm*, int, index_t, index_t,
+                                    index_t, int, double*);
+extern template void pack_b<float>(const LinTermF32*, int, index_t, index_t,
+                                   index_t, int, float*);
 
 }  // namespace fmm

@@ -11,6 +11,9 @@
 //
 // All views in one list are equally-shaped blocks of a common parent, so
 // they share the row stride; only base pointers and coefficients vary.
+// Coefficients stay double regardless of the element type: they are small
+// exact integers/halves from the algorithm tables, and the per-element
+// multiply promotes through double without changing the f32 result class.
 
 #include <vector>
 
@@ -19,16 +22,23 @@
 namespace fmm {
 
 // One weighted read-only operand in a linear combination.
-struct LinTerm {
-  const double* ptr;  // element (0,0) of the submatrix view
+template <typename T>
+struct LinTermT {
+  const T* ptr;  // element (0,0) of the submatrix view
   double coeff;
 };
 
 // One weighted output target.
-struct OutTerm {
-  double* ptr;  // element (0,0) of the target submatrix view
+template <typename T>
+struct OutTermT {
+  T* ptr;  // element (0,0) of the target submatrix view
   double coeff;
 };
+
+using LinTerm = LinTermT<double>;
+using OutTerm = OutTermT<double>;
+using LinTermF32 = LinTermT<float>;
+using OutTermF32 = OutTermT<float>;
 
 using LinTermList = std::vector<LinTerm>;
 using OutTermList = std::vector<OutTerm>;

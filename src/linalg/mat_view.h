@@ -1,11 +1,16 @@
 #pragma once
 
-// Non-owning strided views over row-major double matrices.
+// Non-owning strided views over row-major matrices.
 //
 // The entire FMM machinery operates on views: partitioning a matrix into the
 // <m~, k~, n~> grid of an FMM algorithm produces views into the original
 // storage, and the packing routines absorb the linear combinations of those
 // views.  No submatrix is ever copied outside of packing.
+//
+// The element type is a template parameter; `MatView`/`ConstMatView` remain
+// the double aliases the bulk of the tree uses, and the `*F32` aliases serve
+// the single-precision path (the element type is otherwise a *runtime* plan
+// property — see src/gemm/dtype.h).
 
 #include <cassert>
 #include <cstdint>
@@ -14,77 +19,84 @@ namespace fmm {
 
 using index_t = std::int64_t;
 
-// Read-only view: `rows x cols` doubles, row i starting at data + i*stride.
-class ConstMatView {
+// Read-only view: `rows x cols` elements, row i starting at data + i*stride.
+template <typename T>
+class ConstMatViewT {
  public:
-  ConstMatView() = default;
-  ConstMatView(const double* data, index_t rows, index_t cols, index_t stride)
+  ConstMatViewT() = default;
+  ConstMatViewT(const T* data, index_t rows, index_t cols, index_t stride)
       : data_(data), rows_(rows), cols_(cols), stride_(stride) {
     assert(stride >= cols);
   }
 
-  const double* data() const { return data_; }
+  const T* data() const { return data_; }
   index_t rows() const { return rows_; }
   index_t cols() const { return cols_; }
   index_t stride() const { return stride_; }
   bool empty() const { return rows_ == 0 || cols_ == 0; }
 
-  double operator()(index_t i, index_t j) const {
+  T operator()(index_t i, index_t j) const {
     assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
     return data_[i * stride_ + j];
   }
 
-  const double* row(index_t i) const { return data_ + i * stride_; }
+  const T* row(index_t i) const { return data_ + i * stride_; }
 
   // Sub-view of `r x c` elements starting at (i0, j0).
-  ConstMatView block(index_t i0, index_t j0, index_t r, index_t c) const {
+  ConstMatViewT block(index_t i0, index_t j0, index_t r, index_t c) const {
     assert(i0 >= 0 && j0 >= 0 && i0 + r <= rows_ && j0 + c <= cols_);
-    return ConstMatView(data_ + i0 * stride_ + j0, r, c, stride_);
+    return ConstMatViewT(data_ + i0 * stride_ + j0, r, c, stride_);
   }
 
  private:
-  const double* data_ = nullptr;
+  const T* data_ = nullptr;
   index_t rows_ = 0;
   index_t cols_ = 0;
   index_t stride_ = 0;
 };
 
 // Mutable view with the same shape contract.
-class MatView {
+template <typename T>
+class MatViewT {
  public:
-  MatView() = default;
-  MatView(double* data, index_t rows, index_t cols, index_t stride)
+  MatViewT() = default;
+  MatViewT(T* data, index_t rows, index_t cols, index_t stride)
       : data_(data), rows_(rows), cols_(cols), stride_(stride) {
     assert(stride >= cols);
   }
 
-  double* data() const { return data_; }
+  T* data() const { return data_; }
   index_t rows() const { return rows_; }
   index_t cols() const { return cols_; }
   index_t stride() const { return stride_; }
   bool empty() const { return rows_ == 0 || cols_ == 0; }
 
-  double& operator()(index_t i, index_t j) const {
+  T& operator()(index_t i, index_t j) const {
     assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
     return data_[i * stride_ + j];
   }
 
-  double* row(index_t i) const { return data_ + i * stride_; }
+  T* row(index_t i) const { return data_ + i * stride_; }
 
-  MatView block(index_t i0, index_t j0, index_t r, index_t c) const {
+  MatViewT block(index_t i0, index_t j0, index_t r, index_t c) const {
     assert(i0 >= 0 && j0 >= 0 && i0 + r <= rows_ && j0 + c <= cols_);
-    return MatView(data_ + i0 * stride_ + j0, r, c, stride_);
+    return MatViewT(data_ + i0 * stride_ + j0, r, c, stride_);
   }
 
-  operator ConstMatView() const {  // NOLINT: implicit by design
-    return ConstMatView(data_, rows_, cols_, stride_);
+  operator ConstMatViewT<T>() const {  // NOLINT: implicit by design
+    return ConstMatViewT<T>(data_, rows_, cols_, stride_);
   }
 
  private:
-  double* data_ = nullptr;
+  T* data_ = nullptr;
   index_t rows_ = 0;
   index_t cols_ = 0;
   index_t stride_ = 0;
 };
+
+using ConstMatView = ConstMatViewT<double>;
+using MatView = MatViewT<double>;
+using ConstMatViewF32 = ConstMatViewT<float>;
+using MatViewF32 = MatViewT<float>;
 
 }  // namespace fmm

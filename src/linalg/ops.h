@@ -11,6 +11,7 @@ namespace fmm {
 
 // max_ij |a(i,j) - b(i,j)|; shapes must match.
 double max_abs_diff(ConstMatView a, ConstMatView b);
+double max_abs_diff(ConstMatViewF32 a, ConstMatViewF32 b);
 
 // max_ij |a(i,j)|.
 double max_abs(ConstMatView a);

@@ -16,6 +16,15 @@ double ceil_ratio(double a, double b) { return std::ceil(a / b); }
 
 }  // namespace
 
+ModelParams default_model_params(DType dtype) {
+  ModelParams p;
+  if (dtype == DType::kF32) {
+    p.tau_a = 1.0 / 60e9;  // twice the lanes per FMA
+    p.tau_b = 4.0 / 12e9;  // half the bytes per element
+  }
+  return p;
+}
+
 ModelInput model_input(const Plan& plan, index_t m, index_t n, index_t k,
                        const GemmConfig& cfg) {
   ModelInput in;
@@ -34,7 +43,7 @@ ModelInput model_input(const Plan& plan, index_t m, index_t n, index_t k,
   // the cpuid-dispatched default; blocking is the rounded runtime blocking.
   GemmConfig kcfg = cfg;
   if (plan.kernel != nullptr) kcfg.kernel = plan.kernel;
-  const BlockingParams bp = resolve_blocking(kcfg);
+  const BlockingParams bp = resolve_blocking(kcfg, plan.dtype);
   in.mc = static_cast<double>(bp.mc);
   in.kc = static_cast<double>(bp.kc);
   in.nc = static_cast<double>(bp.nc);
@@ -110,9 +119,10 @@ ModelBreakdown predict_breakdown(const ModelInput& in, const ModelParams& p) {
 }
 
 double predict_gemm_time(index_t m, index_t n, index_t k,
-                         const GemmConfig& cfg, const ModelParams& p) {
+                         const GemmConfig& cfg, const ModelParams& p,
+                         DType dtype) {
   // Fig. 5, "gemm" column: one multiply, no additions, single packing pass.
-  const BlockingParams bp = resolve_blocking(cfg);
+  const BlockingParams bp = resolve_blocking(cfg, dtype);
   const double md = static_cast<double>(m);
   const double nd = static_cast<double>(n);
   const double kd = static_cast<double>(k);
@@ -188,6 +198,15 @@ ModelParams calibrate(const GemmConfig& cfg) {
     double lam = (measured - ta - t_ab) / denom;
     p.lambda = std::clamp(lam, 0.5, 1.0);
   }
+  return p;
+}
+
+ModelParams calibrate(const GemmConfig& cfg, DType dtype) {
+  if (dtype == DType::kF64) return calibrate(cfg);
+  ModelParams p = default_model_params(dtype);
+  const BlockingParams bp = resolve_blocking(cfg, dtype);
+  p.tau_a = 1.0 / (arch::kernel_gflops(*bp.kernel) * 1e9);
+  p.tau_b = arch::measured_tau_b(dtype);
   return p;
 }
 

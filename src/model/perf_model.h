@@ -32,6 +32,11 @@ struct ModelParams {
   double lambda = 0.8;        // prefetch efficiency (paper: fit to gemm)
 };
 
+// Uncalibrated defaults per element type.  f32 doubles the FMA throughput
+// (twice the lanes per vector) and halves the per-element stream cost
+// (4-byte elements at the same ~12 GB/s).
+ModelParams default_model_params(DType dtype);
+
 // Everything the Fig. 5 tables need, extracted from a Plan.
 struct ModelInput {
   double m = 0, n = 0, k = 0;
@@ -54,9 +59,12 @@ ModelInput model_input(const Plan& plan, index_t m, index_t n, index_t k,
 // Predicted execution time (seconds) of the plan on one core.
 double predict_time(const ModelInput& in, const ModelParams& p);
 
-// Predicted time of conventional GEMM (the Fig. 5 "gemm" column).
+// Predicted time of conventional GEMM (the Fig. 5 "gemm" column).  The
+// dtype selects the kernel family whose register tile and blocking the
+// prediction charges for.
 double predict_gemm_time(index_t m, index_t n, index_t k,
-                         const GemmConfig& cfg, const ModelParams& p);
+                         const GemmConfig& cfg, const ModelParams& p,
+                         DType dtype = DType::kF64);
 
 // Effective GFLOPS = 2 m n k / T * 1e-9 (Fig. 5, eq. 1).
 double predict_effective_gflops(const ModelInput& in, const ModelParams& p);
@@ -81,6 +89,13 @@ ModelBreakdown predict_breakdown(const ModelInput& in, const ModelParams& p);
 // machine; the first call per process pays the measurement cost, later
 // calls only re-run the two GEMM fits.
 ModelParams calibrate(const GemmConfig& cfg = GemmConfig{});
+
+// Per-dtype calibration.  The f64 path is calibrate() above.  The f32 path
+// derives τ_a from the resolved f32 kernel's measured hot-L1 rate and τ_b
+// from the f32 stream triad, but skips the gemm-based τ_a/λ refinement
+// (the fit corpus is f64 gemm; reusing its λ default keeps the two param
+// sets independent and cheap).
+ModelParams calibrate(const GemmConfig& cfg, DType dtype);
 
 // The analytic default for the task-recursive leaf cutoff
 // (src/core/recursive.h): the largest square-ish leaf whose three operands

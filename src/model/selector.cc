@@ -40,15 +40,16 @@ std::vector<Plan> default_plan_space(const std::vector<Variant>& variants,
   return plans;
 }
 
-const KernelInfo* best_kernel_for_shape(index_t ms, index_t ns, index_t ks) {
-  if (kernel_override_active()) return &active_kernel();
+const KernelInfo* best_kernel_for_shape(index_t ms, index_t ns, index_t ks,
+                                        DType dtype) {
+  if (kernel_override_active(dtype)) return &active_kernel(dtype);
   const double msd = static_cast<double>(std::max<index_t>(ms, 1));
   const double nsd = static_cast<double>(std::max<index_t>(ns, 1));
   const double ksd = static_cast<double>(std::max<index_t>(ks, 1));
   const KernelInfo* best = nullptr;
   double best_cost = 0.0;
   for (const KernelInfo& kern : kernel_registry()) {
-    if (!kern.supported()) continue;
+    if (kern.dtype != dtype || !kern.supported()) continue;
     // Padded-tile multiply flops at the kernel's register tile, over the
     // kernel's *measured* sustained rate (lazily calibrated once per
     // process and cached — src/arch/calibrate.h; the static hint is only
@@ -68,17 +69,18 @@ const KernelInfo* best_kernel_for_shape(index_t ms, index_t ns, index_t ks) {
 std::vector<Candidate> rank_by_model(index_t m, index_t n, index_t k,
                                      const std::vector<Plan>& plans,
                                      const ModelParams& params,
-                                     const GemmConfig& cfg) {
+                                     const GemmConfig& cfg, DType dtype) {
   std::vector<Candidate> out;
   out.reserve(plans.size());
   for (const auto& plan : plans) {
     Candidate c;
     c.plan = plan;
-    if (cfg.kernel != nullptr) {
+    c.plan.dtype = dtype;
+    if (cfg.kernel != nullptr && cfg.kernel->dtype == dtype) {
       c.plan.kernel = cfg.kernel;
     } else {
       c.plan.kernel = best_kernel_for_shape(m / plan.Mt(), n / plan.Nt(),
-                                            k / plan.Kt());
+                                            k / plan.Kt(), dtype);
     }
     const ModelInput in = model_input(c.plan, m, n, k, cfg);
     c.predicted_seconds = predict_time(in, params);

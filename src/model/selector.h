@@ -30,22 +30,26 @@ struct Candidate {
 std::vector<Plan> default_plan_space(const std::vector<Variant>& variants,
                                      int max_levels = 2);
 
-// Cheapest supported registry kernel for an interior sub-problem of shape
-// ms x ns (x ks): minimizes padded-tile flops over the kernel's
-// *calibrated* throughput (measured once per process and cached,
-// src/arch/calibrate.h; the static registry hint is only the
-// FMM_CALIBRATE=0 fallback).  Honors an FMM_KERNEL override (then the
-// override wins outright); when cfg pins a kernel the caller should skip
-// scoring entirely.
-const KernelInfo* best_kernel_for_shape(index_t ms, index_t ns, index_t ks);
+// Cheapest supported registry kernel of the given element type for an
+// interior sub-problem of shape ms x ns (x ks): minimizes padded-tile
+// flops over the kernel's *calibrated* throughput (measured once per
+// process and cached, src/arch/calibrate.h; the static registry hint is
+// only the FMM_CALIBRATE=0 fallback).  Honors an FMM_KERNEL override for
+// that dtype (then the override wins outright); when cfg pins a kernel
+// the caller should skip scoring entirely.
+const KernelInfo* best_kernel_for_shape(index_t ms, index_t ns, index_t ks,
+                                        DType dtype = DType::kF64);
 
 // Ranks `plans` by predicted time for (m, n, k); ascending time.  For each
 // candidate the per-plan kernel is scored against the plan's submatrix
-// shape and recorded in Candidate::plan.kernel (unless cfg.kernel pins one).
+// shape (restricted to kernels of `dtype`) and recorded in
+// Candidate::plan.kernel (unless cfg.kernel pins one); the candidate plan
+// is stamped with `dtype` either way.
 std::vector<Candidate> rank_by_model(index_t m, index_t n, index_t k,
                                      const std::vector<Plan>& plans,
                                      const ModelParams& params,
-                                     const GemmConfig& cfg);
+                                     const GemmConfig& cfg,
+                                     DType dtype = DType::kF64);
 
 // Paper §4.4: takes the best `top_k` model candidates, measures each on
 // synthetic operands of the given size, and returns them re-ranked by

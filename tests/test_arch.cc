@@ -127,13 +127,16 @@ TEST(DeriveBlocking, TilesFitTheReportedCachesAcrossTopologies) {
       // Register-tile divisibility.
       EXPECT_EQ(ab.mc % kern.mr, 0);
       EXPECT_EQ(ab.nc % kern.nr, 0);
+      // Cache-fit checks charge the kernel's own element size (the f32
+      // family fills the same caches with half-width elements).
+      const index_t es = static_cast<index_t>(dtype_size(kern.dtype));
       // A and B micro-panels stream through L1 together.
-      EXPECT_LE((kern.mr + kern.nr) * ab.kc * 8, topo.l1d_bytes);
+      EXPECT_LE((kern.mr + kern.nr) * ab.kc * es, topo.l1d_bytes);
       // The packed A-tile fits L2.
-      EXPECT_LE(ab.mc * ab.kc * 8, topo.l2_bytes);
+      EXPECT_LE(ab.mc * ab.kc * es, topo.l2_bytes);
       // The packed B-panel fits the L3 slice (when one exists).
       if (topo.l3_bytes > 0) {
-        EXPECT_LE(ab.kc * ab.nc * 8, topo.l3_bytes);
+        EXPECT_LE(ab.kc * ab.nc * es, topo.l3_bytes);
       }
     }
   }

@@ -440,7 +440,7 @@ TEST(EngineBatch, EmptyBatchesAreOk) {
   Engine engine;
   const Plan plan = strassen_plan();
   EXPECT_TRUE(engine.multiply(plan, BatchSpec()).ok());
-  EXPECT_TRUE(engine.multiply(plan, BatchSpec::items(nullptr, 0)).ok());
+  EXPECT_TRUE(engine.multiply(plan, BatchSpec::items(static_cast<const BatchItem*>(nullptr), 0)).ok());
   StridedBatch sb;
   sb.m = sb.n = sb.k = 32;
   EXPECT_TRUE(engine.multiply(plan, BatchSpec::strided(sb)).ok());

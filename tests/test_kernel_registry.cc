@@ -50,14 +50,39 @@ TEST(KernelRegistry, PortableIsFirstAndAlwaysSupported) {
 
 TEST(KernelRegistry, EntriesAreWellFormed) {
   for (const KernelInfo& k : kernel_registry()) {
-    EXPECT_NE(k.fn, nullptr) << k.name;
+    if (k.dtype == DType::kF64) {
+      EXPECT_NE(k.fn, nullptr) << k.name;
+      EXPECT_EQ(k.fn_f32, nullptr) << k.name;
+      EXPECT_LE(k.mr, kMaxMR) << k.name;
+      EXPECT_LE(k.nr, kMaxNR) << k.name;
+    } else {
+      EXPECT_EQ(k.fn, nullptr) << k.name;
+      EXPECT_NE(k.fn_f32, nullptr) << k.name;
+      EXPECT_LE(k.mr, kMaxMRF32) << k.name;
+      EXPECT_LE(k.nr, kMaxNRF32) << k.name;
+    }
     EXPECT_GE(k.mr, 1) << k.name;
-    EXPECT_LE(k.mr, kMaxMR) << k.name;
     EXPECT_GE(k.nr, 1) << k.name;
-    EXPECT_LE(k.nr, kMaxNR) << k.name;
     EXPECT_GT(k.flops_per_cycle, 0.0) << k.name;
-    EXPECT_NE(find_kernel(k.name), nullptr) << k.name;
+    EXPECT_EQ(find_kernel(k.name, k.dtype), &k) << k.name;
   }
+}
+
+TEST(KernelRegistry, BothDtypeFamiliesArePresent) {
+  std::size_t f64 = 0, f32 = 0;
+  for (const KernelInfo& k : kernel_registry()) {
+    (k.dtype == DType::kF64 ? f64 : f32)++;
+  }
+  EXPECT_GE(f64, 3u);
+  EXPECT_GE(f32, 3u);
+  // The two portable entries share the name but not the cache key.
+  const KernelInfo* p64 = find_kernel("portable", DType::kF64);
+  const KernelInfo* p32 = find_kernel("portable", DType::kF32);
+  ASSERT_NE(p64, nullptr);
+  ASSERT_NE(p32, nullptr);
+  EXPECT_NE(p64, p32);
+  EXPECT_NE(kernel_cache_key(*p64), kernel_cache_key(*p32));
+  EXPECT_EQ(kernel_cache_key(*p64), "portable");  // persisted-cache compat
 }
 
 TEST(KernelRegistry, ContainsMultipleRegisterTiles) {
@@ -89,6 +114,21 @@ TEST_P(KernelEquivalence, MatchesGenericReference) {
   const KernelInfo& kern = reg[static_cast<std::size_t>(kernel_idx)];
   if (!kern.supported()) {
     GTEST_SKIP() << kern.name << " not supported by this CPU";
+  }
+  if (kern.dtype == DType::kF32) {
+    std::vector<double> ad, bd;
+    random_panels(kern.mr, kern.nr, k, ad, bd, 100 + 7 * kernel_idx + k);
+    std::vector<float> a(ad.begin(), ad.end()), b(bd.begin(), bd.end());
+    alignas(64) float acc[kMaxAccElemsF32];
+    alignas(64) float ref[kMaxAccElemsF32];
+    for (auto& v : acc) v = 99.0f;  // k = 0 must overwrite, not accumulate
+    kern.fn_f32(k, a.data(), b.data(), acc);
+    microkernel_generic(kern.mr, kern.nr, k, a.data(), b.data(), ref);
+    for (int i = 0; i < kern.mr * kern.nr; ++i) {
+      EXPECT_NEAR(acc[i], ref[i], 1e-4f * std::max<double>(1.0, k))
+          << kern.name << " index " << i << " k " << k;
+    }
+    return;
   }
   std::vector<double> a, b;
   random_panels(kern.mr, kern.nr, k, a, b, 100 + 7 * kernel_idx + k);
@@ -182,12 +222,16 @@ TEST(KernelDispatch, ResolveUnknownNameFallsBackWithDiagnostic) {
 }
 
 TEST(KernelDispatch, ResolveEmptyPicksBestSupported) {
-  const KernelInfo& k = resolve_kernel(nullptr);
-  EXPECT_TRUE(k.supported());
-  // No supported registry entry may out-rank the default choice.
-  for (const KernelInfo& other : kernel_registry()) {
-    if (other.supported()) {
-      EXPECT_LE(other.flops_per_cycle, k.flops_per_cycle) << other.name;
+  // Per element type: no supported registry entry of the same dtype may
+  // out-rank the default choice.
+  for (DType dtype : {DType::kF64, DType::kF32}) {
+    const KernelInfo& k = resolve_kernel(nullptr, dtype);
+    EXPECT_TRUE(k.supported());
+    EXPECT_EQ(k.dtype, dtype);
+    for (const KernelInfo& other : kernel_registry()) {
+      if (other.dtype == dtype && other.supported()) {
+        EXPECT_LE(other.flops_per_cycle, k.flops_per_cycle) << other.name;
+      }
     }
   }
 }
@@ -345,6 +389,7 @@ TEST(Epilogue, OverwriteModeIgnoresPriorContents) {
 TEST(KernelRegistry, EveryKernelProducesSameGemmResult) {
   for (const KernelInfo& kern : kernel_registry()) {
     if (!kern.supported()) continue;
+    if (kern.dtype != DType::kF64) continue;  // f32 twin lives in test_f32.cc
     GemmConfig cfg;
     cfg.kernel = &kern;
     cfg.num_threads = 1;
@@ -371,6 +416,7 @@ TEST(KernelRegistry, PlanKernelHonoredByBothDrivers) {
   ref_gemm(want.view(), a.view(), b.view());
   for (const KernelInfo& kern : kernel_registry()) {
     if (!kern.supported()) continue;
+    if (kern.dtype != DType::kF64) continue;  // f32 twin lives in test_f32.cc
     Plan plan = base;
     plan.kernel = &kern;
     Matrix c_data = Matrix::zero(m, n);

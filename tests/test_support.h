@@ -21,6 +21,7 @@
 #include "src/linalg/matrix.h"
 #include "src/linalg/ops.h"
 #include "src/util/env.h"
+#include "src/util/prng.h"
 
 namespace fmm {
 namespace test {
@@ -42,6 +43,17 @@ inline double tol_for(index_t k, int levels = 1) {
   return 1e-11 * std::max<index_t>(k, 1) * (levels <= 1 ? 1 : 8);
 }
 
+// Single-precision twins: same error model scaled from double eps (~1e-16)
+// to float eps (~1e-7).  Operands are uniform in [-1, 1], so k * eps is the
+// natural growth; the FMM bound adds the same per-level slack as tol_for.
+inline double tol_classical_f32(index_t k) {
+  return 1e-5 * std::max<index_t>(k, 1);
+}
+
+inline double tol_for_f32(index_t k, int levels = 1) {
+  return 1e-4 * std::max<index_t>(k, 1) * (levels <= 1 ? 1 : 8);
+}
+
 // --------------------------------------------------------------------------
 // Random-problem builders.
 // --------------------------------------------------------------------------
@@ -58,6 +70,45 @@ inline RandomProblem random_problem(index_t m, index_t n, index_t k,
   RandomProblem p{Matrix::random(m, k, seed), Matrix::random(k, n, seed + 1),
                   zero_c ? Matrix::zero(m, n) : Matrix::random(m, n, seed + 2),
                   Matrix()};
+  p.want = p.c.clone();
+  return p;
+}
+
+// The f32 twin.  Matrix is double-only, so the storage is plain vectors; a
+// FloatMat is just enough owner to hand out typed views.
+struct FloatMat {
+  std::vector<float> data;
+  index_t rows = 0, cols = 0;
+
+  static FloatMat random(index_t r, index_t c, std::uint64_t seed) {
+    FloatMat m{std::vector<float>(static_cast<std::size_t>(r) * c), r, c};
+    Xoshiro256 rng(seed);
+    for (auto& v : m.data) v = static_cast<float>(rng.uniform(-1, 1));
+    return m;
+  }
+  static FloatMat zero(index_t r, index_t c) {
+    return FloatMat{std::vector<float>(static_cast<std::size_t>(r) * c, 0.0f),
+                    r, c};
+  }
+  FloatMat clone() const { return *this; }
+
+  MatViewF32 view() { return MatViewF32(data.data(), rows, cols, cols); }
+  ConstMatViewF32 cview() const {
+    return ConstMatViewF32(data.data(), rows, cols, cols);
+  }
+};
+
+struct RandomProblemF32 {
+  FloatMat a, b, c, want;
+};
+
+inline RandomProblemF32 random_problem_f32(index_t m, index_t n, index_t k,
+                                           std::uint64_t seed,
+                                           bool zero_c = false) {
+  RandomProblemF32 p{
+      FloatMat::random(m, k, seed), FloatMat::random(k, n, seed + 1),
+      zero_c ? FloatMat::zero(m, n) : FloatMat::random(m, n, seed + 2),
+      FloatMat()};
   p.want = p.c.clone();
   return p;
 }
