@@ -261,6 +261,31 @@ int main(int argc, char** argv) {
               (unsigned long long)hstats.history_hits,
               (unsigned long long)hstats.history_overrides);
 
+  // One recursive-descent request through the async path: a two-level
+  // plan at a size above an explicit small cutoff, so a trace captured
+  // from this bench (FMM_TRACE) also carries the recursive driver's
+  // per-product prep/leaf/update spans and buffer-pool counters — the
+  // smoke trace then samples every instrumented layer, not just the flat
+  // serving paths.  Too small to time meaningfully; not a table row.
+  {
+    Engine::Options ropts;
+    ropts.config = cfg;
+    ropts.recurse_cutoff = 128;
+    Engine rec(ropts);
+    const Plan plan2 = make_plan(
+        {catalog::best(2, 2, 2), catalog::best(2, 2, 2)}, Variant::kABC);
+    const index_t rs = 512;
+    Matrix ra = Matrix::random(rs, rs, 900);
+    Matrix rb = Matrix::random(rs, rs, 901);
+    Matrix rc = Matrix::zero(rs, rs);
+    TaskFuture rf = rec.submit(plan2, rc.view(), ra.view(), rb.view());
+    rf.wait();
+    std::printf("\nrecursive-descent sample (n=%lld, 2-level): %s, "
+                "%llu descent(s)\n", (long long)rs,
+                rf.status().ok() ? "ok" : rf.status().to_string().c_str(),
+                (unsigned long long)rec.stats().recursive_runs);
+  }
+
   std::printf("\nasync results bitwise identical to per-item multiply(): %s\n",
               bitwise_ok ? "yes" : "NO");
   // Informational, not a gate: the >= 1.2x mix claim needs real cores, and

@@ -35,6 +35,7 @@
 #include "bench/bench_common.h"
 #include "src/core/engine.h"
 #include "src/core/executor.h"
+#include "src/obs/trace.h"
 
 using namespace fmm;
 using namespace fmm::bench;
@@ -413,5 +414,45 @@ int main(int argc, char** argv) {
                     TablePrinter::fmt(t64 / t32, 2)});
   }
   emit(ftable, opts, "f32");
+
+  // -------------------------------------------------------------------------
+  // Observability overhead: the same Engine batch path with the obs layer
+  // quiet vs recording.  "off" is tracing disabled AND metrics capture
+  // disabled — the acceptance bar is that this column matches a build
+  // without the obs layer (every site is behind one relaxed load).  "on"
+  // runs with metrics capture enabled and the flight recorder recording
+  // into its rings (trace_begin("") — no file is written).  on/off is the
+  // throughput ratio, higher is better, ~1.0 expected.
+  // -------------------------------------------------------------------------
+  std::printf("\nObservability overhead: engine batch path, off vs "
+              "tracing+metrics on (effective GFLOPS)\n\n");
+  TablePrinter otable({"n", "K", "off", "on", "on/off"});
+  const int okb = 8;
+  const std::vector<index_t> osizes = opts.smoke
+                                          ? std::vector<index_t>{128, 256}
+                                          : std::vector<index_t>{128, 256, 512};
+  for (index_t s : osizes) {
+    const double flops =
+        2.0 * static_cast<double>(s) * s * s * static_cast<double>(okb);
+    BatchOperands ops(s, okb, /*shared_b=*/false);
+    const BatchSpec spec = BatchSpec::items(ops.items);
+    auto run = [&] { (void)engine.multiply(plan, spec); };
+    run();  // compile outside the timed region
+
+    engine.metrics().set_enabled(false);
+    const double t_off = best_time_of(reps, run);
+
+    engine.metrics().set_enabled(true);
+    obs::trace_begin("");
+    const double t_on = best_time_of(reps, run);
+    obs::trace_end();
+
+    otable.add_row({TablePrinter::fmt((long long)s),
+                    TablePrinter::fmt((long long)okb),
+                    TablePrinter::fmt(flops / t_off * 1e-9, 1),
+                    TablePrinter::fmt(flops / t_on * 1e-9, 1),
+                    TablePrinter::fmt(t_off / t_on, 3)});
+  }
+  emit(otable, opts, "obs");
   return 0;
 }

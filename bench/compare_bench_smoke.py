@@ -23,6 +23,9 @@ baseline (usually the latest main-branch artifact):
     higher-is-better semantics.
   * bench_f32: CSV rows matched by n; single-core f64 vs f32 serving
     throughput and the f32/f64 ratio, same higher-is-better semantics.
+  * bench_obs: CSV rows matched by (n, K); the Engine batch path with
+    tracing+metrics off vs recording, and the on/off throughput ratio,
+    same higher-is-better semantics.
 
 Rows or whole sections present in only one artifact are *skipped* (listed
 as "only in baseline/candidate"), never treated as regressions — adding,
@@ -144,6 +147,9 @@ def main():
         ("bench_f32 (GFLOPS/ratio, higher is better)",
          table_rates(base_doc, "bench_f32", ("n",)),
          table_rates(cand_doc, "bench_f32", ("n",)), True),
+        ("bench_obs (GFLOPS/ratio, higher is better)",
+         table_rates(base_doc, "bench_obs", ("n", "K")),
+         table_rates(cand_doc, "bench_obs", ("n", "K")), True),
     ]
     for title, base, cand, higher in sections:
         if not base and not cand:

@@ -61,6 +61,10 @@ def main():
                     help="CSV from bench_batch --smoke (the f32 table: "
                          "single-core f64 vs f32 GFLOPS and the f32/f64 "
                          "throughput ratio per size)")
+    ap.add_argument("--obs-csv",
+                    help="CSV from bench_batch --smoke (the observability-"
+                         "overhead table: engine batch GFLOPS with tracing+"
+                         "metrics off vs on, and the on/off ratio)")
     args = ap.parse_args()
 
     doc = {
@@ -96,6 +100,16 @@ def main():
         if ratios:
             print(f"f32/f64 single-core throughput ratio: "
                   f"min {min(ratios):.2f} max {max(ratios):.2f}",
+                  file=sys.stderr)
+    if args.obs_csv:
+        rows = load_table_csv(args.obs_csv)
+        doc["bench_obs"] = rows
+        # Surface the headline overhead in the merge log: how much
+        # throughput recording costs relative to the quiet path.
+        ratios = [float(r["on/off"]) for r in rows if r.get("on/off")]
+        if ratios:
+            print(f"tracing+metrics on/off throughput ratio: "
+                  f"min {min(ratios):.3f} max {max(ratios):.3f}",
                   file=sys.stderr)
 
     with open(args.out, "w") as f:

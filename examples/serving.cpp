@@ -154,7 +154,9 @@ int main(int argc, char** argv) {
     std::printf("malformed request -> %s\n", st.to_string().c_str());
   }
 
-  // 6. What a serving process would export.
+  // 6. What a serving process would export.  stats() is the compact
+  // compatibility view; metrics_report() is the full registry — counters,
+  // gauges, and per-path latency histograms with p50/p95/p99.
   const Engine::CacheStats stats = engine.stats();
   std::printf("executor cache: %llu hits, %llu misses, %llu evictions, "
               "%zu live (cap %zu)\n",
@@ -162,5 +164,6 @@ int main(int argc, char** argv) {
               (unsigned long long)stats.misses,
               (unsigned long long)stats.evictions, stats.entries,
               engine.cache_capacity());
+  std::printf("\nmetrics_report():\n%s", engine.metrics_report().c_str());
   return 0;
 }

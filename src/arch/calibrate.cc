@@ -13,6 +13,7 @@
 
 #include "src/arch/cache_info.h"
 #include "src/gemm/blocking.h"
+#include "src/obs/trace.h"
 #include "src/util/aligned_buffer.h"
 #include "src/util/env.h"
 #include "src/util/timer.h"
@@ -179,6 +180,8 @@ double kernel_gflops(const KernelInfo& kern) {
   if (auto it = s.rates.find(key); it != s.rates.end()) {
     return it->second;
   }
+  obs::TraceScope span("calibrate.kernel", "calibrate");
+  if (span.active()) span.set_argf("%s", kern.name);
   const double gflops = time_kernel_gflops(kern);
   ++s.timing_runs;
   s.rates.emplace(key, gflops);
@@ -211,6 +214,8 @@ double measured_tau_b() {
   // model — and skips the 256 MiB triad the flag promises to avoid.
   if (!calibration_enabled()) return 8.0 / 12e9;
   static const double tau_b = [] {
+    obs::TraceScope span("calibrate.tau_b", "calibrate");
+    if (span.active()) span.set_argf("f64 triad");
     // Read-dominated triad over a working set far beyond any LLC.
     const std::size_t words = 1u << 24;  // 128 MiB of doubles
     AlignedBuffer<double> x(words), y(words);
@@ -234,6 +239,8 @@ double measured_tau_b(DType dtype) {
   // Same nominal ~12 GB/s stream rate, 4-byte elements.
   if (!calibration_enabled()) return 4.0 / 12e9;
   static const double tau_b = [] {
+    obs::TraceScope span("calibrate.tau_b", "calibrate");
+    if (span.active()) span.set_argf("f32 triad");
     // Same 128 MiB working set as the f64 triad, in 4-byte elements.
     const std::size_t words = 1u << 25;
     AlignedBuffer<float> x(words), y(words);

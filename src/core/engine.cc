@@ -13,6 +13,7 @@
 #include "src/gemm/fused.h"
 #include "src/gemm/gemm.h"
 #include "src/model/perf_model.h"
+#include "src/obs/trace.h"
 #include "src/util/env.h"
 #include "src/util/timer.h"
 
@@ -247,6 +248,11 @@ std::string env_history_path() {
   return path != nullptr ? std::string(path) : std::string();
 }
 
+std::string env_trace_path() {
+  const char* path = std::getenv("FMM_TRACE");
+  return path != nullptr ? std::string(path) : std::string();
+}
+
 index_t env_recurse_cutoff() {
   // Explicit 0 disables descent; unset falls back to the analytic default
   // for the detected cache topology.
@@ -301,6 +307,35 @@ Engine::Engine() : Engine(Options{}) {}
 
 Engine::Engine(const Options& opts)
     : cfg_(opts.config), slots_(opts.slots), workers_(opts.workers) {
+  // Instruments resolve first: everything below may bump a counter.  The
+  // names are stable API — tools parse metrics_report_json().
+  hits_ = &metrics_.counter("engine.cache.hits");
+  misses_ = &metrics_.counter("engine.cache.misses");
+  evictions_ = &metrics_.counter("engine.cache.evictions");
+  choice_hits_ = &metrics_.counter("engine.choice.hits");
+  choice_misses_ = &metrics_.counter("engine.choice.misses");
+  choice_evictions_ = &metrics_.counter("engine.choice.evictions");
+  history_hits_ = &metrics_.counter("engine.history.hits");
+  history_overrides_ = &metrics_.counter("engine.history.overrides");
+  recursive_runs_ = &metrics_.counter("engine.recursive.runs");
+  lat_explicit_ = &metrics_.histogram("engine.request.explicit", "us");
+  lat_auto_ = &metrics_.histogram("engine.request.auto", "us");
+  lat_batch_ = &metrics_.histogram("engine.request.batch", "us");
+  exec_gflops_ = &metrics_.histogram("engine.exec.gflops", "GFLOP/s");
+  batch_items_ = &metrics_.histogram("engine.exec.batch_items", "items");
+  metrics_.set_enabled(opts.metrics.has_value()
+                           ? *opts.metrics
+                           : parse_env_flag("FMM_METRICS", true));
+
+  // Tracing: join the refcounted process-wide session; the file is written
+  // when the last participant is destroyed (first participant's path wins).
+  const std::string trace_path =
+      !opts.trace_path.empty() ? opts.trace_path : env_trace_path();
+  if (!trace_path.empty()) {
+    obs::trace_begin(trace_path);
+    owns_trace_ = true;
+  }
+
   // Every knob: explicit Options > environment > default.
   if (workers_ <= 0) workers_ = env_workers();
   cap_total_ =
@@ -360,6 +395,9 @@ Engine::~Engine() {
                    st.to_string().c_str());
     }
   }
+  // Last participant out writes the trace file (workers are idle by now,
+  // so their final spans are already recorded).
+  if (owns_trace_) obs::trace_end();
 }
 
 TaskPool& Engine::pool() {
@@ -367,6 +405,9 @@ TaskPool& Engine::pool() {
   std::lock_guard<std::mutex> lk(pool_mu_);
   if (!pool_) {
     pool_ = std::make_unique<TaskPool>(workers_);
+    // Attach the queue-wait instruments before the pool is published: no
+    // task can observe a half-wired pool.
+    pool_->set_metrics(&metrics_);
     pool_ptr_.store(pool_.get(), std::memory_order_release);
   }
   return *pool_;
@@ -399,7 +440,10 @@ std::shared_ptr<FmmExecutorT<T>> Engine::executor_for(const Plan& plan,
       if (e.hash == hash && e.m == m && e.n == n && e.k == k &&
           e.cfg == cfg && same_execution(e.plan, plan)) {
         e.tick = tick_.fetch_add(1, std::memory_order_relaxed);
-        hits_.fetch_add(1, std::memory_order_relaxed);
+        hits_->add();
+        if (obs::trace_enabled()) {
+          obs::trace_instant("engine.cache.hit", "engine");
+        }
         // shared_ptr copy: no allocation.  The dtype key match guarantees
         // the erased pointer is an FmmExecutorT<T>.
         return std::static_pointer_cast<FmmExecutorT<T>>(e.exec);
@@ -409,36 +453,38 @@ std::shared_ptr<FmmExecutorT<T>> Engine::executor_for(const Plan& plan,
 
   // Miss: compile outside the shard lock (compilation allocates and can
   // take a while; concurrent misses on other keys must not serialize).
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  misses_->add();
+  if (obs::trace_enabled()) {
+    obs::trace_instant("engine.cache.miss", "engine");
+  }
   auto exec = std::make_shared<FmmExecutorT<T>>(plan, m, n, k, cfg, slots_);
 
   // Observation hook, installed before the executor is published to the
   // cache (set_timing_hook is not synchronized against in-flight runs).
-  // The key is fixed at compile time: footprint of the plan (dtype-salted),
-  // buckets of the compiled shape, and the *resolved* kernel/threads the
-  // executor froze (the kernel's cache key, so same-named f32/f64 kernels
-  // stay distinct).  One hook invocation = one observation (a batch counts
-  // its items), so effective GFLOP/s is items * flops / seconds.
+  // The one hook feeds history, metrics, and tracing (observe_execution);
+  // the history key is fixed at compile time: footprint of the plan
+  // (dtype-salted), buckets of the compiled shape, and the *resolved*
+  // kernel/threads the executor froze (the kernel's cache key, so
+  // same-named f32/f64 kernels stay distinct).  One hook invocation = one
+  // observation (a batch counts its items), so effective GFLOP/s is
+  // items * flops / seconds.
   const double item_flops =
       2.0 * static_cast<double>(m) * static_cast<double>(n) *
       static_cast<double>(k);
+  std::optional<HistoryKey> hkey;
   if (history_enabled_ && item_flops > 0.0) {
-    HistoryKey hkey;
-    hkey.footprint = plan_footprint(plan) ^ dtype_history_salt(plan.dtype);
-    hkey.mb = shape_bucket(m);
-    hkey.nb = shape_bucket(n);
-    hkey.kb = shape_bucket(k);
-    hkey.kernel = kernel_cache_key(*exec->config().kernel);
-    hkey.threads = exec->threads();
-    exec->set_timing_hook(
-        [this, hkey = std::move(hkey), item_flops](double seconds,
-                                                   std::size_t items) {
-          if (seconds > 0.0) {
-            history_.record(hkey, static_cast<double>(items) * item_flops /
-                                      seconds * 1e-9);
-          }
-        });
+    HistoryKey hk;
+    hk.footprint = plan_footprint(plan) ^ dtype_history_salt(plan.dtype);
+    hk.mb = shape_bucket(m);
+    hk.nb = shape_bucket(n);
+    hk.kb = shape_bucket(k);
+    hk.kernel = kernel_cache_key(*exec->config().kernel);
+    hk.threads = exec->threads();
+    hkey = hk;
   }
+  exec->set_timing_hook([this, hkey](const ExecObservation& o) {
+    observe_execution(o, hkey.has_value() ? &*hkey : nullptr);
+  });
 
   std::lock_guard<std::mutex> lk(shard.mu);
   // A racing thread may have compiled the same key; keep the incumbent so
@@ -452,7 +498,7 @@ std::shared_ptr<FmmExecutorT<T>> Engine::executor_for(const Plan& plan,
   }
   if (shard.entries.size() >= cap_per_shard_) {
     evict_lru(shard.entries);
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evictions_->add();
   }
   Entry e;
   e.hash = hash;
@@ -498,7 +544,7 @@ std::shared_ptr<const AutoChoice> Engine::choice_handle(index_t m, index_t n,
     for (ChoiceEntry& e : choices_) {
       if (e.key == key && e.hrev == hrev) {
         e.tick = tick_.fetch_add(1, std::memory_order_relaxed);
-        choice_hits_.fetch_add(1, std::memory_order_relaxed);
+        choice_hits_->add();
         return e.choice;
       }
     }
@@ -509,7 +555,7 @@ std::shared_ptr<const AutoChoice> Engine::choice_handle(index_t m, index_t n,
 
   // Rank outside the lock: the model evaluation over the whole space is
   // the expensive part, and space_ is immutable once built.
-  choice_misses_.fetch_add(1, std::memory_order_relaxed);
+  choice_misses_->add();
   auto choice = std::make_shared<AutoChoice>();
   const double gemm_analytic = predict_gemm_time(m, n, k, cfg_, params, dtype);
   auto ranked = rank_by_model(m, n, k, space_, params, cfg_, dtype);
@@ -561,9 +607,9 @@ std::shared_ptr<const AutoChoice> Engine::choice_handle(index_t m, index_t n,
     }
   }
   if (consulted) {
-    history_hits_.fetch_add(1, std::memory_order_relaxed);
+    history_hits_->add();
     if (winner != analytic_winner) {
-      history_overrides_.fetch_add(1, std::memory_order_relaxed);
+      history_overrides_->add();
     }
   }
 
@@ -597,7 +643,7 @@ std::shared_ptr<const AutoChoice> Engine::choice_handle(index_t m, index_t n,
   if (gen != params_gen_) return choice;
   if (choices_.size() >= choice_cap_) {
     evict_lru(choices_);
-    choice_evictions_.fetch_add(1, std::memory_order_relaxed);
+    choice_evictions_->add();
   }
   ChoiceEntry e;
   e.key = key;
@@ -763,6 +809,12 @@ TaskFuture Engine::submit_single(const Plan* plan, MatViewT<T> c,
   constexpr DType kDt = DTypeOf<T>::value;
   Status st = validate_triple(c, a, b);
   if (!st.ok()) return TaskFuture::ready(std::move(st));
+  // Request observation starts after validation (a rejected request is not
+  // traffic) and follows the work wherever it runs: the span / latency
+  // sample is recorded where the execution finishes, covering queue wait.
+  const std::uint64_t req_t0 = request_start();
+  const RequestPath req_path =
+      plan != nullptr ? RequestPath::kExplicit : RequestPath::kAuto;
   // Element type is a plan property: stamp the request's dtype (and drop a
   // wrong-dtype pinned kernel) on a local copy before any cache keying, so
   // one Plan value serves both precisions without cross-dtype hits.
@@ -788,14 +840,22 @@ TaskFuture Engine::submit_single(const Plan* plan, MatViewT<T> c,
     }
     if (rplan != nullptr && should_recurse(*rplan, m, n, k, recurse_cutoff_)) {
       if (executed != nullptr && choice) *executed = choice;
-      recursive_runs_.fetch_add(1, std::memory_order_relaxed);
+      recursive_runs_->add();
       const RecursiveExecT<T> ctx = recursive_ctx<T>(cfg);
       if (TaskPool::on_worker_thread()) {
         // Nested synchronous call from a task body: the bitwise-identical
         // sequential twin (building a graph and blocking this worker on
         // its finalizer could deadlock a fully busy pool).
         run_recursive_sequential<T>(ctx, *rplan, c, a, b);
+        observe_request(req_path, m, n, k, 1, req_t0);
         return TaskFuture::ready(Status{});
+      }
+      // The graph's finalizer resolves the future off any single task, so
+      // there is no one completion site to close a span at; the descent is
+      // marked by an instant here and covered by its per-product spans
+      // (recursive.cc) and the TaskPool run spans.
+      if (obs::trace_enabled()) {
+        obs::trace_instant("engine.request.recursive", "engine");
       }
       return submit_recursive<T>(ctx, *rplan, c, a, b);
     }
@@ -803,16 +863,23 @@ TaskFuture Engine::submit_single(const Plan* plan, MatViewT<T> c,
     // through to the flat path, which re-resolves the cached choice.
   }
   if (TaskPool::on_worker_thread()) {
-    return TaskFuture::ready(exec_single<T>(plan, c, a, b, cfg, executed));
+    Status inline_st = exec_single<T>(plan, c, a, b, cfg, executed);
+    observe_request(req_path, m, n, k, 1, req_t0);
+    return TaskFuture::ready(std::move(inline_st));
   }
   if (plan == nullptr) {
-    return pool().submit([this, c, a, b, cfg, executed] {
-      return exec_single<T>(nullptr, c, a, b, cfg, executed);
+    return pool().submit([this, c, a, b, cfg, executed, req_t0, req_path] {
+      Status es = exec_single<T>(nullptr, c, a, b, cfg, executed);
+      observe_request(req_path, c.rows(), c.cols(), a.cols(), 1, req_t0);
+      return es;
     });
   }
   // The plan is copied: the caller's need not outlive an async submit.
-  return pool().submit([this, p = *plan, c, a, b, cfg, executed] {
-    return exec_single<T>(&p, c, a, b, cfg, executed);
+  return pool().submit([this, p = *plan, c, a, b, cfg, executed, req_t0,
+                        req_path] {
+    Status es = exec_single<T>(&p, c, a, b, cfg, executed);
+    observe_request(req_path, c.rows(), c.cols(), a.cols(), 1, req_t0);
+    return es;
   });
 }
 
@@ -836,6 +903,7 @@ TaskFuture Engine::submit_batch(const Plan* plan, const BatchSpec& batch,
     plan_copy = std::make_shared<const Plan>(std::move(p));
   }
   const Plan* plan_ptr = plan_copy.get();
+  const std::uint64_t req_t0 = request_start();
 
   if (batch.is_strided()) {
     StridedBatchT<T> sb = batch.strided_as<T>();
@@ -845,10 +913,14 @@ TaskFuture Engine::submit_batch(const Plan* plan, const BatchSpec& batch,
       return TaskFuture::ready(Status{});
     }
     if (TaskPool::on_worker_thread()) {
-      return TaskFuture::ready(exec_strided<T>(plan_ptr, sb, cfg));
+      Status es = exec_strided<T>(plan_ptr, sb, cfg);
+      observe_request(RequestPath::kBatch, sb.m, sb.n, sb.k, sb.count, req_t0);
+      return TaskFuture::ready(std::move(es));
     }
-    return pool().submit([this, plan_copy, sb, cfg] {
-      return exec_strided<T>(plan_copy.get(), sb, cfg);
+    return pool().submit([this, plan_copy, sb, cfg, req_t0] {
+      Status es = exec_strided<T>(plan_copy.get(), sb, cfg);
+      observe_request(RequestPath::kBatch, sb.m, sb.n, sb.k, sb.count, req_t0);
+      return es;
     });
   }
 
@@ -901,13 +973,18 @@ TaskFuture Engine::submit_batch(const Plan* plan, const BatchSpec& batch,
                                 g.items.size(), cfg);
       if (!gs.ok()) return TaskFuture::ready(std::move(gs));
     }
+    observe_request(RequestPath::kBatch, 0, 0, 0, count, req_t0);
     return TaskFuture::ready(Status{});
   }
 
   if (groups.size() == 1) {
-    return pool().submit([this, plan_copy, g = std::move(groups.front()), cfg] {
-      return exec_group<T>(plan_copy.get(), g.m, g.n, g.k, g.items.data(),
-                           g.items.size(), cfg);
+    return pool().submit([this, plan_copy, g = std::move(groups.front()), cfg,
+                          req_t0] {
+      Status es = exec_group<T>(plan_copy.get(), g.m, g.n, g.k, g.items.data(),
+                                g.items.size(), cfg);
+      observe_request(RequestPath::kBatch, g.m, g.n, g.k, g.items.size(),
+                      req_t0);
+      return es;
     });
   }
 
@@ -928,7 +1005,14 @@ TaskFuture Engine::submit_batch(const Plan* plan, const BatchSpec& batch,
         },
         std::move(opts));
   }
-  return pool().submit([] { return Status{}; }, std::move(fin_opts));
+  // The finalizer is the batch's completion site: the request span closes
+  // there, covering every group (shape 0x0x0 marks a cross-shape batch).
+  return pool().submit(
+      [this, count, req_t0] {
+        observe_request(RequestPath::kBatch, 0, 0, 0, count, req_t0);
+        return Status{};
+      },
+      std::move(fin_opts));
 }
 
 // ---------------------------------------------------------------------------
@@ -1073,12 +1157,85 @@ HistoryKey Engine::gemm_key_for(index_t m, index_t n, index_t k,
 void Engine::record_gemm(index_t m, index_t n, index_t k,
                          const GemmConfig& cfg, DType dtype, double seconds,
                          std::size_t items) {
-  if (!history_enabled_ || seconds <= 0.0) return;
+  // The gemm arm bypasses FmmExecutor, so it synthesizes the observation
+  // the executor hook would have delivered and funnels into the same sink.
+  ExecObservation o;
+  o.seconds = seconds;
+  o.items = items;
+  o.kernel = "gemm";
+  o.dtype = dtype;
+  o.m = m;
+  o.n = n;
+  o.k = k;
   const double flops = 2.0 * static_cast<double>(m) *
                        static_cast<double>(n) * static_cast<double>(k);
-  if (flops <= 0.0) return;
-  history_.record(gemm_key_for(m, n, k, cfg, dtype),
-                  static_cast<double>(items) * flops / seconds * 1e-9);
+  if (history_enabled_ && seconds > 0.0 && flops > 0.0) {
+    // gemm_key_for resolves the blocking; build it only when a history
+    // record will actually happen.
+    const HistoryKey key = gemm_key_for(m, n, k, cfg, dtype);
+    observe_execution(o, &key);
+  } else {
+    observe_execution(o, nullptr);
+  }
+}
+
+void Engine::observe_execution(const ExecObservation& o,
+                               const HistoryKey* hkey) {
+  const double item_flops = 2.0 * static_cast<double>(o.m) *
+                            static_cast<double>(o.n) *
+                            static_cast<double>(o.k);
+  double gflops = 0.0;
+  if (o.seconds > 0.0 && item_flops > 0.0) {
+    gflops =
+        static_cast<double>(o.items) * item_flops / o.seconds * 1e-9;
+    if (hkey != nullptr) history_.record(*hkey, gflops);
+  }
+  if (metrics_.enabled()) {
+    if (gflops > 0.0) exec_gflops_->record(gflops);
+    if (o.items > 1) batch_items_->record(static_cast<double>(o.items));
+  }
+  if (obs::trace_enabled()) {
+    // The hook fires right after the timed window closes, so "now" is the
+    // span's end to timer precision.
+    const std::uint64_t end = obs::now_ns();
+    const std::uint64_t dur =
+        o.seconds > 0.0 ? static_cast<std::uint64_t>(o.seconds * 1e9) : 0;
+    char arg[47];
+    std::snprintf(arg, sizeof(arg), "%s %s %lldx%lldx%lld i=%zu", o.kernel,
+                  dtype_name(o.dtype), static_cast<long long>(o.m),
+                  static_cast<long long>(o.n), static_cast<long long>(o.k),
+                  o.items);
+    obs::trace_complete("executor.run", "executor", end > dur ? end - dur : 0,
+                        end, arg);
+  }
+}
+
+std::uint64_t Engine::request_start() const {
+  return (obs::trace_enabled() || metrics_.enabled()) ? obs::now_ns() : 0;
+}
+
+void Engine::observe_request(RequestPath path, index_t m, index_t n,
+                             index_t k, std::size_t items,
+                             std::uint64_t t0) {
+  if (t0 == 0) return;  // neither tracing nor metrics capture was on
+  const std::uint64_t end = obs::now_ns();
+  if (metrics_.enabled()) {
+    obs::Histogram* h = path == RequestPath::kExplicit ? lat_explicit_
+                        : path == RequestPath::kAuto   ? lat_auto_
+                                                       : lat_batch_;
+    h->record(static_cast<double>(end - t0) * 1e-3);  // ns -> us
+  }
+  if (obs::trace_enabled()) {
+    const char* name = path == RequestPath::kExplicit
+                           ? "engine.request.explicit"
+                       : path == RequestPath::kAuto ? "engine.request.auto"
+                                                    : "engine.request.batch";
+    char arg[47];
+    std::snprintf(arg, sizeof(arg), "%lldx%lldx%lld items=%zu",
+                  static_cast<long long>(m), static_cast<long long>(n),
+                  static_cast<long long>(k), items);
+    obs::trace_complete(name, "engine", t0, end, arg);
+  }
 }
 
 Status Engine::save_history() {
@@ -1095,27 +1252,64 @@ Status Engine::save_history() {
 // ---------------------------------------------------------------------------
 
 Engine::CacheStats Engine::stats() const {
+  // Compatibility view over the metrics registry: the counters moved
+  // there, the shape of this struct did not.
   CacheStats s;
-  s.hits = hits_.load(std::memory_order_relaxed);
-  s.misses = misses_.load(std::memory_order_relaxed);
-  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.hits = hits_->value();
+  s.misses = misses_->value();
+  s.evictions = evictions_->value();
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lk(shard->mu);
     s.entries += shard->entries.size();
   }
-  s.choice_hits = choice_hits_.load(std::memory_order_relaxed);
-  s.choice_misses = choice_misses_.load(std::memory_order_relaxed);
-  s.choice_evictions = choice_evictions_.load(std::memory_order_relaxed);
+  s.choice_hits = choice_hits_->value();
+  s.choice_misses = choice_misses_->value();
+  s.choice_evictions = choice_evictions_->value();
   {
     std::lock_guard<std::mutex> lk(choice_mu_);
     s.choice_entries = choices_.size();
   }
   s.history_observations = history_.observations();
   s.history_keys = history_.size();
-  s.history_hits = history_hits_.load(std::memory_order_relaxed);
-  s.history_overrides = history_overrides_.load(std::memory_order_relaxed);
-  s.recursive_runs = recursive_runs_.load(std::memory_order_relaxed);
+  s.history_hits = history_hits_->value();
+  s.history_overrides = history_overrides_->value();
+  s.recursive_runs = recursive_runs_->value();
   return s;
+}
+
+void Engine::refresh_gauges() {
+  std::size_t entries = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->mu);
+    entries += shard->entries.size();
+  }
+  metrics_.gauge("engine.cache.entries")
+      .set(static_cast<std::int64_t>(entries));
+  {
+    std::lock_guard<std::mutex> lk(choice_mu_);
+    metrics_.gauge("engine.choice.entries")
+        .set(static_cast<std::int64_t>(choices_.size()));
+  }
+  metrics_.gauge("engine.history.keys")
+      .set(static_cast<std::int64_t>(history_.size()));
+  metrics_.gauge("engine.history.observations")
+      .set(static_cast<std::int64_t>(history_.observations()));
+  metrics_.gauge("engine.recurse.free_buffers")
+      .set(static_cast<std::int64_t>(recurse_buffers_.free_buffers()));
+  metrics_.gauge("engine.recurse.outstanding")
+      .set(static_cast<std::int64_t>(recurse_buffers_.outstanding()));
+  metrics_.gauge("engine.recurse.peak_bytes")
+      .set(static_cast<std::int64_t>(recurse_buffers_.peak_bytes()));
+}
+
+std::string Engine::metrics_report() {
+  refresh_gauges();
+  return metrics_.report_text();
+}
+
+std::string Engine::metrics_report_json() {
+  refresh_gauges();
+  return metrics_.report_json();
 }
 
 }  // namespace fmm

@@ -81,6 +81,7 @@
 #include "src/core/task_pool.h"
 #include "src/model/history.h"
 #include "src/model/selector.h"
+#include "src/obs/metrics.h"
 #include "src/util/status.h"
 
 namespace fmm {
@@ -242,6 +243,18 @@ class Engine {
     // default from the detected cache topology
     // (recommended_recurse_cutoff); < 0 disables descent entirely.
     long long recurse_cutoff = 0;
+    // Tracing (src/obs/trace.h): non-empty joins the process-wide trace
+    // session and the Chrome trace-event JSON is written to this path when
+    // the last participating engine is destroyed (the first participant's
+    // path wins).  Empty = FMM_TRACE env; empty everywhere = no tracing
+    // (cost: one relaxed atomic load per instrumented site).
+    std::string trace_path;
+    // Metrics capture gate (src/obs/metrics.h): gates the call sites whose
+    // *capture* costs something (clock reads for the latency / queue-wait
+    // histograms).  The counters that replaced CacheStats' atomics are
+    // always on.  Engaged value wins, nullopt = FMM_METRICS env flag,
+    // default on.
+    std::optional<bool> metrics;
   };
 
   struct CacheStats {
@@ -392,6 +405,18 @@ class Engine {
                          index_t k) const;
   HistoryKey gemm_history_key(index_t m, index_t n, index_t k) const;
 
+  // --- Observability -------------------------------------------------------
+  // The engine's metrics registry: counters (cache traffic, recursive
+  // descents), gauges (live entries), and latency / throughput histograms.
+  // Exposed mutable so hosts can hang their own instruments off it.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  // Refreshes the level gauges (cache entries, history keys, buffer-pool
+  // footprint) and dumps every instrument; the text form is what
+  // examples/serving.cpp prints, the JSON form is one parseable object.
+  std::string metrics_report();
+  std::string metrics_report_json();
+
   // --- Introspection ------------------------------------------------------
   CacheStats stats() const;
   std::size_t cache_capacity() const { return cap_total_; }
@@ -455,6 +480,21 @@ class Engine {
   // fallback that bypasses FmmExecutor).
   void record_gemm(index_t m, index_t n, index_t k, const GemmConfig& cfg,
                    DType dtype, double seconds, std::size_t items);
+  // The one consumer behind every execution observation — executor hook
+  // and gemm arm alike: history (under `hkey` when non-null), the GFLOP/s
+  // and batch-size histograms, and the "executor.run" trace span.
+  void observe_execution(const ExecObservation& o, const HistoryKey* hkey);
+  // Request-level observation.  request_start() is the capture gate: the
+  // submit-time clock read happens only when tracing or metrics capture is
+  // on (0 otherwise, and observe_request is then a no-op).  The span /
+  // latency sample covers queue wait + execution per path.
+  enum class RequestPath { kExplicit, kAuto, kBatch };
+  std::uint64_t request_start() const;
+  void observe_request(RequestPath path, index_t m, index_t n, index_t k,
+                       std::size_t items, std::uint64_t t0);
+  // Recomputes the level gauges a report should show current (cache and
+  // choice entries, history size, recursive buffer-pool footprint).
+  void refresh_gauges();
 
   GemmConfig cfg_;
   int slots_ = 0;
@@ -463,6 +503,18 @@ class Engine {
   std::size_t cap_per_shard_ = 0;  // executor entries per shard
   std::size_t choice_cap_ = 0;
 
+  // Observability.  The registry owns every counter the old CacheStats
+  // atomics became (stats() reads them back); the pointers below are
+  // resolved once in the constructor and never change.  owns_trace_ marks
+  // an engine that joined the refcounted trace session.
+  obs::MetricsRegistry metrics_;
+  bool owns_trace_ = false;
+  obs::Histogram* lat_explicit_ = nullptr;  // request latency per path (us)
+  obs::Histogram* lat_auto_ = nullptr;
+  obs::Histogram* lat_batch_ = nullptr;
+  obs::Histogram* exec_gflops_ = nullptr;  // effective GFLOP/s per execution
+  obs::Histogram* batch_items_ = nullptr;  // items per multi-item batch
+
   std::vector<std::unique_ptr<Shard>> shards_;
   // The async pool, created on first use (double-checked through
   // pool_ptr_ so the hot path is one acquire load).
@@ -470,7 +522,9 @@ class Engine {
   std::unique_ptr<TaskPool> pool_;
   std::atomic<TaskPool*> pool_ptr_{nullptr};
   std::atomic<std::uint64_t> tick_{1};
-  std::atomic<std::uint64_t> hits_{0}, misses_{0}, evictions_{0};
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* misses_ = nullptr;
+  obs::Counter* evictions_ = nullptr;
 
   // Auto path: plan space built lazily (the explicit path never pays for
   // it), model parameters, bounded per-shape choice cache.  params_gen_
@@ -484,8 +538,9 @@ class Engine {
   ModelParams params_f32_ = default_model_params(DType::kF32);
   std::uint64_t params_gen_ = 0;
   std::vector<ChoiceEntry> choices_;
-  std::atomic<std::uint64_t> choice_hits_{0}, choice_misses_{0},
-      choice_evictions_{0};
+  obs::Counter* choice_hits_ = nullptr;
+  obs::Counter* choice_misses_ = nullptr;
+  obs::Counter* choice_evictions_ = nullptr;
 
   // Online performance model: the store itself, the resolved knobs (fixed
   // at construction), and the ranking counters.
@@ -494,13 +549,14 @@ class Engine {
   // multiplies that took the recursive path.
   index_t recurse_cutoff_ = 0;
   BufferPool recurse_buffers_;
-  std::atomic<std::uint64_t> recursive_runs_{0};
+  obs::Counter* recursive_runs_ = nullptr;
 
   PerfHistory history_;
   bool history_enabled_ = true;
   std::string history_path_;
   Status history_load_status_;
-  std::atomic<std::uint64_t> history_hits_{0}, history_overrides_{0};
+  obs::Counter* history_hits_ = nullptr;
+  obs::Counter* history_overrides_ = nullptr;
 };
 
 // The process-default Engine (default Options), used by the deprecated

@@ -8,6 +8,7 @@
 
 #include "src/gemm/kernel.h"
 #include "src/gemm/pack.h"
+#include "src/obs/trace.h"
 #include "src/util/omp_compat.h"
 #include "src/util/timer.h"
 
@@ -80,6 +81,13 @@ FmmExecutorT<T>::FmmExecutorT(const Plan& plan, index_t m, index_t n,
                               index_t k, const GemmConfig& cfg, int slots)
     : plan_(plan), m_(m), n_(n), k_(k) {
   assert(m >= 0 && n >= 0 && k >= 0);
+
+  obs::TraceScope compile_span("executor.compile", "executor");
+  if (compile_span.active()) {
+    compile_span.set_argf("%lldx%lldx%lld", static_cast<long long>(m),
+                          static_cast<long long>(n),
+                          static_cast<long long>(k));
+  }
 
   // The executor's element type is authoritative: a plan handed to the f32
   // executor always executes (and is keyed) as f32.
@@ -274,7 +282,7 @@ void FmmExecutorT<T>::run(MatViewT<T> c, ConstMatViewT<T> a,
   } rel{this, s};
   Timer t;
   run_on_slot(*s, c, a, b, frozen_cfg_);
-  hook_(t.seconds(), 1);
+  hook_(make_observation(t.seconds(), 1));
 }
 
 template <typename T>
@@ -396,7 +404,8 @@ void FmmExecutorT<T>::run_batch(const BatchItemT<T>* items,
   }
   Timer t;
   run_batch_impl(acc, count, shared_b);
-  hook_(t.seconds(), count);  // one observation: `count` multiplies
+  // One observation: `count` multiplies.
+  hook_(make_observation(t.seconds(), count));
 }
 
 template <typename T>
@@ -425,7 +434,7 @@ void FmmExecutorT<T>::run_batch_strided(const StridedBatchT<T>& sb) {
   }
   Timer t;
   run_batch_impl(acc, sb.count, shared_b);
-  hook_(t.seconds(), sb.count);
+  hook_(make_observation(t.seconds(), sb.count));
 }
 
 template <typename T>

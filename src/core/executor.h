@@ -106,6 +106,17 @@ using StridedBatch = StridedBatchT<double>;
 using BatchItemF32 = BatchItemT<float>;
 using StridedBatchF32 = StridedBatchT<float>;
 
+// What one observed execution looked like — the payload of the executor
+// timing hook (see FmmExecutorT::set_timing_hook).  Shared across element
+// types so a consumer (the Engine) can handle both with one function.
+struct ExecObservation {
+  double seconds = 0.0;
+  std::size_t items = 1;    // 1 per run(), the item count per batch
+  const char* kernel = "";  // frozen kernel registry name (static string)
+  DType dtype = DType::kF64;
+  index_t m = 0, n = 0, k = 0;  // compiled shape
+};
+
 template <typename T>
 class FmmExecutorT {
  public:
@@ -145,16 +156,18 @@ class FmmExecutorT {
   // shared-B prepacked fast path when the plan/shape allow it.
   void run_batch_strided(const StridedBatchT<T>& sb);
 
-  // Observation hook for the online performance model (src/model/history.h):
-  // called once per top-level run() with (wall seconds, 1), and once per
-  // multi-item batch with (wall seconds, item count) — a batch is one
+  // Observation hook: called once per top-level run() (items == 1) and
+  // once per multi-item batch (items == count) — a batch is one
   // observation of `items` multiplies, never double-counted per item.  The
-  // hook runs on the calling thread after the arithmetic finishes and must
-  // be cheap and thread-safe (concurrent run() calls invoke it
-  // concurrently).  Install before the executor is shared between threads
-  // (the Engine installs it right after construction); not synchronized
-  // against in-flight runs.
-  using TimingHook = std::function<void(double seconds, std::size_t items)>;
+  // ExecObservation carries everything a consumer needs to attribute the
+  // timing (the frozen kernel name, element type, and compiled shape), so
+  // one hook serves both the online performance model and the tracing
+  // layer (src/obs/trace.h).  The hook runs on the calling thread after
+  // the arithmetic finishes and must be cheap and thread-safe (concurrent
+  // run() calls invoke it concurrently).  Install before the executor is
+  // shared between threads (the Engine installs it right after
+  // construction); not synchronized against in-flight runs.
+  using TimingHook = std::function<void(const ExecObservation&)>;
   void set_timing_hook(TimingHook hook) { hook_ = std::move(hook); }
   bool has_timing_hook() const { return static_cast<bool>(hook_); }
 
@@ -207,6 +220,19 @@ class FmmExecutorT {
               ConstMatViewT<T>(sb.b + off * sb.stride_b, sb.k, sb.n, sb.ldb)};
     }
   };
+
+  // Fills the hook observation from the frozen compile-time facts.
+  ExecObservation make_observation(double seconds, std::size_t items) const {
+    ExecObservation o;
+    o.seconds = seconds;
+    o.items = items;
+    o.kernel = bp_.kernel != nullptr ? bp_.kernel->name : "";
+    o.dtype = plan_.dtype;
+    o.m = m_;
+    o.n = n_;
+    o.k = k_;
+    return o;
+  }
 
   std::unique_ptr<Slot> make_slot();
   Slot* acquire_slot();

@@ -5,8 +5,22 @@
 #include <cstring>
 
 #include "src/core/executor.h"  // peel_pieces
+#include "src/obs/trace.h"
 
 namespace fmm {
+
+namespace {
+
+// Counter tracks sampled on every pool transition while tracing: how many
+// leases are out and how much memory the pool has ever held at once.
+inline void trace_pool_pressure(std::size_t outstanding, std::size_t bytes) {
+  obs::trace_counter("bufpool.outstanding", "recurse",
+                     static_cast<std::int64_t>(outstanding));
+  obs::trace_counter("bufpool.peak_bytes", "recurse",
+                     static_cast<std::int64_t>(bytes));
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // BufferPool.
@@ -36,6 +50,7 @@ BufferPool::Lease BufferPool::acquire(std::size_t elems) {
       free_[best] = std::move(free_.back());
       free_.pop_back();
       ++outstanding_;
+      if (obs::trace_enabled()) trace_pool_pressure(outstanding_, peak_bytes_);
       return Lease(this, std::move(buf));
     }
   }
@@ -47,6 +62,7 @@ BufferPool::Lease BufferPool::acquire(std::size_t elems) {
   ++outstanding_;
   live_bytes_ += bytes;
   peak_bytes_ = std::max(peak_bytes_, live_bytes_);
+  if (obs::trace_enabled()) trace_pool_pressure(outstanding_, peak_bytes_);
   return Lease(this, std::move(buf));
 }
 
@@ -58,6 +74,7 @@ void BufferPool::put_back(AlignedBuffer<double> buf) {
   } else {
     live_bytes_ -= buf.size() * sizeof(double);
   }
+  if (obs::trace_enabled()) trace_pool_pressure(outstanding_, peak_bytes_);
 }
 
 std::size_t BufferPool::free_buffers() const {
@@ -287,12 +304,26 @@ TaskFuture build_node(const RecursiveExecT<T>& ctx,
     if (!node->descend) po.tag = mt;
     pool.submit(
         [node, r, mt] {
-          prep_product(*node, r);
+          {
+            obs::TraceScope prep("recurse.prep", "recurse");
+            if (prep.active()) {
+              prep.set_argf("r=%d d=%d %lldx%lldx%lld", r, node->depth,
+                            (long long)node->ms, (long long)node->ns,
+                            (long long)node->ks);
+            }
+            prep_product(*node, r);
+          }
           auto& rb = node->rb[static_cast<std::size_t>(r)];
           if (node->descend) {
             build_node(node->ctx, node->child, rb.mv, rb.sv, rb.tv,
                        node->depth + 1, mt);
           } else {
+            obs::TraceScope leaf("recurse.leaf", "recurse");
+            if (leaf.active()) {
+              leaf.set_argf("r=%d d=%d %lldx%lldx%lld", r, node->depth,
+                            (long long)node->ms, (long long)node->ns,
+                            (long long)node->ks);
+            }
             node->ctx.leaf(node->child.get(), rb.mv, rb.sv, rb.tv);
           }
         },
@@ -321,6 +352,8 @@ TaskFuture build_node(const RecursiveExecT<T>& ctx,
       prev = uo.tag;
       pool.submit(
           [node, w, r, cp] {
+            obs::TraceScope upd("recurse.update", "recurse");
+            if (upd.active()) upd.set_argf("r=%d d=%d", r, node->depth);
             scaled_add_serial<T>(w, node->rb[static_cast<std::size_t>(r)].mv,
                                  cp);
           },
@@ -358,8 +391,17 @@ TaskFuture build_node(const RecursiveExecT<T>& ctx,
     const MatViewT<T> cp = c.block(p.m0, p.n0, p.m1 - p.m0, p.n1 - p.n0);
     const ConstMatViewT<T> ap = a.block(p.m0, p.k0, p.m1 - p.m0, p.k1 - p.k0);
     const ConstMatViewT<T> bp = b.block(p.k0, p.n0, p.k1 - p.k0, p.n1 - p.n0);
-    pool.submit([node, cp, ap, bp] { node->ctx.leaf(nullptr, cp, ap, bp); },
-                std::move(po));
+    pool.submit(
+        [node, cp, ap, bp] {
+          obs::TraceScope fringe("recurse.fringe", "recurse");
+          if (fringe.active()) {
+            fringe.set_argf("d=%d %lldx%lldx%lld", node->depth,
+                            (long long)cp.rows(), (long long)cp.cols(),
+                            (long long)ap.cols());
+          }
+          node->ctx.leaf(nullptr, cp, ap, bp);
+        },
+        std::move(po));
   }
 
   TaskOptions fo;

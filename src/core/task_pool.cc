@@ -4,9 +4,13 @@
 #include <atomic>
 #include <cassert>
 #include <condition_variable>
+#include <cstdio>
 #include <exception>
 #include <mutex>
 #include <unordered_map>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace fmm {
 namespace {
@@ -75,6 +79,11 @@ struct TaskPool::Task {
   std::uint64_t seq = 0;  // FIFO tie-break within a priority level
   int remaining_deps = 0;
   std::shared_ptr<TaskFuture::State> state;
+  // Observability (stamped only while tracing or metrics capture is on):
+  // when the task last became *ready* (queued runnable, all deps met), and
+  // the dependency tags for the trace's flow arrows.
+  std::uint64_t enqueue_ns = 0;
+  std::vector<TaskTag> trace_deps;
 };
 
 struct TaskPool::TagState {
@@ -94,6 +103,12 @@ struct TaskPool::Impl {
   std::unordered_map<TaskTag, TagState> tags;
   std::atomic<TaskTag> next_fresh{kNoTag - 1};
 
+  // Observability instruments (set_metrics; read under mu when a task is
+  // popped, so workers always see a consistent attachment).
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Histogram* queue_wait = nullptr;  // ready -> running (us)
+  obs::Counter* tasks_run = nullptr;
+
   // Max-heap order: highest priority first, earliest submission within.
   static bool heap_less(const std::shared_ptr<Task>& a,
                         const std::shared_ptr<Task>& b) {
@@ -102,6 +117,13 @@ struct TaskPool::Impl {
   }
 
   void push_ready_locked(std::shared_ptr<Task> t) {
+    // The queue-wait clock starts when the task becomes runnable — here —
+    // not at submission: a dependency-blocked task is not "waiting for a
+    // worker" yet.
+    if (obs::trace_enabled() ||
+        (metrics != nullptr && metrics->enabled())) {
+      t->enqueue_ns = obs::now_ns();
+    }
     ready.push_back(std::move(t));
     std::push_heap(ready.begin(), ready.end(), heap_less);
   }
@@ -142,6 +164,16 @@ TaskTag TaskPool::fresh_tag() {
   return impl_->next_fresh.fetch_sub(1, std::memory_order_relaxed);
 }
 
+void TaskPool::set_metrics(obs::MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  impl_->metrics = registry;
+  impl_->queue_wait =
+      registry != nullptr ? &registry->histogram("pool.queue_wait", "us")
+                          : nullptr;
+  impl_->tasks_run =
+      registry != nullptr ? &registry->counter("pool.tasks") : nullptr;
+}
+
 TaskFuture TaskPool::submit_impl(std::function<Status()> fn,
                                  TaskOptions opts) {
   auto task = std::make_shared<Task>();
@@ -152,6 +184,10 @@ TaskFuture TaskPool::submit_impl(std::function<Status()> fn,
   task->state = std::make_shared<TaskFuture::State>();
   TaskFuture future;
   future.state_ = task->state;
+
+  // Dependency tags are copied for the trace's flow arrows only while
+  // recording — the hot path carries no extra allocation otherwise.
+  if (obs::trace_enabled() && !opts.deps.empty()) task->trace_deps = opts.deps;
 
   {
     std::lock_guard<std::mutex> lk(impl_->mu);
@@ -173,15 +209,51 @@ TaskFuture TaskPool::submit_impl(std::function<Status()> fn,
 void TaskPool::worker_loop(int index) {
   tls_pool = this;
   tls_worker_index = index;
+  if (obs::trace_enabled()) {
+    char nm[32];
+    std::snprintf(nm, sizeof(nm), "worker %d", index);
+    obs::trace_thread_name(nm);
+  }
   std::unique_lock<std::mutex> lk(impl_->mu);
   for (;;) {
+    // An idle gap is a span too: it is the signal "the graph starved this
+    // worker", which a run-spans-only trace cannot show.
+    std::uint64_t idle_start = 0;
+    if (obs::trace_enabled() && impl_->ready.empty() && !impl_->stop) {
+      idle_start = obs::now_ns();
+    }
     impl_->work_cv.wait(lk, [&] { return impl_->stop || !impl_->ready.empty(); });
+    if (idle_start != 0 && obs::trace_enabled()) {
+      obs::trace_complete("worker.idle", "pool", idle_start, obs::now_ns(),
+                          "", index);
+    }
     if (impl_->ready.empty()) {
       if (impl_->stop) return;
       continue;
     }
     std::shared_ptr<Task> task = impl_->pop_ready_locked();
+    // Instrument attachment is read under the lock: a consistent snapshot
+    // even if set_metrics races a draining pool.
+    obs::Histogram* qw =
+        (impl_->metrics != nullptr && impl_->metrics->enabled())
+            ? impl_->queue_wait
+            : nullptr;
+    obs::Counter* tr = impl_->tasks_run;
     lk.unlock();
+
+    const bool tracing = obs::trace_enabled();
+    std::uint64_t run_start = 0;
+    if (task->enqueue_ns != 0 && (tracing || qw != nullptr)) {
+      run_start = obs::now_ns();
+      if (qw != nullptr) {
+        qw->record(static_cast<double>(run_start - task->enqueue_ns) * 1e-3);
+      }
+      if (tracing) {
+        obs::trace_complete("task.wait", "pool", task->enqueue_ns, run_start,
+                            "", index);
+      }
+    }
+    if (tracing && run_start == 0) run_start = obs::now_ns();
 
     Status status;
     try {
@@ -194,6 +266,21 @@ void TaskPool::worker_loop(int index) {
                              "task body threw a non-std exception");
     }
     task->fn = nullptr;  // release captures before dependents observe done
+    if (tr != nullptr) tr->add();
+
+    if (tracing && run_start != 0 && obs::trace_enabled()) {
+      const std::uint64_t run_end = obs::now_ns();
+      obs::trace_complete("task.run", "pool", run_start, run_end, "", index);
+      // Flow arrows: each dependency this task consumed binds to this run
+      // slice (timestamps inside the slice anchor the arrow endpoints);
+      // the producing side is emitted at the producer's run end below.
+      for (TaskTag dep : task->trace_deps) {
+        obs::trace_flow_end("dep", "pool", dep, run_start);
+      }
+      if (task->tag != kNoTag) {
+        obs::trace_flow_start("dep", "pool", task->tag, run_end);
+      }
+    }
 
     // The future resolves *before* the tag completes: a dependent task
     // (released by the tag) always observes its dependency's future done.

@@ -46,6 +46,10 @@
 
 namespace fmm {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 // Task identity for dependency tracking.  Any value except kNoTag is
 // usable; fresh_tag() hands out values from a reserved high range so
 // caller-chosen small tags never collide with generated ones.
@@ -123,6 +127,13 @@ class TaskPool {
   // A tag guaranteed distinct from every caller-chosen and every other
   // generated tag (values descend from just below kNoTag).
   TaskTag fresh_tag();
+
+  // Attaches a metrics registry (src/obs/metrics.h): the pool then records
+  // a per-task queue-wait histogram ("pool.queue_wait", ready -> running)
+  // and a tasks-run counter ("pool.tasks").  Call before the pool is
+  // shared — the engine wires this up before publishing its pool; not
+  // synchronized against concurrently running tasks.  nullptr detaches.
+  void set_metrics(obs::MetricsRegistry* registry);
 
   int workers() const { return static_cast<int>(threads_.size()); }
 

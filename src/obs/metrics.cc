@@ -1,0 +1,273 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace fmm {
+namespace obs {
+
+namespace {
+
+void atomic_add_double(std::atomic<double>& a, double d) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min_double(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max_double(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void json_escape_into(std::string& out, const std::string& s) {
+  for (char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += ch;
+    } else if (c < 0x20) {
+      char hex[8];
+      std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+      out += hex;
+    } else {
+      out += ch;
+    }
+  }
+}
+
+std::string fmt_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Histogram.
+// ---------------------------------------------------------------------------
+
+int Histogram::stripe_index() {
+  // Each thread claims one stripe for its lifetime; round-robin assignment
+  // spreads concurrent recorders over disjoint cache lines.
+  static std::atomic<unsigned> next{0};
+  thread_local const int stripe = static_cast<int>(
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes);
+  return stripe;
+}
+
+int Histogram::bucket_index(double v) {
+  if (!(v > 0.0)) return 0;
+  // Quarter-octave index: floor(4 * log2(v)), shifted to start at kMinExp.
+  const double idx = std::floor(4.0 * std::log2(v)) - 4.0 * kMinExp;
+  if (idx < 0.0) return 0;
+  if (idx >= static_cast<double>(kBuckets)) return kBuckets - 1;
+  return static_cast<int>(idx);
+}
+
+double Histogram::bucket_lo(int i) {
+  return std::exp2(static_cast<double>(i) / 4.0 + kMinExp);
+}
+
+double Histogram::bucket_hi(int i) {
+  return std::exp2(static_cast<double>(i + 1) / 4.0 + kMinExp);
+}
+
+void Histogram::record(double v) {
+  Stripe& s = stripes_[stripe_index()];
+  s.buckets[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(s.sum, v);
+  if (!has_min_max_.load(std::memory_order_relaxed)) {
+    // First observation seeds both bounds; a benign race between two first
+    // recorders is corrected by the min/max passes below.
+    double expect = 0.0;
+    min_.compare_exchange_strong(expect, v, std::memory_order_relaxed);
+    expect = 0.0;
+    max_.compare_exchange_strong(expect, v, std::memory_order_relaxed);
+    has_min_max_.store(true, std::memory_order_relaxed);
+  }
+  atomic_min_double(min_, v);
+  atomic_max_double(max_, v);
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t n = 0;
+  for (const Stripe& s : stripes_) {
+    n += s.count.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+double Histogram::percentile(double q) const {
+  std::uint64_t buckets[kBuckets] = {};
+  std::uint64_t total = 0;
+  for (const Stripe& s : stripes_) {
+    for (int i = 0; i < kBuckets; ++i) {
+      buckets[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+    total += s.count.load(std::memory_order_relaxed);
+  }
+  if (total == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    cum += buckets[i];
+    if (static_cast<double>(cum) >= target) {
+      // Geometric midpoint of the containing bucket, clamped to what was
+      // actually observed (tightens the estimate for 1-observation tails).
+      double est = std::sqrt(bucket_lo(i) * bucket_hi(i));
+      est = std::min(std::max(est, min_.load(std::memory_order_relaxed)),
+                     max_.load(std::memory_order_relaxed));
+      return est;
+    }
+  }
+  return max_.load(std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  for (const Stripe& s : stripes_) {
+    snap.count += s.count.load(std::memory_order_relaxed);
+    snap.sum += s.sum.load(std::memory_order_relaxed);
+  }
+  snap.min = min_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  snap.p50 = percentile(0.50);
+  snap.p95 = percentile(0.95);
+  snap.p99 = percentile(0.99);
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------------
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& c : counters_) {
+    if (c->name == name) return c->c;
+  }
+  counters_.push_back(std::make_unique<NamedCounter>());
+  counters_.back()->name = name;
+  return counters_.back()->c;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& g : gauges_) {
+    if (g->name == name) return g->g;
+  }
+  gauges_.push_back(std::make_unique<NamedGauge>());
+  gauges_.back()->name = name;
+  return gauges_.back()->g;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& unit) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& h : histograms_) {
+    if (h->name == name) return h->h;
+  }
+  histograms_.push_back(std::make_unique<NamedHistogram>());
+  histograms_.back()->name = name;
+  histograms_.back()->unit = unit;
+  return histograms_.back()->h;
+}
+
+std::string MetricsRegistry::report_text() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out;
+  char line[256];
+  if (!counters_.empty()) {
+    out += "counters:\n";
+    for (const auto& c : counters_) {
+      std::snprintf(line, sizeof(line), "  %-36s %12llu\n", c->name.c_str(),
+                    static_cast<unsigned long long>(c->c.value()));
+      out += line;
+    }
+  }
+  if (!gauges_.empty()) {
+    out += "gauges:\n";
+    for (const auto& g : gauges_) {
+      std::snprintf(line, sizeof(line), "  %-36s %12lld\n", g->name.c_str(),
+                    static_cast<long long>(g->g.value()));
+      out += line;
+    }
+  }
+  if (!histograms_.empty()) {
+    std::snprintf(line, sizeof(line), "histograms: %28s %10s %10s %10s %10s\n",
+                  "count", "mean", "p50", "p95", "p99");
+    out += line;
+    for (const auto& h : histograms_) {
+      const Histogram::Snapshot s = h->h.snapshot();
+      std::string label = h->name;
+      if (!h->unit.empty()) label += " (" + h->unit + ")";
+      std::snprintf(line, sizeof(line),
+                    "  %-36s %12llu %10.4g %10.4g %10.4g %10.4g\n",
+                    label.c_str(), static_cast<unsigned long long>(s.count),
+                    s.mean(), s.p50, s.p95, s.p99);
+      out += line;
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::report_json() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& c : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    json_escape_into(out, c->name);
+    out += "\":" + std::to_string(c->c.value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& g : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    json_escape_into(out, g->name);
+    out += "\":" + std::to_string(g->g.value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& h : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    const Histogram::Snapshot s = h->h.snapshot();
+    out += '"';
+    json_escape_into(out, h->name);
+    out += "\":{\"unit\":\"";
+    json_escape_into(out, h->unit);
+    out += "\",\"count\":" + std::to_string(s.count);
+    out += ",\"sum\":" + fmt_double(s.sum);
+    out += ",\"min\":" + fmt_double(s.min);
+    out += ",\"max\":" + fmt_double(s.max);
+    out += ",\"mean\":" + fmt_double(s.mean());
+    out += ",\"p50\":" + fmt_double(s.p50);
+    out += ",\"p95\":" + fmt_double(s.p95);
+    out += ",\"p99\":" + fmt_double(s.p99);
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace fmm
